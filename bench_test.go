@@ -1,0 +1,384 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one benchmark
+// per table/figure, see DESIGN.md's experiment index) plus the ablations
+// of the design decisions and micro-benchmarks of the hot paths.
+//
+// The authoritative table generator is cmd/rvbench; these benches exercise
+// the same harness at a small scale so `go test -bench=.` reports the
+// relative shape: RV ≤ MOP ≪ TM in time, RV below MOP in retained
+// monitors and memory.
+package rvgo_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rvgo/internal/cfg"
+	"rvgo/internal/dacapo"
+	"rvgo/internal/ere"
+	"rvgo/internal/eval"
+	"rvgo/internal/heap"
+	"rvgo/internal/logic"
+	"rvgo/internal/monitor"
+	"rvgo/internal/param"
+	"rvgo/internal/props"
+	"rvgo/internal/slicing"
+	"rvgo/internal/tracematches"
+)
+
+const benchScale = 0.02
+
+var benchRows = []string{"bloat", "avrora"}
+var benchProps = []string{"HasNext", "UnsafeIter", "UnsafeMapIter"}
+
+// runCell executes one monitored workload and returns the cell.
+func runCell(b *testing.B, bench, prop string, sys eval.System) eval.Cell {
+	b.Helper()
+	cfg := eval.DefaultConfig()
+	cfg.Scale = benchScale
+	cfg.Timeout = time.Minute
+	cell, err := eval.RunCell(bench, prop, sys, eval.Baseline{}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cell
+}
+
+// BenchmarkFig9A regenerates the runtime-overhead grid of Figure 9(A):
+// the ns/op of each sub-benchmark is the monitored runtime of the cell;
+// compare against the Baseline sub-benchmark for the overhead ratio.
+func BenchmarkFig9A(b *testing.B) {
+	for _, bench := range benchRows {
+		b.Run(bench+"/Baseline", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.RunBaseline(bench, benchScale); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, prop := range benchProps {
+			for _, sys := range []eval.System{eval.SysTM, eval.SysMOP, eval.SysRV} {
+				b.Run(fmt.Sprintf("%s/%s/%s", bench, prop, sys), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						runCell(b, bench, prop, sys)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig9B regenerates the peak-memory comparison of Figure 9(B) as
+// a reported metric (peakMB) per cell.
+func BenchmarkFig9B(b *testing.B) {
+	for _, bench := range benchRows {
+		for _, prop := range benchProps {
+			for _, sys := range []eval.System{eval.SysTM, eval.SysMOP, eval.SysRV} {
+				b.Run(fmt.Sprintf("%s/%s/%s", bench, prop, sys), func(b *testing.B) {
+					peak := 0.0
+					for i := 0; i < b.N; i++ {
+						if c := runCell(b, bench, prop, sys); c.PeakMemMB > peak {
+							peak = c.PeakMemMB
+						}
+					}
+					b.ReportMetric(peak, "peakMB")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates the monitoring statistics of Figure 10 as
+// reported metrics: events (E), monitors created (M), flagged (FM) and
+// collected (CM) per run of the RV system.
+func BenchmarkFig10(b *testing.B) {
+	for _, bench := range benchRows {
+		for _, prop := range benchProps {
+			b.Run(fmt.Sprintf("%s/%s", bench, prop), func(b *testing.B) {
+				var st monitor.Stats
+				for i := 0; i < b.N; i++ {
+					st = runCell(b, bench, prop, eval.SysRV).Stats
+				}
+				b.ReportMetric(float64(st.Events), "E")
+				b.ReportMetric(float64(st.Created), "M")
+				b.ReportMetric(float64(st.Flagged), "FM")
+				b.ReportMetric(float64(st.Collected), "CM")
+			})
+		}
+	}
+}
+
+// BenchmarkGCPolicy is the abl-gc ablation: the same workload under no GC,
+// JavaMOP's all-dead GC, and RV's coenable GC. The retained metric shows
+// what the paper's Figure 10 shows — coenable GC collects what all-dead
+// cannot.
+func BenchmarkGCPolicy(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		gc   monitor.GCPolicy
+	}{
+		{"None", monitor.GCNone},
+		{"AllDead", monitor.GCAllDead},
+		{"Coenable", monitor.GCCoenable},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var peak int64
+			for i := 0; i < b.N; i++ {
+				spec, err := props.Build("UnsafeIter")
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := monitor.New(spec, monitor.Options{GC: mode.gc, Creation: monitor.CreateEnable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink, err := dacapo.Adapt("UnsafeIter", eng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt := dacapo.NewRuntime()
+				rt.AddSink(sink)
+				p, _ := dacapo.Get("bloat")
+				if err := p.Run(rt, benchScale); err != nil {
+					b.Fatal(err)
+				}
+				eng.Flush()
+				peak = eng.Stats().PeakLive
+			}
+			b.ReportMetric(float64(peak), "peakLive")
+		})
+	}
+}
+
+// BenchmarkCreation is the abl-create ablation: the exact Figure 5
+// semantics (CreateFull, quadratic joins) against the enable-set guarded
+// strategy on the same workload.
+func BenchmarkCreation(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		cs   monitor.CreationStrategy
+	}{
+		{"Full", monitor.CreateFull},
+		{"Enable", monitor.CreateEnable},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec, err := props.Build("UnsafeIter")
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := monitor.New(spec, monitor.Options{GC: monitor.GCCoenable, Creation: mode.cs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink, err := dacapo.Adapt("UnsafeIter", eng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt := dacapo.NewRuntime()
+				rt.AddSink(sink)
+				p, _ := dacapo.Get("avrora")
+				if err := p.Run(rt, 0.01); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepInterval is the abl-lazy ablation: eager (sweep every
+// event) versus lazy (default) collection — the paper's argument for
+// laziness in §4.2.
+func BenchmarkSweepInterval(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		interval int
+	}{
+		{"Eager1", 1},
+		{"Lazy16k", 1 << 14},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec, err := props.Build("UnsafeIter")
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := monitor.New(spec, monitor.Options{
+					GC: monitor.GCCoenable, Creation: monitor.CreateEnable,
+					SweepInterval: mode.interval,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink, err := dacapo.Adapt("UnsafeIter", eng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt := dacapo.NewRuntime()
+				rt.AddSink(sink)
+				p, _ := dacapo.Get("bloat")
+				if err := p.Run(rt, benchScale); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+// BenchmarkDispatchHasNext measures one single-parameter event dispatch.
+func BenchmarkDispatchHasNext(b *testing.B) {
+	spec, err := props.Build("HasNext")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := monitor.New(spec, monitor.Options{GC: monitor.GCCoenable, Creation: monitor.CreateEnable})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := heap.New()
+	iters := make([]*heap.Object, 256)
+	for i := range iters {
+		iters[i] = h.Alloc("")
+	}
+	hnT, _ := spec.Symbol("hasnexttrue")
+	nxt, _ := spec.Symbol("next")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := iters[i&255]
+		eng.Emit(hnT, it)
+		eng.Emit(nxt, it)
+	}
+}
+
+// BenchmarkDispatchUnsafeIterUpdate measures the fan-out path: an update
+// event hitting a collection with many iterators.
+func BenchmarkDispatchUnsafeIterUpdate(b *testing.B) {
+	spec, err := props.Build("UnsafeIter")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := monitor.New(spec, monitor.Options{GC: monitor.GCCoenable, Creation: monitor.CreateEnable})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := heap.New()
+	c := h.Alloc("c")
+	create, _ := spec.Symbol("create")
+	update, _ := spec.Symbol("update")
+	for i := 0; i < 64; i++ {
+		eng.Emit(create, c, h.Alloc(""))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Emit(update, c)
+	}
+}
+
+// BenchmarkCoenableAnalysis measures the full static analysis of a spec.
+func BenchmarkCoenableAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec, err := props.UnsafeMapIter()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := spec.Analysis(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkERECompile measures derivative-DFA construction.
+func BenchmarkERECompile(b *testing.B) {
+	alphabet := []string{"create", "update", "next"}
+	for i := 0; i < b.N; i++ {
+		if _, err := ere.Compile("update* create next* update+ next", alphabet); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCFGBackends compares one monitor step of the two CFG backends
+// on a 64-deep SafeLock state: the general Earley recognizer (chart
+// copies) versus the SLR(1) stack machine (JavaMOP's approach) the
+// property library uses when the grammar allows.
+func BenchmarkCFGBackends(b *testing.B) {
+	g, err := cfg.Parse("S -> S begin S end | S acquire S release | epsilon",
+		[]string{"acquire", "release", "begin", "end"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	slr, err := cfg.CompileSLR(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, backend := range []struct {
+		name string
+		bp   logic.Blueprint
+	}{
+		{"Earley", cfg.FromGrammar(g)},
+		{"SLR", slr},
+	} {
+		b.Run(backend.name, func(b *testing.B) {
+			s := backend.bp.Start()
+			for i := 0; i < 64; i++ {
+				s = s.Step(0) // acquire
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					s.Step(1) // release
+				} else {
+					s.Step(0)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTracematchDispatch measures the TM baseline's per-event cost on
+// the same shape as BenchmarkDispatchUnsafeIterUpdate.
+func BenchmarkTracematchDispatch(b *testing.B) {
+	spec, err := props.Build("UnsafeIter")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, err := tracematches.New(spec, tracematches.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := heap.New()
+	c := h.Alloc("c")
+	for i := 0; i < 64; i++ {
+		tm.Emit(0, c, h.Alloc("")) // create
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Emit(1, c) // update
+	}
+}
+
+// BenchmarkReferenceAlgorithm measures the abstract Figure 5 algorithm
+// (the oracle), for scale against the engine.
+func BenchmarkReferenceAlgorithm(b *testing.B) {
+	bp, err := ere.Compile("update* create next* update+ next",
+		[]string{"create", "update", "next"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var _ logic.Blueprint = bp
+	h := heap.New()
+	c := h.Alloc("c")
+	iters := make([]*heap.Object, 32)
+	for i := range iters {
+		iters[i] = h.Alloc("")
+	}
+	b.ResetTimer()
+	mon := slicing.New(bp)
+	for i := 0; i < b.N; i++ {
+		it := iters[i&31]
+		mon.Process(slicing.Event{Sym: 0, Inst: param.Empty().Bind(0, c).Bind(1, it)})
+		mon.Process(slicing.Event{Sym: 2, Inst: param.Empty().Bind(1, it)})
+	}
+}

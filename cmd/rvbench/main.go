@@ -1,0 +1,101 @@
+// Command rvbench regenerates the paper's evaluation artifacts: Figure
+// 9(A) percent runtime overhead, Figure 9(B) peak memory, and Figure 10
+// monitoring statistics, over the synthetic DaCapo substrate.
+//
+// Usage:
+//
+//	rvbench [-table fig9a|fig9b|fig10|all] [-scale 0.1] [-timeout 60s]
+//	        [-bench bloat,pmd,...] [-prop HasNext,...] [-v]
+//
+// Scale 1.0 corresponds to roughly 1/50 of the paper's event volumes; the
+// default keeps the full grid under a few minutes. Absolute numbers are
+// not comparable to the paper's Pentium-4 JVM measurements — the shapes
+// (which system wins, by what factor, where Tracematches times out) are
+// what the harness reproduces. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"rvgo/internal/dacapo"
+	"rvgo/internal/eval"
+	"rvgo/internal/props"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "all", "which table to print: fig9a, fig9b, fig10, all")
+		scale   = flag.Float64("scale", 0.1, "workload scale (1.0 ≈ paper/50)")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-cell time budget (exceeded = ∞)")
+		benchs  = flag.String("bench", "", "comma-separated benchmark subset (default: all 15)")
+		prs     = flag.String("prop", "", "comma-separated property subset (default: the paper's five)")
+		verbose = flag.Bool("v", false, "print per-cell progress")
+	)
+	flag.Parse()
+
+	cfg := eval.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Timeout = *timeout
+	if *benchs != "" {
+		cfg.Benchmarks = splitList(*benchs)
+		for _, b := range cfg.Benchmarks {
+			if _, ok := dacapo.Get(b); !ok {
+				fatalf("unknown benchmark %q (have: %s)", b, strings.Join(dacapo.Benchmarks(), ", "))
+			}
+		}
+	}
+	if *prs != "" {
+		cfg.Properties = splitList(*prs)
+		for _, p := range cfg.Properties {
+			if _, err := props.Build(p); err != nil {
+				fatalf("%v (have: %s)", err, strings.Join(props.Names(), ", "))
+			}
+		}
+	}
+
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	res, err := eval.Run(cfg, progress)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	switch *table {
+	case "fig9a":
+		res.Fig9A(os.Stdout)
+	case "fig9b":
+		res.Fig9B(os.Stdout)
+	case "fig10":
+		res.Fig10(os.Stdout)
+	case "retained":
+		res.Retained(os.Stdout)
+	case "all":
+		res.Fig9A(os.Stdout)
+		res.Fig9B(os.Stdout)
+		res.Fig10(os.Stdout)
+		res.Retained(os.Stdout)
+	default:
+		fatalf("unknown table %q", *table)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rvbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,166 @@
+// Command rvmon compiles an .rv specification and monitors a parametric
+// event trace against it, printing handler output as verdicts are reached.
+//
+// Usage:
+//
+//	rvmon -spec hasnext.rv [-trace trace.txt] [-gc coenable|alldead|none] [-stats]
+//
+// The trace is read from the file or stdin, one step per line:
+//
+//	<event> <object>...   dispatch a parametric event, e.g. "next i1"
+//	free <object>         the object is garbage collected
+//	# comment             ignored
+//
+// Objects are named symbolically; each name denotes one simulated heap
+// object, allocated on first mention.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rvgo/internal/heap"
+	"rvgo/internal/monitor"
+	"rvgo/internal/spec"
+)
+
+func main() {
+	var (
+		specPath  = flag.String("spec", "", "path to the .rv specification (required)")
+		tracePath = flag.String("trace", "", "path to the trace file (default: stdin)")
+		gcMode    = flag.String("gc", "coenable", "monitor GC policy: coenable, alldead, none")
+		stats     = flag.Bool("stats", false, "print monitoring statistics at the end")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		fatalf("missing -spec")
+	}
+	src, err := os.ReadFile(*specPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prop, err := spec.Parse(string(src))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	compiled, err := prop.Compile()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var gc monitor.GCPolicy
+	switch *gcMode {
+	case "coenable":
+		gc = monitor.GCCoenable
+	case "alldead":
+		gc = monitor.GCAllDead
+	case "none":
+		gc = monitor.GCNone
+	default:
+		fatalf("unknown -gc %q", *gcMode)
+	}
+
+	var engines []*monitor.Engine
+	for _, c := range compiled {
+		c := c
+		eng, err := monitor.New(c.Spec, monitor.Options{
+			GC:       gc,
+			Creation: monitor.CreateEnable,
+			OnVerdict: func(v monitor.Verdict) {
+				fmt.Printf("%s: %s at %s\n", c.Spec.Name, v.Cat, v.Inst.Format(c.Spec.Params))
+				if body, ok := c.Handlers[v.Cat]; ok {
+					spec.RunHandler(body, func(line string) { fmt.Println("  " + line) })
+				}
+			},
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		engines = append(engines, eng)
+	}
+
+	var in io.Reader = os.Stdin
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	h := heap.New()
+	objects := map[string]*heap.Object{}
+	obj := func(name string) *heap.Object {
+		if o, ok := objects[name]; ok {
+			return o
+		}
+		o := h.Alloc(name)
+		objects[name] = o
+		return o
+	}
+
+	sc := bufio.NewScanner(in)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(strings.TrimSpace(sc.Text()))
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if fields[0] == "free" {
+			for _, name := range fields[1:] {
+				if o, ok := objects[name]; ok {
+					h.Free(o)
+				}
+			}
+			continue
+		}
+		event := fields[0]
+		dispatched := false
+		for _, eng := range engines {
+			sym, ok := eng.Spec().Symbol(event)
+			if !ok {
+				continue
+			}
+			dispatched = true
+			want := eng.Spec().Events[sym].Params.Count()
+			if len(fields)-1 != want {
+				fatalf("line %d: event %q takes %d objects, got %d", lineNo, event, want, len(fields)-1)
+			}
+			vals := make([]heap.Ref, 0, want)
+			for _, name := range fields[1:] {
+				o := obj(name)
+				if !o.Alive() {
+					fatalf("line %d: object %q was freed", lineNo, name)
+				}
+				vals = append(vals, o)
+			}
+			eng.Emit(sym, vals...)
+		}
+		if !dispatched {
+			fatalf("line %d: unknown event %q", lineNo, event)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("%v", err)
+	}
+
+	if *stats {
+		for _, eng := range engines {
+			eng.Flush()
+			st := eng.Stats()
+			fmt.Printf("%s: events=%d created=%d flagged=%d collected=%d verdicts=%d\n",
+				eng.Spec().Name, st.Events, st.Created, st.Flagged, st.Collected, st.GoalVerdicts)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rvmon: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,17 @@
+// Package rvgo is a from-scratch Go reproduction of "Garbage Collection
+// for Monitoring Parametric Properties" (Jin, Meredith, Griffith, Roşu —
+// PLDI 2011): the RV runtime-verification system, whose contribution is a
+// formalism-independent, coenable-set-driven garbage collector for
+// parametric monitor instances, paired with lazily collected weak-keyed
+// indexing trees.
+//
+// The library lives under internal/ (one package per subsystem — see
+// DESIGN.md for the inventory), with three command-line tools:
+//
+//	cmd/rvmon       monitor a parametric event trace against an .rv spec
+//	cmd/rvcoenable  print the Section 3 static analyses for a property
+//	cmd/rvbench     regenerate the paper's Figure 9/10 tables
+//
+// and runnable examples under examples/. The benchmarks in bench_test.go
+// regenerate each evaluation artifact as a testing.B benchmark.
+package rvgo

@@ -1,0 +1,280 @@
+package cfg_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rvgo/internal/cfg"
+	"rvgo/internal/coenable"
+	"rvgo/internal/logic"
+)
+
+var lockAlphabet = []string{"acquire", "release", "begin", "end"}
+
+const safeLockGrammar = "S -> S begin S end | S acquire S release | epsilon"
+
+func mustCompile(t *testing.T, grammar string, alphabet []string) *cfg.Monitor {
+	t.Helper()
+	m, err := cfg.Compile(grammar, alphabet)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func classify(m *cfg.Monitor, trace []int) logic.Category {
+	s := m.Start()
+	for _, a := range trace {
+		s = s.Step(a)
+	}
+	return s.Category()
+}
+
+const (
+	acq = 0
+	rel = 1
+	beg = 2
+	end = 3
+)
+
+func TestSafeLockRecognition(t *testing.T) {
+	m := mustCompile(t, safeLockGrammar, lockAlphabet)
+	cases := []struct {
+		trace []int
+		want  logic.Category
+	}{
+		{nil, logic.Match}, // ε ∈ L
+		{[]int{acq}, logic.Unknown},
+		{[]int{acq, rel}, logic.Match},
+		{[]int{beg, acq, rel, end}, logic.Match},
+		{[]int{acq, beg, rel}, logic.Fail}, // release closes over begin: never properly nested
+		{[]int{beg, end, beg, end}, logic.Match},
+		{[]int{acq, acq, rel, rel}, logic.Match},
+		{[]int{rel}, logic.Fail},           // release without acquire
+		{[]int{acq, rel, rel}, logic.Fail}, // unbalanced release
+		{[]int{beg, acq, end}, logic.Fail}, // end closes before release
+	}
+	for _, c := range cases {
+		if got := classify(m, c.trace); got != c.want {
+			t.Errorf("trace %v: got %s want %s", c.trace, got, c.want)
+		}
+	}
+}
+
+func TestFailIsPermanent(t *testing.T) {
+	m := mustCompile(t, safeLockGrammar, lockAlphabet)
+	s := m.Start().Step(rel) // fail
+	if s.Category() != logic.Fail {
+		t.Fatal("expected fail")
+	}
+	for a := range lockAlphabet {
+		if s.Step(a).Category() != logic.Fail {
+			t.Fatal("fail must be a sink")
+		}
+	}
+}
+
+// TestPersistentCharts: stepping must not mutate the receiver — two
+// diverging continuations of the same state classify independently.
+func TestPersistentCharts(t *testing.T) {
+	m := mustCompile(t, safeLockGrammar, lockAlphabet)
+	base := m.Start().Step(acq)
+	s1 := base.Step(rel)
+	s2 := base.Step(acq)
+	if s1.Category() != logic.Match {
+		t.Fatalf("s1 = %s", s1.Category())
+	}
+	if s2.Category() != logic.Unknown {
+		t.Fatalf("s2 = %s", s2.Category())
+	}
+	// And the base state still behaves as before.
+	if base.Step(rel).Category() != logic.Match {
+		t.Fatal("base state was corrupted by a later step")
+	}
+}
+
+// TestAgainstBruteForce compares Earley recognition with a brute-force
+// derivation enumeration for all traces up to length 6.
+func TestAgainstBruteForce(t *testing.T) {
+	m := mustCompile(t, safeLockGrammar, lockAlphabet)
+	var walk func(trace []int)
+	walk = func(trace []int) {
+		if len(trace) > 6 {
+			return
+		}
+		got := classify(m, trace) == logic.Match
+		want := inDyckLanguage(trace)
+		if got != want {
+			t.Fatalf("trace %v: earley %v, brute force %v", trace, got, want)
+		}
+		for a := range lockAlphabet {
+			walk(append(trace, a))
+		}
+	}
+	walk(nil)
+}
+
+// inDyckLanguage decides membership in the SafeLock language directly: the
+// grammar generates exactly the balanced strings over the two bracket
+// pairs acquire/release and begin/end (a two-letter Dyck language).
+func inDyckLanguage(trace []int) bool {
+	var stack []int
+	for _, a := range trace {
+		switch a {
+		case acq, beg:
+			stack = append(stack, a)
+		case rel:
+			if len(stack) == 0 || stack[len(stack)-1] != acq {
+				return false
+			}
+			stack = stack[:len(stack)-1]
+		case end:
+			if len(stack) == 0 || stack[len(stack)-1] != beg {
+				return false
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return len(stack) == 0
+}
+
+func TestEpsilonGrammarHandling(t *testing.T) {
+	// Nullable chains: A -> B B, B -> epsilon | a.
+	m := mustCompile(t, "A -> B B\nB -> epsilon | a", []string{"a"})
+	if got := classify(m, nil); got != logic.Match {
+		t.Fatalf("ε: %s", got)
+	}
+	if got := classify(m, []int{0}); got != logic.Match {
+		t.Fatalf("a: %s", got)
+	}
+	if got := classify(m, []int{0, 0}); got != logic.Match {
+		t.Fatalf("aa: %s", got)
+	}
+	if got := classify(m, []int{0, 0, 0}); got != logic.Fail {
+		t.Fatalf("aaa: %s", got)
+	}
+}
+
+func TestGrammarParserErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"S acquire release", // missing ->
+		"acquire -> S",      // terminal head
+	}
+	for _, g := range bad {
+		if _, err := cfg.Compile(g, lockAlphabet); err == nil {
+			t.Errorf("grammar %q: expected error", g)
+		}
+	}
+}
+
+// TestCoenableSafeLock checks the grammar-level coenable fixpoint of §3 on
+// the paper's own CFG example.
+func TestCoenableSafeLock(t *testing.T) {
+	g, err := cfg.Parse(safeLockGrammar, lockAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := g.Coenable()
+
+	has := func(sym int, want coenable.EventSet) bool {
+		for _, s := range sets[sym] {
+			if s == want {
+				return true
+			}
+		}
+		return false
+	}
+	// After an acquire, a release must still be possible.
+	if !has(acq, coenable.EventSet(1<<rel)) {
+		t.Errorf("COENABLE(acquire) = %v must contain {release}", sets[acq])
+	}
+	// After a begin, an end must still be possible.
+	if !has(beg, coenable.EventSet(1<<end)) {
+		t.Errorf("COENABLE(begin) = %v must contain {end}", sets[beg])
+	}
+	// Every set for acquire contains release (it can never be closed
+	// without one).
+	for _, s := range sets[acq] {
+		if !s.Has(rel) {
+			t.Errorf("COENABLE(acquire) member %v lacks release", s)
+		}
+	}
+}
+
+// TestEnableSafeLock: acquire and begin can start a matching trace;
+// release and end cannot.
+func TestEnableSafeLock(t *testing.T) {
+	g, err := cfg.Parse(safeLockGrammar, lockAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := g.Enable()
+	hasEmpty := func(sym int) bool {
+		for _, s := range en[sym] {
+			if s == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEmpty(acq) || !hasEmpty(beg) {
+		t.Error("acquire and begin must be creation events")
+	}
+	if hasEmpty(rel) || hasEmpty(end) {
+		t.Error("release and end must not be creation events")
+	}
+}
+
+// TestRandomBalancedTraces feeds long random balanced traces and checks
+// match; perturbed ones must not match.
+func TestRandomBalancedTraces(t *testing.T) {
+	m := mustCompile(t, safeLockGrammar, lockAlphabet)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		trace := genBalanced(rng, 0, 24)
+		if got := classify(m, trace); got != logic.Match {
+			t.Fatalf("balanced trace %v classified %s", trace, got)
+		}
+		if len(trace) >= 2 {
+			// Truncation is a strict prefix: unknown (extendable) and not
+			// match unless the prefix happens to be balanced.
+			pfx := trace[:len(trace)-1]
+			if got := classify(m, pfx); got == logic.Fail {
+				t.Fatalf("prefix of balanced trace must not fail: %v", pfx)
+			}
+		}
+	}
+}
+
+func genBalanced(rng *rand.Rand, depth, budget int) []int {
+	if budget <= 1 || (depth > 0 && rng.Intn(3) == 0) {
+		return nil
+	}
+	var out []int
+	for budget > 1 && rng.Intn(2) == 0 {
+		inner := genBalanced(rng, depth+1, budget/2)
+		if rng.Intn(2) == 0 {
+			out = append(out, acq)
+			out = append(out, inner...)
+			out = append(out, rel)
+		} else {
+			out = append(out, beg)
+			out = append(out, inner...)
+			out = append(out, end)
+		}
+		budget -= len(inner) + 2
+	}
+	return out
+}
+
+func TestGrammarString(t *testing.T) {
+	g, err := cfg.Parse(safeLockGrammar, lockAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "S -> S begin S end\nS -> S acquire S release\nS -> epsilon"
+	if g.String() != want {
+		t.Fatalf("String() = %q", g.String())
+	}
+}

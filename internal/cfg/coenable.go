@@ -1,0 +1,219 @@
+package cfg
+
+import (
+	"rvgo/internal/coenable"
+)
+
+// Coenable computes COENABLE_{P,{match}} for the property monitored by the
+// grammar, as the least fixed point of the paper's equations (§3, "CFG
+// Example"):
+//
+//	G(ε)  = {∅}      G(e) = {{e}}      G(A) = ⋃_{A→β} G(β)
+//	G(β1 β2) = {T1 ∪ T2 | T1 ∈ G(β1), T2 ∈ G(β2)}
+//	C(x) = {T1 ∪ T2 | A → β1 x β2 ∈ Π, T1 ∈ C(A), T2 ∈ G(β2)}
+//	COENABLE(e) = C(e)
+//
+// with the implicit base C(S) ⊇ {∅} for the start symbol (the suffix after
+// the root may be empty). ∅ members are dropped from the final result and
+// each family is minimized, exactly as for the finite-state analysis. A
+// state-indexed technique à la Tracematches cannot exist here because the
+// monitor's state space is unbounded; this grammar-level analysis is what
+// makes the paper's GC formalism-independent.
+func (g *Grammar) Coenable() coenable.Sets {
+	nNT := len(g.Nonterminals)
+	nT := len(g.Alphabet)
+
+	// gen[nt] is G(nt) as a set family; genProd caches G(β) per production
+	// suffix on demand via genSeq.
+	gen := make([]map[coenable.EventSet]bool, nNT)
+	for i := range gen {
+		gen[i] = map[coenable.EventSet]bool{}
+	}
+	genSym := func(s int) map[coenable.EventSet]bool {
+		if IsTerm(s) {
+			return map[coenable.EventSet]bool{coenable.EventSet(1) << uint(s): true}
+		}
+		return gen[NTIndex(s)]
+	}
+	// G fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, p := range g.Prods {
+			// G(β) for the whole RHS: product of unions.
+			acc := map[coenable.EventSet]bool{0: true}
+			for _, s := range p.RHS {
+				acc = product(acc, genSym(s))
+				if len(acc) == 0 {
+					break
+				}
+			}
+			for t := range acc {
+				if !gen[p.LHS][t] {
+					gen[p.LHS][t] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// C fixpoint over nonterminals and terminals.
+	coenNT := make([]map[coenable.EventSet]bool, nNT)
+	for i := range coenNT {
+		coenNT[i] = map[coenable.EventSet]bool{}
+	}
+	coenNT[0][0] = true // base: C(S) ∋ ∅
+	coenT := make([]map[coenable.EventSet]bool, nT)
+	for i := range coenT {
+		coenT[i] = map[coenable.EventSet]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range g.Prods {
+			for i, x := range p.RHS {
+				// G(β2) for the suffix after x.
+				suffix := map[coenable.EventSet]bool{0: true}
+				for _, s := range p.RHS[i+1:] {
+					suffix = product(suffix, genSym(s))
+					if len(suffix) == 0 {
+						break
+					}
+				}
+				contrib := product(coenNT[p.LHS], suffix)
+				var dst map[coenable.EventSet]bool
+				if IsTerm(x) {
+					dst = coenT[x]
+				} else {
+					dst = coenNT[NTIndex(x)]
+				}
+				for t := range contrib {
+					if !dst[t] {
+						dst[t] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	out := make(coenable.Sets, nT)
+	for e := 0; e < nT; e++ {
+		family := map[coenable.EventSet]bool{}
+		for t := range coenT[e] {
+			if t != 0 { // drop ∅ (paper §3)
+				family[t] = true
+			}
+		}
+		out[e] = coenable.Minimize(family)
+	}
+	return out
+}
+
+// Enable computes ENABLE_{P,{match}}: the family of event sets occurring
+// strictly before each terminal in words of the language. It is the mirror
+// fixpoint of Coenable (prefixes instead of suffixes); ∅ members are kept,
+// marking creation events.
+func (g *Grammar) Enable() coenable.Sets {
+	nNT := len(g.Nonterminals)
+	nT := len(g.Alphabet)
+	gen := make([]map[coenable.EventSet]bool, nNT)
+	for i := range gen {
+		gen[i] = map[coenable.EventSet]bool{}
+	}
+	genSym := func(s int) map[coenable.EventSet]bool {
+		if IsTerm(s) {
+			return map[coenable.EventSet]bool{coenable.EventSet(1) << uint(s): true}
+		}
+		return gen[NTIndex(s)]
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range g.Prods {
+			acc := map[coenable.EventSet]bool{0: true}
+			for _, s := range p.RHS {
+				acc = product(acc, genSym(s))
+				if len(acc) == 0 {
+					break
+				}
+			}
+			for t := range acc {
+				if !gen[p.LHS][t] {
+					gen[p.LHS][t] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	enNT := make([]map[coenable.EventSet]bool, nNT)
+	for i := range enNT {
+		enNT[i] = map[coenable.EventSet]bool{}
+	}
+	enNT[0][0] = true // base: nothing precedes the root
+	enT := make([]map[coenable.EventSet]bool, nT)
+	for i := range enT {
+		enT[i] = map[coenable.EventSet]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range g.Prods {
+			for i, x := range p.RHS {
+				prefix := map[coenable.EventSet]bool{0: true}
+				for _, s := range p.RHS[:i] {
+					prefix = product(prefix, genSym(s))
+					if len(prefix) == 0 {
+						break
+					}
+				}
+				contrib := product(enNT[p.LHS], prefix)
+				var dst map[coenable.EventSet]bool
+				if IsTerm(x) {
+					dst = enT[x]
+				} else {
+					dst = enNT[NTIndex(x)]
+				}
+				for t := range contrib {
+					if !dst[t] {
+						dst[t] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	out := make(coenable.Sets, nT)
+	for e := 0; e < nT; e++ {
+		sets := make([]coenable.EventSet, 0, len(enT[e]))
+		for t := range enT[e] {
+			sets = append(sets, t)
+		}
+		sortEventSets(sets)
+		out[e] = sets
+	}
+	return out
+}
+
+func product(a, b map[coenable.EventSet]bool) map[coenable.EventSet]bool {
+	out := map[coenable.EventSet]bool{}
+	for t1 := range a {
+		for t2 := range b {
+			out[t1|t2] = true
+		}
+	}
+	return out
+}
+
+func sortEventSets(sets []coenable.EventSet) {
+	for i := 1; i < len(sets); i++ {
+		for j := i; j > 0 && less(sets[j], sets[j-1]); j-- {
+			sets[j], sets[j-1] = sets[j-1], sets[j]
+		}
+	}
+}
+
+func less(a, b coenable.EventSet) bool {
+	if a.Count() != b.Count() {
+		return a.Count() < b.Count()
+	}
+	return a < b
+}

@@ -1,0 +1,211 @@
+package cfg
+
+import (
+	"sort"
+
+	"rvgo/internal/logic"
+)
+
+// item is an Earley item [A → α·β, start]: production prod with the dot at
+// position dot, begun at input position start.
+type item struct {
+	prod  int
+	dot   int
+	start int
+}
+
+// itemSet is a frozen, sorted, deduplicated Earley item set for one input
+// position. Sets are immutable once built, which is what allows monitor
+// states to share chart prefixes.
+type itemSet []item
+
+// Monitor is the CFG blueprint. Its states are persistent Earley charts.
+type Monitor struct {
+	g     *Grammar
+	start logic.State
+}
+
+// Compile builds an Earley CFG monitor from production syntax. Most
+// callers should prefer CompileAuto, which uses the SLR(1) backend when
+// the grammar allows it.
+func Compile(src string, alphabet []string) (*Monitor, error) {
+	g, err := Parse(src, alphabet)
+	if err != nil {
+		return nil, err
+	}
+	return FromGrammar(g), nil
+}
+
+// CompileAuto builds the fastest available monitor for the grammar: the
+// table-driven SLR(1) recognizer when the grammar is SLR(1), otherwise
+// the general Earley recognizer. Both carry the grammar for the §3
+// coenable analysis.
+func CompileAuto(src string, alphabet []string) (logic.Blueprint, error) {
+	g, err := Parse(src, alphabet)
+	if err != nil {
+		return nil, err
+	}
+	if m, err := CompileSLR(g); err == nil {
+		return m, nil
+	}
+	return FromGrammar(g), nil
+}
+
+// StackDepthForTest exposes the SLR parse-stack depth of a state (tests
+// assert the O(nesting) memory claim).
+func StackDepthForTest(s logic.State) int {
+	if ss, ok := s.(*slrState); ok {
+		return len(ss.stack)
+	}
+	return -1
+}
+
+// FromGrammar wraps an existing grammar as a monitor blueprint.
+func FromGrammar(g *Grammar) *Monitor {
+	m := &Monitor{g: g}
+	set0 := g.closure(nil, 0, func(yield func(item)) {
+		for _, pi := range g.prodsByLHS[0] {
+			yield(item{prod: pi, dot: 0, start: 0})
+		}
+	})
+	m.start = &chartState{g: g, sets: []itemSet{set0}}
+	return m
+}
+
+// chartState is an immutable Earley chart: sets[k] holds the items after
+// consuming k events. Step shares the prefix of sets with its successor.
+type chartState struct {
+	g    *Grammar
+	sets []itemSet
+	dead bool // viable-prefix failure: sink
+}
+
+// Step implements logic.State.
+func (c *chartState) Step(sym int) logic.State {
+	if c.dead {
+		return c
+	}
+	g := c.g
+	n := len(c.sets)
+	cur := c.sets[n-1]
+
+	next := g.closure(c.sets, n, func(yield func(item)) {
+		for _, it := range cur {
+			p := g.Prods[it.prod]
+			if it.dot < len(p.RHS) && p.RHS[it.dot] == sym {
+				yield(item{prod: it.prod, dot: it.dot + 1, start: it.start})
+			}
+		}
+	})
+	if len(next) == 0 {
+		// No viable continuation: the trace is not a prefix of any word in
+		// the language, and never will be again.
+		return &chartState{g: g, dead: true}
+	}
+	sets := make([]itemSet, n+1)
+	copy(sets, c.sets)
+	sets[n] = next
+	return &chartState{g: g, sets: sets}
+}
+
+// Category implements logic.State: match when the whole trace derives the
+// start symbol, fail when no continuation is viable, ? otherwise.
+func (c *chartState) Category() logic.Category {
+	if c.dead {
+		return logic.Fail
+	}
+	if len(c.sets) == 1 {
+		// Empty trace: match iff the start symbol is nullable.
+		if c.g.Nullable(0) {
+			return logic.Match
+		}
+		return logic.Unknown
+	}
+	last := c.sets[len(c.sets)-1]
+	for _, it := range last {
+		p := c.g.Prods[it.prod]
+		if p.LHS == 0 && it.start == 0 && it.dot == len(p.RHS) {
+			return logic.Match
+		}
+	}
+	return logic.Unknown
+}
+
+// closure computes an Earley item set: seeds are produced by seed, then
+// prediction and completion are applied to a fixpoint. Nullable
+// nonterminals are handled by Aycock–Horspool style eager advancement over
+// nullable predictions. prior is the chart so far (for completion); pos the
+// position of the set being built.
+func (g *Grammar) closure(prior []itemSet, pos int, seed func(yield func(item))) itemSet {
+	seen := map[item]bool{}
+	var work []item
+	add := func(it item) {
+		if !seen[it] {
+			seen[it] = true
+			work = append(work, it)
+		}
+	}
+	seed(add)
+	for i := 0; i < len(work); i++ {
+		it := work[i]
+		p := g.Prods[it.prod]
+		if it.dot < len(p.RHS) {
+			s := p.RHS[it.dot]
+			if !IsTerm(s) {
+				nt := NTIndex(s)
+				// Predict.
+				for _, pi := range g.prodsByLHS[nt] {
+					add(item{prod: pi, dot: 0, start: pos})
+				}
+				// Nullable advancement.
+				if g.Nullable(nt) {
+					add(item{prod: it.prod, dot: it.dot + 1, start: it.start})
+				}
+			}
+			continue
+		}
+		// Complete: advance items in set it.start waiting on p.LHS. A
+		// completed item with start == pos spans the empty string, which
+		// can only happen when p.LHS is nullable; the Aycock–Horspool
+		// nullable advancement above already covers that case.
+		if it.start == pos {
+			continue
+		}
+		from := prior[it.start]
+		for j := 0; j < len(from); j++ {
+			w := from[j]
+			wp := g.Prods[w.prod]
+			if w.dot < len(wp.RHS) && !IsTerm(wp.RHS[w.dot]) && NTIndex(wp.RHS[w.dot]) == p.LHS {
+				add(item{prod: w.prod, dot: w.dot + 1, start: w.start})
+			}
+		}
+	}
+	out := make(itemSet, len(work))
+	copy(out, work)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].prod != out[b].prod {
+			return out[a].prod < out[b].prod
+		}
+		if out[a].dot != out[b].dot {
+			return out[a].dot < out[b].dot
+		}
+		return out[a].start < out[b].start
+	})
+	return out
+}
+
+// Alphabet implements logic.Blueprint.
+func (m *Monitor) Alphabet() []string { return m.g.Alphabet }
+
+// Start implements logic.Blueprint.
+func (m *Monitor) Start() logic.State { return m.start }
+
+// Categories implements logic.Blueprint.
+func (m *Monitor) Categories() []logic.Category {
+	return []logic.Category{logic.Unknown, logic.Match, logic.Fail}
+}
+
+// Grammar returns the underlying grammar (for the coenable analysis).
+func (m *Monitor) Grammar() *Grammar { return m.g }
+
+var _ logic.Blueprint = (*Monitor)(nil)

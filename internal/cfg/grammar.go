@@ -1,0 +1,191 @@
+// Package cfg implements the context-free-grammar plugin of the RV system
+// (the `cfg:` block of Figure 4, SAFELOCK). Traces in the language of the
+// grammar are classified match; traces that are not a viable prefix of any
+// word in the language are classified fail; all others ?.
+//
+// Recognition is incremental Earley parsing with persistent (structurally
+// shared) charts, so monitor states satisfy the engine's immutability
+// contract: Step never mutates the receiver, and copying a progenitor's
+// state is a pointer copy. Because the CFG monitor's state space is
+// unbounded, the blueprint is *not* Explorable; coenable sets are computed
+// directly from the grammar by the paper's G/C fixpoint equations
+// (coenable.go in this package) — the case that motivates the paper's
+// formalism-independent design, since Tracematches' state-indexed technique
+// cannot apply here.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Grammar is a context-free grammar (N, E, S, Π). Terminals are event
+// symbols (indices into Alphabet); nonterminals are negative integers
+// encoded by nonterminal index nt as -(nt+1). The start symbol is
+// nonterminal 0, which is the left-hand side of the first production
+// ("the first symbol seen is always assumed the start symbol").
+type Grammar struct {
+	Alphabet     []string
+	Nonterminals []string
+	Prods        []Prod
+	prodsByLHS   [][]int // production indices per nonterminal
+	nullable     []bool  // per nonterminal
+}
+
+// Prod is one production A → β. RHS symbols: ≥0 terminal, <0 nonterminal.
+type Prod struct {
+	LHS int // nonterminal index
+	RHS []int
+}
+
+// IsTerm reports whether an RHS symbol is a terminal.
+func IsTerm(sym int) bool { return sym >= 0 }
+
+// NTIndex decodes a nonterminal RHS symbol.
+func NTIndex(sym int) int { return -sym - 1 }
+
+// NTSym encodes a nonterminal index as an RHS symbol.
+func NTSym(nt int) int { return -(nt + 1) }
+
+// Parse parses the `cfg:` production syntax of Figure 4:
+//
+//	S -> S begin S end | S acquire S release | epsilon
+//
+// Multiple productions may be given separated by commas or newlines; every
+// lowercase identifier that names an event in alphabet is a terminal,
+// every other identifier is a nonterminal.
+func Parse(src string, alphabet []string) (*Grammar, error) {
+	terms := map[string]int{}
+	for i, e := range alphabet {
+		terms[e] = i
+	}
+	g := &Grammar{Alphabet: alphabet}
+	nts := map[string]int{}
+	ntOf := func(name string) int {
+		if i, ok := nts[name]; ok {
+			return i
+		}
+		i := len(g.Nonterminals)
+		nts[name] = i
+		g.Nonterminals = append(g.Nonterminals, name)
+		return i
+	}
+
+	// Split into rules on newlines/commas, keeping "A -> alt | alt" whole.
+	var rules []string
+	for _, line := range strings.FieldsFunc(src, func(r rune) bool { return r == '\n' || r == ',' || r == ';' }) {
+		line = strings.TrimSpace(line)
+		if line != "" {
+			rules = append(rules, line)
+		}
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("cfg: empty grammar")
+	}
+	for _, rule := range rules {
+		parts := strings.SplitN(rule, "->", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("cfg: production %q missing '->'", rule)
+		}
+		lhsName := strings.TrimSpace(parts[0])
+		if lhsName == "" || strings.ContainsAny(lhsName, " \t") {
+			return nil, fmt.Errorf("cfg: bad production head %q", lhsName)
+		}
+		if _, isTerm := terms[lhsName]; isTerm {
+			return nil, fmt.Errorf("cfg: event %q cannot be a production head", lhsName)
+		}
+		lhs := ntOf(lhsName)
+		for _, alt := range strings.Split(parts[1], "|") {
+			fields := strings.Fields(alt)
+			var rhs []int
+			for _, f := range fields {
+				switch {
+				case f == "epsilon":
+					// contributes nothing
+				default:
+					if t, ok := terms[f]; ok {
+						rhs = append(rhs, t)
+					} else {
+						rhs = append(rhs, NTSym(ntOf(f)))
+					}
+				}
+			}
+			g.Prods = append(g.Prods, Prod{LHS: lhs, RHS: rhs})
+		}
+	}
+	g.finish()
+	return g, nil
+}
+
+// New builds a grammar programmatically; prods use NTSym for nonterminals.
+func New(alphabet, nonterminals []string, prods []Prod) (*Grammar, error) {
+	g := &Grammar{Alphabet: alphabet, Nonterminals: nonterminals, Prods: prods}
+	for _, p := range prods {
+		if p.LHS < 0 || p.LHS >= len(nonterminals) {
+			return nil, fmt.Errorf("cfg: production with bad LHS %d", p.LHS)
+		}
+		for _, s := range p.RHS {
+			if IsTerm(s) && s >= len(alphabet) {
+				return nil, fmt.Errorf("cfg: bad terminal %d", s)
+			}
+			if !IsTerm(s) && NTIndex(s) >= len(nonterminals) {
+				return nil, fmt.Errorf("cfg: bad nonterminal in RHS")
+			}
+		}
+	}
+	g.finish()
+	return g, nil
+}
+
+func (g *Grammar) finish() {
+	g.prodsByLHS = make([][]int, len(g.Nonterminals))
+	for i, p := range g.Prods {
+		g.prodsByLHS[p.LHS] = append(g.prodsByLHS[p.LHS], i)
+	}
+	// Nullability fixpoint.
+	g.nullable = make([]bool, len(g.Nonterminals))
+	for changed := true; changed; {
+		changed = false
+		for _, p := range g.Prods {
+			if g.nullable[p.LHS] {
+				continue
+			}
+			all := true
+			for _, s := range p.RHS {
+				if IsTerm(s) || !g.nullable[NTIndex(s)] {
+					all = false
+					break
+				}
+			}
+			if all {
+				g.nullable[p.LHS] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// Nullable reports whether nonterminal nt derives ε.
+func (g *Grammar) Nullable(nt int) bool { return g.nullable[nt] }
+
+// String renders the grammar in production syntax.
+func (g *Grammar) String() string {
+	var b strings.Builder
+	for i, p := range g.Prods {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "%s ->", g.Nonterminals[p.LHS])
+		if len(p.RHS) == 0 {
+			b.WriteString(" epsilon")
+		}
+		for _, s := range p.RHS {
+			if IsTerm(s) {
+				b.WriteString(" " + g.Alphabet[s])
+			} else {
+				b.WriteString(" " + g.Nonterminals[NTIndex(s)])
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,398 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"rvgo/internal/logic"
+)
+
+// This file implements an SLR(1) shift-reduce recognizer as the fast CFG
+// monitor backend. JavaMOP's CFG plugin monitors with an LR-style stack
+// machine rather than chart parsing: per event the work is a few table
+// lookups and the monitor state is the parse stack, whose depth is the
+// grammar's nesting depth — for SAFELOCK, the current lock/method nesting —
+// instead of the Earley chart, which grows with the slice length.
+//
+// Not every grammar is SLR(1); Compile tries SLR first and transparently
+// falls back to the Earley monitor (earley.go), which accepts all CFGs.
+// Both backends implement the same verdict semantics (match = trace in the
+// language, fail = not a viable prefix) and are cross-checked in tests.
+
+// lr0Item is an LR(0) item: production prod with the dot at position dot.
+type lr0Item struct {
+	prod int
+	dot  int
+}
+
+type lr0Set []lr0Item
+
+// actionKind distinguishes parse actions.
+type actionKind uint8
+
+const (
+	actNone actionKind = iota
+	actShift
+	actReduce
+	actAccept
+)
+
+type action struct {
+	kind actionKind
+	arg  int // shift: target state; reduce: production index
+}
+
+// slrTable is the parse table of the augmented grammar S' → S.
+type slrTable struct {
+	g *Grammar
+	// action[state][terminal]; the end-of-input column is index nT.
+	action [][]action
+	// gotoNT[state][nonterminal].
+	gotoNT [][]int
+	// accepting state prediction uses FOLLOW-driven reduces with the $
+	// column; prodLen/prodLHS are cached for reduce steps.
+	prodLen []int
+	prodLHS []int
+}
+
+// buildSLR constructs the SLR(1) table, or reports why the grammar is not
+// SLR(1).
+func buildSLR(g *Grammar) (*slrTable, error) {
+	nT := len(g.Alphabet)
+	nNT := len(g.Nonterminals)
+
+	// Augment: production index len(g.Prods) is S' → S with LHS index nNT.
+	augProd := len(g.Prods)
+	prodLen := make([]int, len(g.Prods)+1)
+	prodLHS := make([]int, len(g.Prods)+1)
+	for i, p := range g.Prods {
+		prodLen[i] = len(p.RHS)
+		prodLHS[i] = p.LHS
+	}
+	prodLen[augProd] = 1
+	prodLHS[augProd] = nNT
+
+	rhsOf := func(prod int) []int {
+		if prod == augProd {
+			return []int{NTSym(0)}
+		}
+		return g.Prods[prod].RHS
+	}
+
+	closure := func(seed []lr0Item) lr0Set {
+		seen := map[lr0Item]bool{}
+		var out lr0Set
+		var work []lr0Item
+		add := func(it lr0Item) {
+			if !seen[it] {
+				seen[it] = true
+				work = append(work, it)
+				out = append(out, it)
+			}
+		}
+		for _, it := range seed {
+			add(it)
+		}
+		for i := 0; i < len(work); i++ {
+			it := work[i]
+			rhs := rhsOf(it.prod)
+			if it.dot >= len(rhs) || IsTerm(rhs[it.dot]) {
+				continue
+			}
+			nt := NTIndex(rhs[it.dot])
+			for _, pi := range g.prodsByLHS[nt] {
+				add(lr0Item{prod: pi, dot: 0})
+			}
+		}
+		sort.Slice(out, func(a, b int) bool {
+			if out[a].prod != out[b].prod {
+				return out[a].prod < out[b].prod
+			}
+			return out[a].dot < out[b].dot
+		})
+		return out
+	}
+
+	key := func(s lr0Set) string {
+		b := make([]byte, 0, len(s)*4)
+		for _, it := range s {
+			b = append(b, byte(it.prod), byte(it.prod>>8), byte(it.dot), ';')
+		}
+		return string(b)
+	}
+
+	var states []lr0Set
+	index := map[string]int{}
+	addState := func(s lr0Set) int {
+		k := key(s)
+		if i, ok := index[k]; ok {
+			return i
+		}
+		i := len(states)
+		index[k] = i
+		states = append(states, s)
+		return i
+	}
+	addState(closure([]lr0Item{{prod: augProd, dot: 0}}))
+
+	follow := followSets(g)
+
+	var tbl slrTable
+	tbl.g = g
+	tbl.prodLen = prodLen
+	tbl.prodLHS = prodLHS
+
+	for si := 0; si < len(states); si++ {
+		st := states[si]
+		// Partition by symbol after the dot.
+		bySym := map[int][]lr0Item{}
+		var reduces []lr0Item
+		for _, it := range st {
+			rhs := rhsOf(it.prod)
+			if it.dot < len(rhs) {
+				s := rhs[it.dot]
+				bySym[s] = append(bySym[s], lr0Item{prod: it.prod, dot: it.dot + 1})
+			} else {
+				reduces = append(reduces, it)
+			}
+		}
+		row := make([]action, nT+1)
+		gotoRow := make([]int, nNT)
+		for i := range gotoRow {
+			gotoRow[i] = -1
+		}
+		var syms []int
+		for s := range bySym {
+			syms = append(syms, s)
+		}
+		sort.Ints(syms)
+		for _, s := range syms {
+			target := addState(closure(bySym[s]))
+			if IsTerm(s) {
+				row[s] = action{kind: actShift, arg: target}
+			} else {
+				gotoRow[NTIndex(s)] = target
+			}
+		}
+		for _, it := range reduces {
+			if it.prod == augProd {
+				if row[nT].kind != actNone {
+					return nil, fmt.Errorf("cfg: accept conflict")
+				}
+				row[nT] = action{kind: actAccept}
+				continue
+			}
+			lhs := g.Prods[it.prod].LHS
+			for t := 0; t <= nT; t++ {
+				if !follow[lhs][t] {
+					continue
+				}
+				switch row[t].kind {
+				case actNone:
+					row[t] = action{kind: actReduce, arg: it.prod}
+				case actShift:
+					return nil, fmt.Errorf("cfg: shift/reduce conflict on %s", termName(g, t))
+				case actReduce, actAccept:
+					return nil, fmt.Errorf("cfg: reduce/reduce conflict on %s", termName(g, t))
+				}
+			}
+		}
+		// Rows are appended in state order; states grow during the loop.
+		tbl.action = append(tbl.action, row)
+		tbl.gotoNT = append(tbl.gotoNT, gotoRow)
+	}
+	return &tbl, nil
+}
+
+func termName(g *Grammar, t int) string {
+	if t == len(g.Alphabet) {
+		return "$"
+	}
+	return g.Alphabet[t]
+}
+
+// followSets computes FOLLOW over terminals plus $ (index nT); FOLLOW(S)
+// contains $.
+func followSets(g *Grammar) []map[int]bool {
+	nT := len(g.Alphabet)
+	nNT := len(g.Nonterminals)
+	first := firstSets(g)
+	follow := make([]map[int]bool, nNT)
+	for i := range follow {
+		follow[i] = map[int]bool{}
+	}
+	follow[0][nT] = true
+	for changed := true; changed; {
+		changed = false
+		add := func(nt, t int) {
+			if !follow[nt][t] {
+				follow[nt][t] = true
+				changed = true
+			}
+		}
+		for _, p := range g.Prods {
+			for i, s := range p.RHS {
+				if IsTerm(s) {
+					continue
+				}
+				nt := NTIndex(s)
+				nullableRest := true
+				for _, s2 := range p.RHS[i+1:] {
+					if IsTerm(s2) {
+						add(nt, s2)
+						nullableRest = false
+						break
+					}
+					for t := range first[NTIndex(s2)] {
+						add(nt, t)
+					}
+					if !g.Nullable(NTIndex(s2)) {
+						nullableRest = false
+						break
+					}
+				}
+				if nullableRest {
+					for t := range follow[p.LHS] {
+						add(nt, t)
+					}
+				}
+			}
+		}
+	}
+	return follow
+}
+
+// firstSets computes FIRST over terminals for each nonterminal.
+func firstSets(g *Grammar) []map[int]bool {
+	first := make([]map[int]bool, len(g.Nonterminals))
+	for i := range first {
+		first[i] = map[int]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range g.Prods {
+			for _, s := range p.RHS {
+				if IsTerm(s) {
+					if !first[p.LHS][s] {
+						first[p.LHS][s] = true
+						changed = true
+					}
+					break
+				}
+				for t := range first[NTIndex(s)] {
+					if !first[p.LHS][t] {
+						first[p.LHS][t] = true
+						changed = true
+					}
+				}
+				if !g.Nullable(NTIndex(s)) {
+					break
+				}
+			}
+		}
+	}
+	return first
+}
+
+// slrState is the immutable monitor state: the LR parse stack after
+// consuming the trace so far. dead marks a non-viable prefix.
+type slrState struct {
+	tbl   *slrTable
+	stack []int // LR states, stack[0] = 0; never mutated after creation
+	dead  bool
+}
+
+// Step implements logic.State: shift the terminal (running any reduces
+// first), producing a fresh stack.
+func (s *slrState) Step(sym int) logic.State {
+	if s.dead {
+		return s
+	}
+	// Copy-on-write: reductions and the shift build a new stack. The
+	// prefix copy is O(depth); depth is the grammar nesting level.
+	stack := make([]int, len(s.stack), len(s.stack)+4)
+	copy(stack, s.stack)
+	for {
+		top := stack[len(stack)-1]
+		act := s.tbl.action[top][sym]
+		switch act.kind {
+		case actShift:
+			stack = append(stack, act.arg)
+			return &slrState{tbl: s.tbl, stack: stack}
+		case actReduce:
+			n := s.tbl.prodLen[act.arg]
+			stack = stack[:len(stack)-n]
+			nt := s.tbl.prodLHS[act.arg]
+			g := s.tbl.gotoNT[stack[len(stack)-1]][nt]
+			if g < 0 {
+				return &slrState{tbl: s.tbl, dead: true}
+			}
+			stack = append(stack, g)
+		default:
+			// No action on this terminal: not a viable prefix, ever.
+			return &slrState{tbl: s.tbl, dead: true}
+		}
+	}
+}
+
+// Category implements logic.State: match iff the trace consumed so far is
+// in the language, decided by running the $-column reduces on a scratch
+// copy of the stack; fail for dead prefixes.
+func (s *slrState) Category() logic.Category {
+	if s.dead {
+		return logic.Fail
+	}
+	nT := len(s.tbl.g.Alphabet)
+	stack := append([]int(nil), s.stack...)
+	for {
+		top := stack[len(stack)-1]
+		act := s.tbl.action[top][nT]
+		switch act.kind {
+		case actAccept:
+			return logic.Match
+		case actReduce:
+			n := s.tbl.prodLen[act.arg]
+			stack = stack[:len(stack)-n]
+			nt := s.tbl.prodLHS[act.arg]
+			g := s.tbl.gotoNT[stack[len(stack)-1]][nt]
+			if g < 0 {
+				return logic.Unknown
+			}
+			stack = append(stack, g)
+		default:
+			return logic.Unknown
+		}
+	}
+}
+
+// SLRMonitor is the table-driven CFG blueprint.
+type SLRMonitor struct {
+	g   *Grammar
+	tbl *slrTable
+}
+
+// CompileSLR builds an SLR(1) monitor for the grammar, or an error if the
+// grammar is not SLR(1).
+func CompileSLR(g *Grammar) (*SLRMonitor, error) {
+	tbl, err := buildSLR(g)
+	if err != nil {
+		return nil, err
+	}
+	return &SLRMonitor{g: g, tbl: tbl}, nil
+}
+
+// Alphabet implements logic.Blueprint.
+func (m *SLRMonitor) Alphabet() []string { return m.g.Alphabet }
+
+// Start implements logic.Blueprint.
+func (m *SLRMonitor) Start() logic.State { return &slrState{tbl: m.tbl, stack: []int{0}} }
+
+// Categories implements logic.Blueprint.
+func (m *SLRMonitor) Categories() []logic.Category {
+	return []logic.Category{logic.Unknown, logic.Match, logic.Fail}
+}
+
+// Grammar returns the underlying grammar (for the coenable analysis).
+func (m *SLRMonitor) Grammar() *Grammar { return m.g }
+
+var _ logic.Blueprint = (*SLRMonitor)(nil)

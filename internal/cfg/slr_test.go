@@ -1,0 +1,111 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"rvgo/internal/cfg"
+	"rvgo/internal/logic"
+)
+
+// TestSLRMatchesEarley cross-checks the table-driven recognizer against
+// the Earley monitor on every SafeLock trace up to length 6.
+func TestSLRMatchesEarley(t *testing.T) {
+	g, err := cfg.Parse(safeLockGrammar, lockAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slr, err := cfg.CompileSLR(g)
+	if err != nil {
+		t.Fatalf("SafeLock must be SLR(1): %v", err)
+	}
+	earley := cfg.FromGrammar(g)
+
+	var walk func(se, ee logic.State, depth int)
+	walk = func(se, ee logic.State, depth int) {
+		if se.Category() != ee.Category() {
+			t.Fatalf("divergence at depth %d: slr %s vs earley %s", depth, se.Category(), ee.Category())
+		}
+		if depth == 6 {
+			return
+		}
+		for a := range lockAlphabet {
+			walk(se.Step(a), ee.Step(a), depth+1)
+		}
+	}
+	walk(slr.Start(), earley.Start(), 0)
+}
+
+// TestSLRImmutableStates: diverging continuations from a shared state must
+// not interfere (the parse stack is copy-on-write).
+func TestSLRImmutableStates(t *testing.T) {
+	g, err := cfg.Parse(safeLockGrammar, lockAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slr, err := cfg.CompileSLR(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := slr.Start().Step(acq).Step(beg)
+	s1 := base.Step(end) // close method inside lock: fail? end closes over acquire→ fail handled at step
+	s2 := base.Step(acq).Step(rel).Step(end).Step(rel)
+	if s2.Category() != logic.Match {
+		t.Fatalf("nested close = %s", s2.Category())
+	}
+	_ = s1
+	if base.Step(acq).Step(rel).Step(end).Step(rel).Category() != logic.Match {
+		t.Fatal("base state corrupted by earlier step")
+	}
+}
+
+// TestCompileAutoFallsBack: an ambiguous grammar is not SLR(1) and must
+// fall back to Earley while recognizing the same language.
+func TestCompileAutoFallsBack(t *testing.T) {
+	// Ambiguous: E -> E E | a. Not SLR(1).
+	bp, err := cfg.CompileAuto("E -> E E | a", []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isSLR := bp.(*cfg.SLRMonitor); isSLR {
+		t.Fatal("ambiguous grammar cannot be SLR(1)")
+	}
+	s := bp.Start()
+	if s.Step(0).Category() != logic.Match {
+		t.Fatal("a must match")
+	}
+	if s.Step(0).Step(0).Step(0).Category() != logic.Match {
+		t.Fatal("aaa must match")
+	}
+	// And SafeLock auto-compiles to the SLR backend.
+	bp2, err := cfg.CompileAuto(safeLockGrammar, lockAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isSLR := bp2.(*cfg.SLRMonitor); !isSLR {
+		t.Fatal("SafeLock must use the SLR backend")
+	}
+}
+
+// TestSLRStackDepthIndependentOfTraceLength: the monitor state stays small
+// on long flat traces (the reason MOP's CFG plugin is LR-based).
+func TestSLRStackDepthIndependentOfTraceLength(t *testing.T) {
+	g, err := cfg.Parse(safeLockGrammar, lockAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slr, err := cfg.CompileSLR(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := slr.Start()
+	for i := 0; i < 10000; i++ {
+		s = s.Step(acq)
+		s = s.Step(rel)
+	}
+	if s.Category() != logic.Match {
+		t.Fatal("balanced trace must match")
+	}
+	if d := cfg.StackDepthForTest(s); d > 8 {
+		t.Fatalf("stack depth %d after 20000 flat events", d)
+	}
+}

@@ -1,0 +1,427 @@
+// Package coenable implements the paper's central static analysis (§3):
+// coenable sets, their parameter images, and the runtime ALIVENESS check.
+//
+// COENABLE_{P,G}(e) collects, for every trace w with P(w) ∈ G containing e,
+// the set of events occurring after e in w. If a monitor instance has just
+// observed e and, for every set in COENABLE(e), at least one event in the
+// set can never occur again (because a parameter object it needs has been
+// garbage collected), the instance can never reach a verdict in G and may
+// itself be collected (Theorem 1).
+//
+// For finite-state monitors (FSM, ERE-DFA, ptLTL) the sets are computed as
+// the least fixed point of the SEEABLE equations over an explored state
+// graph. The CFG plugin has its own grammar-level fixpoint (package cfg).
+//
+// The dual ENABLE sets (events occurring *before* e in goal traces, Chen et
+// al. ASE'09) are computed here as well; they drive monitor-creation
+// avoidance in the runtime engine.
+package coenable
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"rvgo/internal/logic"
+	"rvgo/internal/param"
+)
+
+// EventSet is a bitmask over a property's event alphabet (≤ 32 events).
+type EventSet uint32
+
+// Has reports whether symbol a is in the set.
+func (s EventSet) Has(a int) bool { return s&(1<<uint(a)) != 0 }
+
+// With returns s ∪ {a}.
+func (s EventSet) With(a int) EventSet { return s | 1<<uint(a) }
+
+// Count returns the number of events in the set.
+func (s EventSet) Count() int { return bits.OnesCount32(uint32(s)) }
+
+// Format renders the set with event names, e.g. "{next, update}".
+func (s EventSet) Format(alphabet []string) string {
+	var names []string
+	for a := 0; a < len(alphabet); a++ {
+		if s.Has(a) {
+			names = append(names, alphabet[a])
+		}
+	}
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+// Sets maps each event symbol to its coenable (or enable) family: a
+// disjunction of event sets, minimized and with ∅ dropped (for coenable)
+// per the paper.
+type Sets [][]EventSet
+
+// Goal identifies the verdict categories of interest G ⊆ C.
+type Goal func(logic.Category) bool
+
+// GoalOf builds a Goal from a list of categories.
+func GoalOf(cats ...logic.Category) Goal {
+	m := map[logic.Category]bool{}
+	for _, c := range cats {
+		m[c] = true
+	}
+	return func(c logic.Category) bool { return m[c] }
+}
+
+// FromGraph computes COENABLE_{P,G} for the property monitored by the
+// explored finite state graph g, using the least fixed point of
+//
+//	SEEABLE(s) ⊇ {∅}                       if γ(s) ∈ G
+//	SEEABLE(s) ⊇ {{e} ∪ T | T ∈ SEEABLE(s')}   for σ(s,e) = s'
+//	COENABLE(e) = ⋃_{σ(s,e)=s'} SEEABLE(s')    for reachable s
+//
+// ∅ members are dropped from the result and each family is minimized by
+// absorption (a superset of another member is redundant in the ALIVENESS
+// disjunction).
+func FromGraph(g *logic.Graph, goal Goal) Sets {
+	n := g.NumStates()
+	na := len(g.Alphabet)
+	seeable := make([]map[EventSet]bool, n)
+	for s := 0; s < n; s++ {
+		seeable[s] = map[EventSet]bool{}
+		if goal(g.Cat[s]) {
+			seeable[s][0] = true
+		}
+	}
+	// Least fixed point: iterate until no set family grows. The domain is
+	// finite (families over P(E)) and the step function monotone.
+	for changed := true; changed; {
+		changed = false
+		for s := 0; s < n; s++ {
+			for a := 0; a < na; a++ {
+				s2 := g.Next[s][a]
+				for t := range seeable[s2] {
+					nt := t.With(a)
+					if !seeable[s][nt] {
+						seeable[s][nt] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	reach := reachable(g)
+	out := make(Sets, na)
+	for a := 0; a < na; a++ {
+		family := map[EventSet]bool{}
+		for s := 0; s < n; s++ {
+			if !reach[s] {
+				continue
+			}
+			s2 := g.Next[s][a]
+			for t := range seeable[s2] {
+				if t != 0 { // drop ∅ (paper §3)
+					family[t] = true
+				}
+			}
+		}
+		out[a] = Minimize(family)
+	}
+	return out
+}
+
+// EnableFromGraph computes ENABLE_{P,G}: for each event e, the family of
+// event sets that occur strictly before e in some goal trace. ∅ membership
+// is meaningful here (it marks e as a possible first event, i.e. a
+// "creation event") and is therefore kept; minimization keeps subsets
+// (the creation check is an equality test, so no absorption is applied).
+func EnableFromGraph(g *logic.Graph, goal Goal) Sets {
+	n := g.NumStates()
+	na := len(g.Alphabet)
+	pre := make([]map[EventSet]bool, n)
+	for s := 0; s < n; s++ {
+		pre[s] = map[EventSet]bool{}
+	}
+	pre[0][0] = true
+	for changed := true; changed; {
+		changed = false
+		for s := 0; s < n; s++ {
+			for a := 0; a < na; a++ {
+				s2 := g.Next[s][a]
+				for t := range pre[s] {
+					nt := t.With(a)
+					if !pre[s2][nt] {
+						pre[s2][nt] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	canReach := canReachGoal(g, goal)
+	out := make(Sets, na)
+	for a := 0; a < na; a++ {
+		family := map[EventSet]bool{}
+		for s := 0; s < n; s++ {
+			if len(pre[s]) == 0 {
+				continue // unreachable
+			}
+			s2 := g.Next[s][a]
+			if !canReach[s2] {
+				continue // the trace could never be completed into G
+			}
+			for t := range pre[s] {
+				family[t] = true
+			}
+		}
+		sets := make([]EventSet, 0, len(family))
+		for t := range family {
+			sets = append(sets, t)
+		}
+		sortSets(sets)
+		out[a] = sets
+	}
+	return out
+}
+
+// StateSeeable computes the per-state SEEABLE families (the coenable
+// information indexed by state rather than by event). This is the more
+// precise formulation the paper attributes to Tracematches — usable only
+// for finite-state monitors. ∅ members are dropped and families minimized;
+// a state with an empty family cannot reach the goal again.
+func StateSeeable(g *logic.Graph, goal Goal) [][]EventSet {
+	n := g.NumStates()
+	na := len(g.Alphabet)
+	seeable := make([]map[EventSet]bool, n)
+	for s := 0; s < n; s++ {
+		seeable[s] = map[EventSet]bool{}
+		if goal(g.Cat[s]) {
+			seeable[s][0] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for s := 0; s < n; s++ {
+			for a := 0; a < na; a++ {
+				s2 := g.Next[s][a]
+				for t := range seeable[s2] {
+					nt := t.With(a)
+					if !seeable[s][nt] {
+						seeable[s][nt] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	out := make([][]EventSet, n)
+	for s := 0; s < n; s++ {
+		fam := map[EventSet]bool{}
+		for t := range seeable[s] {
+			if t != 0 {
+				fam[t] = true
+			}
+		}
+		// A goal state's own ∅ is dropped like the event-indexed variant:
+		// the handler has run; only future goals justify retention. States
+		// that can reach a goal in ≥1 steps keep a nonempty family.
+		out[s] = Minimize(fam)
+	}
+	return out
+}
+
+// Minimize drops redundant supersets from a family: in the disjunction
+// ⋁_S ⋀_{x∈S} live_x a superset of another member is absorbed.
+func Minimize(family map[EventSet]bool) []EventSet {
+	sets := make([]EventSet, 0, len(family))
+	for t := range family {
+		sets = append(sets, t)
+	}
+	sortSets(sets)
+	var out []EventSet
+	for _, t := range sets {
+		redundant := false
+		for _, kept := range out {
+			if kept&t == kept { // kept ⊆ t
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func sortSets(sets []EventSet) {
+	sort.Slice(sets, func(i, j int) bool {
+		if sets[i].Count() != sets[j].Count() {
+			return sets[i].Count() < sets[j].Count()
+		}
+		return sets[i] < sets[j]
+	})
+}
+
+func reachable(g *logic.Graph) []bool {
+	n := g.NumStates()
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range g.Next[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+// CanReachGoal returns, per state, whether some state with a goal category
+// is reachable in zero or more steps.
+func CanReachGoal(g *logic.Graph, goal Goal) []bool { return canReachGoal(g, goal) }
+
+func canReachGoal(g *logic.Graph, goal Goal) []bool {
+	n := g.NumStates()
+	// Reverse reachability from goal states.
+	rev := make([][]int, n)
+	for s := 0; s < n; s++ {
+		for _, t := range g.Next[s] {
+			rev[t] = append(rev[t], s)
+		}
+	}
+	ok := make([]bool, n)
+	var stack []int
+	for s := 0; s < n; s++ {
+		if goal(g.Cat[s]) {
+			ok[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[s] {
+			if !ok[p] {
+				ok[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return ok
+}
+
+// ParamSets maps an event-set family through the parametric event
+// definition D : E → P(X) (Definition 11), yielding COENABLE^X families of
+// parameter sets, minimized by absorption.
+func ParamSets(s Sets, evParams []param.Set) [][]param.Set {
+	out := make([][]param.Set, len(s))
+	for a, family := range s {
+		seen := map[param.Set]bool{}
+		for _, t := range family {
+			var ps param.Set
+			for b := 0; b < len(evParams); b++ {
+				if t.Has(b) {
+					ps = ps.Union(evParams[b])
+				}
+			}
+			seen[ps] = true
+		}
+		out[a] = minimizeParams(seen)
+	}
+	return out
+}
+
+func minimizeParams(family map[param.Set]bool) []param.Set {
+	sets := make([]param.Set, 0, len(family))
+	for t := range family {
+		sets = append(sets, t)
+	}
+	sort.Slice(sets, func(i, j int) bool {
+		if sets[i].Count() != sets[j].Count() {
+			return sets[i].Count() < sets[j].Count()
+		}
+		return sets[i] < sets[j]
+	})
+	var out []param.Set
+	for _, t := range sets {
+		redundant := false
+		for _, kept := range out {
+			if kept.SubsetOf(t) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Alive evaluates the paper's ALIVENESS(e) formula for a monitor instance:
+//
+//	ALIVENESS(e) = ⋁_{S ∈ COENABLE^X(e)} ⋀_{x∈S} live_x
+//
+// where live_x is true if x is unbound in the instance (a future extension
+// instance may still bind it — §3 Discussion) or its bound object is alive.
+// bound is dom(θ) and aliveMask ⊆ bound the parameters whose objects live.
+func Alive(disjuncts []param.Set, bound, aliveMask param.Set) bool {
+	deadBound := bound.Diff(aliveMask)
+	for _, s := range disjuncts {
+		if s.Inter(deadBound).Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// FormatEventSets renders a coenable family for one event, Section 3 style:
+// "{next}, {next, update}".
+func FormatEventSets(family []EventSet, alphabet []string) string {
+	if len(family) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(family))
+	for i, t := range family {
+		parts[i] = t.Format(alphabet)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// FormatParamSets renders a parameter coenable family, e.g. "{i}, {c, i}".
+func FormatParamSets(family []param.Set, names []string) string {
+	if len(family) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(family))
+	for i, t := range family {
+		parts[i] = t.Format(names)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// AlivenessFormula renders the minimized boolean formula the engine
+// evaluates at runtime, e.g. "alive(i) ∨ (alive(c) ∧ alive(i))".
+func AlivenessFormula(disjuncts []param.Set, names []string) string {
+	if len(disjuncts) == 0 {
+		return "false"
+	}
+	terms := make([]string, len(disjuncts))
+	for i, s := range disjuncts {
+		var lits []string
+		for _, x := range s.Members() {
+			n := fmt.Sprintf("p%d", x)
+			if x < len(names) {
+				n = names[x]
+			}
+			lits = append(lits, "alive("+n+")")
+		}
+		if len(lits) == 0 {
+			terms[i] = "true"
+		} else if len(lits) == 1 {
+			terms[i] = lits[0]
+		} else {
+			terms[i] = "(" + strings.Join(lits, " ∧ ") + ")"
+		}
+	}
+	return strings.Join(terms, " ∨ ")
+}

@@ -1,0 +1,216 @@
+package coenable_test
+
+import (
+	"testing"
+
+	"rvgo/internal/coenable"
+	"rvgo/internal/ere"
+	"rvgo/internal/logic"
+	"rvgo/internal/param"
+)
+
+// unsafeIter builds the UNSAFEITER property of Figure 3:
+//
+//	ere: update* create next* update+ next
+//
+// over alphabet [create, update, next] with D(create)={c,i}, D(update)={c},
+// D(next)={i}.
+func unsafeIter(t *testing.T) (*ere.Monitor, []string) {
+	t.Helper()
+	alphabet := []string{"create", "update", "next"}
+	m, err := ere.Compile("update* create next* update+ next", alphabet)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m, alphabet
+}
+
+const (
+	symCreate = 0
+	symUpdate = 1
+	symNext   = 2
+)
+
+func toSet(alphabet []string, names ...string) coenable.EventSet {
+	var s coenable.EventSet
+	for _, n := range names {
+		for a, e := range alphabet {
+			if e == n {
+				s = s.With(a)
+			}
+		}
+	}
+	return s
+}
+
+// TestUnsafeIterCoenableEvents checks the worked example of Section 3:
+//
+//	COENABLE(create) = {{next, update}}
+//	COENABLE(update) = {{next}, {next, update}, {next, create, update}}
+//	COENABLE(next)   = {{next, update}}
+//
+// modulo minimization: {next, update} and {next, create, update} are
+// absorbed by {next} in update's family, since the paper itself translates
+// the sets to a minimized boolean formula for the ALIVENESS check.
+func TestUnsafeIterCoenableEvents(t *testing.T) {
+	m, alphabet := unsafeIter(t)
+	g, err := m.Explore(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := coenable.FromGraph(g, coenable.GoalOf(logic.Match))
+
+	want := map[int][]coenable.EventSet{
+		symCreate: {toSet(alphabet, "next", "update")},
+		symUpdate: {toSet(alphabet, "next")},
+		symNext:   {toSet(alphabet, "next", "update")},
+	}
+	for sym, w := range want {
+		got := sets[sym]
+		if len(got) != len(w) {
+			t.Fatalf("COENABLE(%s) = %s, want %s", alphabet[sym],
+				coenable.FormatEventSets(got, alphabet), coenable.FormatEventSets(w, alphabet))
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Errorf("COENABLE(%s)[%d] = %s, want %s", alphabet[sym], i,
+					got[i].Format(alphabet), w[i].Format(alphabet))
+			}
+		}
+	}
+}
+
+// TestUnsafeIterCoenableParams checks the parameter image (Definition 11):
+//
+//	COENABLE^X(create) = {{c, i}}
+//	COENABLE^X(update) = {{i}}            (minimized from {{i},{c,i}})
+//	COENABLE^X(next)   = {{c, i}}
+func TestUnsafeIterCoenableParams(t *testing.T) {
+	m, _ := unsafeIter(t)
+	g, err := m.Explore(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := coenable.FromGraph(g, coenable.GoalOf(logic.Match))
+
+	const (
+		pC = 0
+		pI = 1
+	)
+	evParams := []param.Set{
+		symCreate: param.SetOf(pC, pI),
+		symUpdate: param.SetOf(pC),
+		symNext:   param.SetOf(pI),
+	}
+	ps := coenable.ParamSets(sets, evParams)
+
+	want := map[int][]param.Set{
+		symCreate: {param.SetOf(pC, pI)},
+		symUpdate: {param.SetOf(pI)},
+		symNext:   {param.SetOf(pC, pI)},
+	}
+	names := []string{"c", "i"}
+	for sym, w := range want {
+		got := ps[sym]
+		if len(got) != len(w) {
+			t.Fatalf("COENABLE^X(sym %d) = %s, want %s", sym,
+				coenable.FormatParamSets(got, names), coenable.FormatParamSets(w, names))
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Errorf("COENABLE^X(sym %d)[%d] = %s, want %s", sym, i,
+					got[i].Format(names), w[i].Format(names))
+			}
+		}
+	}
+}
+
+// TestUnsafeIterAliveness reproduces the paper's motivating scenario: a
+// monitor for ⟨c1, i1⟩ whose last event was update becomes unnecessary the
+// moment the Iterator dies, even while the Collection lives on — the case
+// JavaMOP could not collect.
+func TestUnsafeIterAliveness(t *testing.T) {
+	m, _ := unsafeIter(t)
+	g, err := m.Explore(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		pC = 0
+		pI = 1
+	)
+	evParams := []param.Set{
+		symCreate: param.SetOf(pC, pI),
+		symUpdate: param.SetOf(pC),
+		symNext:   param.SetOf(pI),
+	}
+	ps := coenable.ParamSets(coenable.FromGraph(g, coenable.GoalOf(logic.Match)), evParams)
+
+	bound := param.SetOf(pC, pI)
+	// Both alive: necessary.
+	if !coenable.Alive(ps[symUpdate], bound, param.SetOf(pC, pI)) {
+		t.Error("monitor with both objects alive must be kept")
+	}
+	// Iterator dead, Collection alive: collectable after any event.
+	for sym := range evParams {
+		if coenable.Alive(ps[sym], bound, param.SetOf(pC)) {
+			t.Errorf("after %d, dead iterator must make the monitor collectable", sym)
+		}
+	}
+	// Collection dead, Iterator alive, last event update: still collectable
+	// since every disjunct needs {i} at minimum... {i} alive ⇒ kept.
+	if !coenable.Alive(ps[symUpdate], bound, param.SetOf(pI)) {
+		t.Error("after update, live iterator alone keeps the monitor (COENABLE^X(update) ∋ {i})")
+	}
+	// Partial instance ⟨c⟩ with c alive: unbound i counts as live.
+	if !coenable.Alive(ps[symUpdate], param.SetOf(pC), param.SetOf(pC)) {
+		t.Error("partial instance with unbound i must be kept (future extensions possible)")
+	}
+}
+
+// TestEnableSetsUnsafeIter checks the creation-event analysis: update and
+// create can begin a goal trace (∅ ∈ ENABLE), next cannot.
+func TestEnableSetsUnsafeIter(t *testing.T) {
+	m, alphabet := unsafeIter(t)
+	g, err := m.Explore(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := coenable.EnableFromGraph(g, coenable.GoalOf(logic.Match))
+
+	hasEmpty := func(sym int) bool {
+		for _, s := range en[sym] {
+			if s == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEmpty(symCreate) {
+		t.Errorf("create must be a creation event; ENABLE = %s", coenable.FormatEventSets(en[symCreate], alphabet))
+	}
+	if !hasEmpty(symUpdate) {
+		t.Errorf("update must be a creation event; ENABLE = %s", coenable.FormatEventSets(en[symUpdate], alphabet))
+	}
+	if hasEmpty(symNext) {
+		t.Errorf("next must not be a creation event; ENABLE = %s", coenable.FormatEventSets(en[symNext], alphabet))
+	}
+	// ENABLE(next) must require create to have occurred (create ∈ every set).
+	for _, s := range en[symNext] {
+		if !s.Has(symCreate) {
+			t.Errorf("ENABLE(next) contains %s without create", s.Format(alphabet))
+		}
+	}
+}
+
+// TestAlivenessFormula spot-checks the rendered minimized boolean formula.
+func TestAlivenessFormula(t *testing.T) {
+	names := []string{"c", "i"}
+	f := coenable.AlivenessFormula([]param.Set{param.SetOf(1), param.SetOf(0, 1)}, names)
+	if f != "alive(i) ∨ (alive(c) ∧ alive(i))" {
+		t.Errorf("formula = %q", f)
+	}
+	if coenable.AlivenessFormula(nil, names) != "false" {
+		t.Error("empty disjunction must render false")
+	}
+}

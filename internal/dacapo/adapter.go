@@ -1,0 +1,116 @@
+package dacapo
+
+import (
+	"fmt"
+
+	"rvgo/internal/heap"
+)
+
+// Emitter is the property-event half of an adapter: the RV and JavaMOP
+// engines and the tracematch engine all satisfy it.
+type Emitter interface {
+	EmitNamed(event string, vals ...heap.Ref) error
+}
+
+// Adapt translates instrumentation events into the parametric events of a
+// named property, mirroring the AspectJ pointcuts of §1's figures. It
+// returns a Sink that feeds the emitter. Unknown properties are an error.
+func Adapt(property string, em Emitter) (Sink, error) {
+	emit := func(event string, vals ...heap.Ref) {
+		if err := em.EmitNamed(event, vals...); err != nil {
+			panic(fmt.Sprintf("dacapo: adapter for %s: %v", property, err))
+		}
+	}
+	switch property {
+	case "HasNext", "HasNextLTL":
+		return func(ev Event) {
+			switch ev.Op {
+			case OpIterHasNext:
+				if ev.Flag {
+					emit("hasnexttrue", ev.Iter)
+				} else {
+					emit("hasnextfalse", ev.Iter)
+				}
+			case OpIterNext:
+				emit("next", ev.Iter)
+			}
+		}, nil
+
+	case "UnsafeIter":
+		return func(ev Event) {
+			switch ev.Op {
+			case OpIterCreate:
+				emit("create", ev.Coll, ev.Iter)
+			case OpCollUpdate:
+				emit("update", ev.Coll)
+			case OpIterNext:
+				emit("next", ev.Iter)
+			}
+		}, nil
+
+	case "UnsafeMapIter":
+		return func(ev Event) {
+			switch ev.Op {
+			case OpMapView:
+				emit("createColl", ev.Map, ev.Coll)
+			case OpIterCreate:
+				if ev.IsView {
+					emit("createIter", ev.Coll, ev.Iter)
+				}
+			case OpIterNext:
+				emit("useIter", ev.Iter)
+			case OpMapUpdate:
+				emit("updateMap", ev.Map)
+			}
+		}, nil
+
+	case "UnsafeSyncColl":
+		return func(ev Event) {
+			switch ev.Op {
+			case OpCollSync:
+				emit("sync", ev.Coll)
+			case OpIterCreate:
+				if ev.Flag {
+					emit("syncCreateIter", ev.Coll, ev.Iter)
+				} else {
+					emit("asyncCreateIter", ev.Coll, ev.Iter)
+				}
+			case OpIterNext:
+				if ev.Flag {
+					emit("syncAccess", ev.Iter)
+				} else {
+					emit("asyncAccess", ev.Iter)
+				}
+			}
+		}, nil
+
+	case "UnsafeSyncMap":
+		return func(ev Event) {
+			switch ev.Op {
+			case OpMapSync:
+				emit("sync", ev.Map)
+			case OpMapView:
+				emit("createSet", ev.Map, ev.Coll)
+			case OpIterCreate:
+				if !ev.IsView {
+					return
+				}
+				if ev.Flag {
+					emit("syncCreateIter", ev.Coll, ev.Iter)
+				} else {
+					emit("asyncCreateIter", ev.Coll, ev.Iter)
+				}
+			case OpIterNext:
+				if !ev.IsView {
+					return
+				}
+				if ev.Flag {
+					emit("syncAccess", ev.Iter)
+				} else {
+					emit("asyncAccess", ev.Iter)
+				}
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("dacapo: no adapter for property %q", property)
+}

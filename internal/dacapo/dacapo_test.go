@@ -1,0 +1,160 @@
+package dacapo_test
+
+import (
+	"testing"
+	"time"
+
+	"rvgo/internal/dacapo"
+	"rvgo/internal/monitor"
+	"rvgo/internal/props"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	names := dacapo.Benchmarks()
+	if len(names) != 15 {
+		t.Fatalf("want the 15 DaCapo benchmarks, have %d", len(names))
+	}
+	for _, n := range names {
+		p, ok := dacapo.Get(n)
+		if !ok {
+			t.Fatalf("missing profile %q", n)
+		}
+		if p.Collections < 1 || p.OpsPerIter < 1 {
+			t.Fatalf("%s: degenerate profile %+v", n, p)
+		}
+	}
+	if _, ok := dacapo.Get("nosuch"); ok {
+		t.Fatal("unknown benchmark must not resolve")
+	}
+	if len(dacapo.All()) != 15 {
+		t.Fatal("All() must return every profile")
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	count := func() (events int, creates int) {
+		rt := dacapo.NewRuntime()
+		rt.AddSink(func(ev dacapo.Event) {
+			events++
+			if ev.Op == dacapo.OpIterCreate {
+				creates++
+			}
+		})
+		p, _ := dacapo.Get("avrora")
+		if err := p.Run(rt, 0.02); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	e1, c1 := count()
+	e2, c2 := count()
+	if e1 != e2 || c1 != c2 {
+		t.Fatalf("workload not deterministic: (%d,%d) vs (%d,%d)", e1, c1, e2, c2)
+	}
+	if e1 == 0 || c1 == 0 {
+		t.Fatal("workload emitted nothing")
+	}
+}
+
+// TestLifetimeShape: iterators die before their collections — the paper's
+// central assumption about real programs.
+func TestLifetimeShape(t *testing.T) {
+	rt := dacapo.NewRuntime()
+	deadIterCreates := 0
+	rt.AddSink(func(ev dacapo.Event) {
+		if ev.Op == dacapo.OpIterCreate && !ev.Coll.Alive() {
+			deadIterCreates++
+		}
+	})
+	p, _ := dacapo.Get("bloat")
+	if err := p.Run(rt, 0.005); err != nil {
+		t.Fatal(err)
+	}
+	if deadIterCreates != 0 {
+		t.Fatal("events must never mention dead objects")
+	}
+	live, allocs, frees := rt.Heap.Stats()
+	if live != 0 {
+		t.Fatalf("workload leaked %d objects", live)
+	}
+	if allocs == 0 || frees != allocs {
+		t.Fatalf("allocs=%d frees=%d", allocs, frees)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	rt := dacapo.NewRuntime()
+	rt.SetDeadline(time.Now().Add(-time.Second)) // already expired
+	p, _ := dacapo.Get("bloat")
+	err := p.Run(rt, 0.05)
+	if err != dacapo.ErrTimeout || !rt.TimedOut() {
+		t.Fatalf("err = %v, timedOut = %v", err, rt.TimedOut())
+	}
+}
+
+// TestAdaptersDriveProperties: every DaCapo property receives events from
+// the instrumented workload and creates monitors.
+func TestAdaptersDriveProperties(t *testing.T) {
+	for _, prop := range props.DaCapoProperties() {
+		spec, err := props.Build(prop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := monitor.New(spec, monitor.Options{GC: monitor.GCCoenable, Creation: monitor.CreateEnable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink, err := dacapo.Adapt(prop, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := dacapo.NewRuntime()
+		rt.AddSink(sink)
+		p, _ := dacapo.Get("bloat")
+		if err := p.Run(rt, 0.01); err != nil {
+			t.Fatal(err)
+		}
+		eng.Flush()
+		st := eng.Stats()
+		if st.Events == 0 {
+			t.Errorf("%s: no events reached the engine", prop)
+		}
+		if st.Created == 0 {
+			t.Errorf("%s: no monitors created", prop)
+		}
+	}
+	if _, err := dacapo.Adapt("NoSuch", nil); err == nil {
+		t.Fatal("unknown property must error")
+	}
+}
+
+// TestUnsafeShareProducesViolations: the bloat profile's unsafe walks
+// produce UNSAFEITER matches, as the paper observed real violations in
+// DaCapo.
+func TestUnsafeShareProducesViolations(t *testing.T) {
+	spec, err := props.Build("UnsafeIter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := 0
+	eng, err := monitor.New(spec, monitor.Options{
+		GC: monitor.GCCoenable, Creation: monitor.CreateEnable,
+		OnVerdict: func(monitor.Verdict) { verdicts++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := dacapo.Adapt("UnsafeIter", eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := dacapo.NewRuntime()
+	rt.AddSink(sink)
+	p, _ := dacapo.Get("bloat")
+	if err := p.Run(rt, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if verdicts == 0 {
+		t.Fatal("expected some injected UNSAFEITER violations")
+	}
+}

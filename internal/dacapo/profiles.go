@@ -1,0 +1,61 @@
+package dacapo
+
+import "sort"
+
+// profiles models the fifteen DaCapo benchmarks of the paper's Figure 9/10
+// at Scale 1.0 ≈ 1/50 of the paper's event volumes. The calibration
+// targets, from Figure 10 and §5.2:
+//
+//   - bloat: the pathological case — ~1.6 M collections, ~941 K iterators,
+//     78 M hasNext / 77 M next calls, ~19.6 K collections coexisting; very
+//     little application work per event, so monitoring dominates.
+//   - avrora, pmd: millions of events, many short iterations, large live
+//     windows (high retention for JavaMOP-style GC).
+//   - h2: tens of millions of events but short-lived monitor instances
+//     ("monitor instances in h2 have shorter lifetimes").
+//   - sunflow: millions of events, few monitor instances (long walks).
+//   - eclipse, tomcat, trade*: compute-bound, negligible event rates —
+//     the near-zero-overhead rows.
+//   - xalan: tiny iterator traffic but map-view heavy.
+var profiles = map[string]Profile{
+	"bloat":      {Name: "bloat", Collections: 16000, LiveWindow: 400, ItersPerColl: 4, OpsPerIter: 40, UpdatesPerColl: 8, MapShare: 0.30, SyncShare: 0.30, UnsafeShare: 0.002, Work: 100, Seed: 101},
+	"jython":     {Name: "jython", Collections: 3, LiveWindow: 2, ItersPerColl: 1, OpsPerIter: 1, UpdatesPerColl: 1, MapShare: 0.5, SyncShare: 0.2, UnsafeShare: 0, Work: 400, BaseWork: 6_000_000, Seed: 102},
+	"avrora":     {Name: "avrora", Collections: 4000, LiveWindow: 120, ItersPerColl: 2.0, OpsPerIter: 1, UpdatesPerColl: 3, MapShare: 0.35, SyncShare: 0.35, UnsafeShare: 0.001, Work: 250, Seed: 103},
+	"batik":      {Name: "batik", Collections: 120, LiveWindow: 16, ItersPerColl: 1, OpsPerIter: 3, UpdatesPerColl: 1, MapShare: 0.3, SyncShare: 0.3, UnsafeShare: 0, Work: 150, BaseWork: 100_000, Seed: 104},
+	"eclipse":    {Name: "eclipse", Collections: 400, LiveWindow: 32, ItersPerColl: 1.4, OpsPerIter: 3, UpdatesPerColl: 1, MapShare: 0.3, SyncShare: 0.3, UnsafeShare: 0, Work: 400, BaseWork: 250_000, Seed: 105},
+	"fop":        {Name: "fop", Collections: 1500, LiveWindow: 64, ItersPerColl: 1.5, OpsPerIter: 3, UpdatesPerColl: 1.5, MapShare: 0.3, SyncShare: 0.35, UnsafeShare: 0, Work: 120, BaseWork: 10_000, Seed: 106},
+	"h2":         {Name: "h2", Collections: 30000, LiveWindow: 40, ItersPerColl: 2, OpsPerIter: 3, UpdatesPerColl: 1, MapShare: 0.25, SyncShare: 0.25, UnsafeShare: 0, Work: 180, Seed: 107},
+	"luindex":    {Name: "luindex", Collections: 2, LiveWindow: 2, ItersPerColl: 1, OpsPerIter: 1, UpdatesPerColl: 1, MapShare: 0.3, SyncShare: 0.3, UnsafeShare: 0, Work: 500, BaseWork: 5_000_000, Seed: 108},
+	"lusearch":   {Name: "lusearch", Collections: 4, LiveWindow: 2, ItersPerColl: 1, OpsPerIter: 2, UpdatesPerColl: 1, MapShare: 0.3, SyncShare: 0.3, UnsafeShare: 0, Work: 600, BaseWork: 4_000_000, Seed: 109},
+	"pmd":        {Name: "pmd", Collections: 9000, LiveWindow: 700, ItersPerColl: 1.5, OpsPerIter: 7, UpdatesPerColl: 4, MapShare: 0.35, SyncShare: 0.3, UnsafeShare: 0.001, Work: 90, Seed: 110},
+	"sunflow":    {Name: "sunflow", Collections: 1000, LiveWindow: 24, ItersPerColl: 1, OpsPerIter: 26, UpdatesPerColl: 0.5, MapShare: 0.2, SyncShare: 0.2, UnsafeShare: 0, Work: 450, BaseWork: 20_000, Seed: 111},
+	"tomcat":     {Name: "tomcat", Collections: 2, LiveWindow: 2, ItersPerColl: 1, OpsPerIter: 1, UpdatesPerColl: 1, MapShare: 0.5, SyncShare: 0.5, UnsafeShare: 0, Work: 700, BaseWork: 5_000_000, Seed: 112},
+	"tradebeans": {Name: "tradebeans", Collections: 2, LiveWindow: 2, ItersPerColl: 1, OpsPerIter: 1, UpdatesPerColl: 1, MapShare: 0.5, SyncShare: 0.5, UnsafeShare: 0, Work: 900, BaseWork: 8_000_000, Seed: 113},
+	"tradesoap":  {Name: "tradesoap", Collections: 2, LiveWindow: 2, ItersPerColl: 1, OpsPerIter: 1, UpdatesPerColl: 1, MapShare: 0.5, SyncShare: 0.5, UnsafeShare: 0, Work: 900, BaseWork: 8_000_000, Seed: 114},
+	"xalan":      {Name: "xalan", Collections: 30, LiveWindow: 8, ItersPerColl: 1, OpsPerIter: 1, UpdatesPerColl: 2, MapShare: 0.9, SyncShare: 0.3, UnsafeShare: 0, Work: 250, BaseWork: 500_000, Seed: 115},
+}
+
+// Benchmarks returns the benchmark names in the paper's row order.
+func Benchmarks() []string {
+	return []string{
+		"bloat", "jython", "avrora", "batik", "eclipse", "fop", "h2",
+		"luindex", "lusearch", "pmd", "sunflow", "tomcat", "tradebeans",
+		"tradesoap", "xalan",
+	}
+}
+
+// Get returns the profile for a benchmark name.
+func Get(name string) (Profile, bool) {
+	p, ok := profiles[name]
+	return p, ok
+}
+
+// All returns all profiles sorted by name.
+func All() []Profile {
+	var out []Profile
+	for _, p := range profiles {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

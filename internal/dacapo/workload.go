@@ -1,0 +1,155 @@
+package dacapo
+
+import (
+	"math/rand"
+)
+
+// Profile is a synthetic workload model for one DaCapo benchmark. The
+// knobs are calibrated per benchmark in profiles.go so that, at Scale 1.0,
+// the event volumes are roughly 1/50 of the paper's Figure 10 and the
+// monitor-to-event ratios and object-lifetime shapes are preserved.
+type Profile struct {
+	Name string
+	// Collections is the number of collections (or map views) allocated
+	// over the run at scale 1.0.
+	Collections int
+	// LiveWindow is how many collections coexist; older ones are freed as
+	// new ones arrive (collections outliving iterators is the pathology
+	// that motivates the paper).
+	LiveWindow int
+	// ItersPerColl is the mean number of iterators taken per collection.
+	ItersPerColl float64
+	// OpsPerIter is the number of elements walked per iterator (each
+	// element is one hasNext(true) + next pair, ended by hasNext(false)).
+	OpsPerIter int
+	// UpdatesPerColl is the mean number of collection updates per
+	// collection lifetime (emitted between iterations — safe).
+	UpdatesPerColl float64
+	// MapShare is the fraction of collections that are map views (feeding
+	// the UNSAFEMAPITER / UNSAFESYNCMAP properties).
+	MapShare float64
+	// SyncShare is the fraction of maps/collections that are synchronized.
+	SyncShare float64
+	// UnsafeShare is the fraction of iterations that interleave an update
+	// inside the walk — real violations, as the paper found in DaCapo.
+	UnsafeShare float64
+	// Work is the application busywork per instrumented operation; large
+	// values model compute-bound benchmarks with negligible monitoring
+	// overhead (eclipse, tradesoap), small values the iterator-bound ones
+	// (bloat, pmd). One unit ≈ 2ns.
+	Work int
+	// BaseWork is uninstrumented application work per collection step,
+	// giving compute-bound benchmarks a stable baseline runtime even when
+	// they emit almost no events.
+	BaseWork int
+	Seed     int64
+}
+
+type ringEntry struct {
+	coll *Collection
+	m    *MapObj
+}
+
+// Run executes the workload against the runtime at the given scale.
+// It returns ErrTimeout if the runtime's deadline was exceeded.
+func (p Profile) Run(rt *Runtime, scale float64) error {
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := int(float64(p.Collections) * scale)
+	if n < 1 {
+		n = 1
+	}
+	// The live window is a property of the program, not of the input
+	// size: scaling it down would mask the retention pathology (§1) that
+	// long-lived collections inflict on all-parameters-dead GC.
+	window := p.LiveWindow
+	if window < 2 {
+		window = 2
+	}
+
+	ring := make([]ringEntry, 0, window)
+	evict := func() {
+		e := ring[0]
+		ring = ring[:copy(ring, ring[1:])]
+		e.coll.Free()
+		if e.m != nil {
+			e.m.Free()
+		}
+	}
+
+	for k := 0; k < n; k++ {
+		if rt.checkDeadline() {
+			return ErrTimeout
+		}
+		rt.work(p.Work + p.BaseWork)
+
+		// Allocate a plain collection or a map with a view.
+		var entry ringEntry
+		size := p.OpsPerIter
+		if rng.Float64() < p.MapShare {
+			m := rt.NewMap(size)
+			if rng.Float64() < p.SyncShare {
+				m.Sync()
+			}
+			entry = ringEntry{coll: m.Values(), m: m}
+		} else {
+			c := rt.NewCollection(size)
+			if rng.Float64() < p.SyncShare {
+				c.Sync()
+			}
+			entry = ringEntry{coll: c}
+		}
+		ring = append(ring, entry)
+		if len(ring) > window {
+			evict()
+		}
+
+		// Iterate a (possibly older) live collection: iterator lifetimes
+		// are short, collection lifetimes long.
+		iters := countFor(rng, p.ItersPerColl)
+		for j := 0; j < iters; j++ {
+			target := ring[rng.Intn(len(ring))]
+			c := target.coll
+			inSync := !c.synced || rng.Float64() < 0.95
+			it := c.Iterator(inSync && c.synced)
+			unsafeWalk := rng.Float64() < p.UnsafeShare
+			for e := 0; e < p.OpsPerIter; e++ {
+				if !it.HasNext() {
+					break
+				}
+				it.Next(inSync && c.synced)
+				rt.work(p.Work)
+				if unsafeWalk && e == p.OpsPerIter/2 {
+					// The UNSAFEITER violation: update mid-walk, then keep
+					// using the iterator.
+					c.Update()
+				}
+				if rt.checkDeadline() {
+					it.Free()
+					return ErrTimeout
+				}
+			}
+			it.HasNext() // the final hasnextfalse probe
+			it.Free()    // iterators die young
+		}
+
+		// Safe updates between iterations.
+		updates := countFor(rng, p.UpdatesPerColl)
+		for u := 0; u < updates; u++ {
+			ring[rng.Intn(len(ring))].coll.Update()
+		}
+	}
+	for len(ring) > 0 {
+		evict()
+	}
+	return nil
+}
+
+// countFor draws an integer with the given mean: the integer part plus a
+// Bernoulli fractional part.
+func countFor(rng *rand.Rand, mean float64) int {
+	nInt := int(mean)
+	if rng.Float64() < mean-float64(nInt) {
+		nInt++
+	}
+	return nInt
+}

@@ -1,0 +1,251 @@
+// Package ere implements the extended-regular-expression plugin of the RV
+// system (the `ere:` blocks of Figure 3). EREs extend regular expressions
+// with intersection (&) and complement (~). The monitor is the minimal-ish
+// DFA obtained from Brzozowski derivatives over canonicalized terms, which
+// handles & and ~ without a powerset construction.
+//
+// Verdicts: a state whose expression is nullable is a match; a state from
+// which no string is accepted is fail; otherwise ? (unknown). Matching is
+// prefix-incremental: every prefix of the trace is classified, so a handler
+// fires at each match, as in JavaMOP's ERE plugin.
+package ere
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is a canonicalized ERE term. Exprs are interned by their printed
+// form during DFA construction, so structural equality after smart
+// constructors is what bounds the derivative state space.
+type Expr interface {
+	// nullable reports whether the empty trace is in the language.
+	nullable() bool
+	// deriv returns the Brzozowski derivative with respect to symbol a.
+	deriv(a int) Expr
+	// key renders a canonical form (used to identify DFA states).
+	key() string
+}
+
+type (
+	emptyExpr struct{}            // ∅: no traces
+	epsExpr   struct{}            // ε: the empty trace
+	symExpr   struct{ a int }     // single event
+	catExpr   struct{ l, r Expr } // concatenation (right-nested)
+	altExpr   struct{ xs []Expr } // union, flattened/sorted/deduped
+	andExpr   struct{ xs []Expr } // intersection, flattened/sorted/deduped
+	starExpr  struct{ x Expr }
+	notExpr   struct{ x Expr }
+)
+
+// Empty is the empty language ∅.
+var Empty Expr = emptyExpr{}
+
+// Eps is the language {ε}.
+var Eps Expr = epsExpr{}
+
+// Sym returns the single-event expression for symbol a.
+func Sym(a int) Expr { return symExpr{a} }
+
+// Cat concatenates expressions, applying the identities ∅·r = ∅, ε·r = r.
+func Cat(l, r Expr) Expr {
+	if l == Empty || r == Empty {
+		return Empty
+	}
+	if l == Eps {
+		return r
+	}
+	if r == Eps {
+		return l
+	}
+	// Right-nest so printed forms are canonical.
+	if lc, ok := l.(catExpr); ok {
+		return catExpr{lc.l, Cat(lc.r, r)}
+	}
+	return catExpr{l, r}
+}
+
+// CatAll concatenates a sequence.
+func CatAll(xs ...Expr) Expr {
+	r := Eps
+	for i := len(xs) - 1; i >= 0; i-- {
+		r = Cat(xs[i], r)
+	}
+	return r
+}
+
+// Alt builds a canonical union: flattened, deduplicated, sorted, with ∅
+// dropped.
+func Alt(xs ...Expr) Expr {
+	flat := flatten(xs, func(e Expr) ([]Expr, bool) {
+		if a, ok := e.(altExpr); ok {
+			return a.xs, true
+		}
+		return nil, false
+	})
+	seen := map[string]bool{}
+	var keep []Expr
+	for _, e := range flat {
+		if e == Empty {
+			continue
+		}
+		k := e.key()
+		if !seen[k] {
+			seen[k] = true
+			keep = append(keep, e)
+		}
+	}
+	switch len(keep) {
+	case 0:
+		return Empty
+	case 1:
+		return keep[0]
+	}
+	sortExprs(keep)
+	return altExpr{keep}
+}
+
+// And builds a canonical intersection: flattened, deduplicated, sorted; if
+// any operand is ∅ the result is ∅.
+func And(xs ...Expr) Expr {
+	flat := flatten(xs, func(e Expr) ([]Expr, bool) {
+		if a, ok := e.(andExpr); ok {
+			return a.xs, true
+		}
+		return nil, false
+	})
+	seen := map[string]bool{}
+	var keep []Expr
+	for _, e := range flat {
+		if e == Empty {
+			return Empty
+		}
+		k := e.key()
+		if !seen[k] {
+			seen[k] = true
+			keep = append(keep, e)
+		}
+	}
+	switch len(keep) {
+	case 0:
+		return Not(Empty) // intersection of nothing: everything
+	case 1:
+		return keep[0]
+	}
+	sortExprs(keep)
+	return andExpr{keep}
+}
+
+// Star returns x*, applying ∅* = ε* = ε and (x*)* = x*.
+func Star(x Expr) Expr {
+	switch x := x.(type) {
+	case emptyExpr, epsExpr:
+		return Eps
+	case starExpr:
+		return x
+	}
+	return starExpr{x}
+}
+
+// Plus returns x+ = x·x*.
+func Plus(x Expr) Expr { return Cat(x, Star(x)) }
+
+// Opt returns x? = x | ε.
+func Opt(x Expr) Expr { return Alt(x, Eps) }
+
+// Not returns the complement ¬x, applying ¬¬x = x.
+func Not(x Expr) Expr {
+	if n, ok := x.(notExpr); ok {
+		return n.x
+	}
+	return notExpr{x}
+}
+
+func flatten(xs []Expr, split func(Expr) ([]Expr, bool)) []Expr {
+	var out []Expr
+	for _, e := range xs {
+		if sub, ok := split(e); ok {
+			out = append(out, sub...)
+		} else {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func sortExprs(xs []Expr) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i].key() < xs[j].key() })
+}
+
+func (emptyExpr) nullable() bool { return false }
+func (epsExpr) nullable() bool   { return true }
+func (symExpr) nullable() bool   { return false }
+func (e catExpr) nullable() bool { return e.l.nullable() && e.r.nullable() }
+func (e altExpr) nullable() bool {
+	for _, x := range e.xs {
+		if x.nullable() {
+			return true
+		}
+	}
+	return false
+}
+func (e andExpr) nullable() bool {
+	for _, x := range e.xs {
+		if !x.nullable() {
+			return false
+		}
+	}
+	return true
+}
+func (starExpr) nullable() bool  { return true }
+func (e notExpr) nullable() bool { return !e.x.nullable() }
+
+func (emptyExpr) deriv(int) Expr { return Empty }
+func (epsExpr) deriv(int) Expr   { return Empty }
+func (e symExpr) deriv(a int) Expr {
+	if e.a == a {
+		return Eps
+	}
+	return Empty
+}
+func (e catExpr) deriv(a int) Expr {
+	d := Cat(e.l.deriv(a), e.r)
+	if e.l.nullable() {
+		return Alt(d, e.r.deriv(a))
+	}
+	return d
+}
+func (e altExpr) deriv(a int) Expr {
+	ds := make([]Expr, len(e.xs))
+	for i, x := range e.xs {
+		ds[i] = x.deriv(a)
+	}
+	return Alt(ds...)
+}
+func (e andExpr) deriv(a int) Expr {
+	ds := make([]Expr, len(e.xs))
+	for i, x := range e.xs {
+		ds[i] = x.deriv(a)
+	}
+	return And(ds...)
+}
+func (e starExpr) deriv(a int) Expr { return Cat(e.x.deriv(a), starExpr{e.x}) }
+func (e notExpr) deriv(a int) Expr  { return Not(e.x.deriv(a)) }
+
+func (emptyExpr) key() string  { return "0" }
+func (epsExpr) key() string    { return "e" }
+func (e symExpr) key() string  { return fmt.Sprintf("s%d", e.a) }
+func (e catExpr) key() string  { return "(" + e.l.key() + "." + e.r.key() + ")" }
+func (e altExpr) key() string  { return "(" + joinKeys(e.xs, "|") + ")" }
+func (e andExpr) key() string  { return "(" + joinKeys(e.xs, "&") + ")" }
+func (e starExpr) key() string { return e.x.key() + "*" }
+func (e notExpr) key() string  { return "~" + e.x.key() }
+
+func joinKeys(xs []Expr, sep string) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = x.key()
+	}
+	return strings.Join(parts, sep)
+}

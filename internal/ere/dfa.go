@@ -1,0 +1,137 @@
+package ere
+
+import (
+	"fmt"
+
+	"rvgo/internal/logic"
+)
+
+// DefaultStateLimit bounds the number of derivative states; EREs over
+// monitoring alphabets are tiny, so exceeding this indicates a bug or a
+// pathological pattern.
+const DefaultStateLimit = 1 << 14
+
+// Monitor is the DFA monitor for an ERE pattern. It implements
+// logic.Explorable. State categories: match for nullable states, fail for
+// states whose language is empty (no suffix can ever match again), and ?
+// otherwise.
+type Monitor struct {
+	alphabet []string
+	graph    *logic.Graph
+	expr     Expr
+}
+
+// Compile builds a DFA monitor from a pattern string.
+func Compile(pattern string, alphabet []string) (*Monitor, error) {
+	e, err := Parse(pattern, alphabet)
+	if err != nil {
+		return nil, err
+	}
+	return CompileExpr(e, alphabet)
+}
+
+// CompileExpr builds a DFA monitor from an already-constructed expression.
+func CompileExpr(e Expr, alphabet []string) (*Monitor, error) {
+	g, err := buildDFA(e, alphabet, DefaultStateLimit)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{alphabet: alphabet, graph: g, expr: e}, nil
+}
+
+func buildDFA(root Expr, alphabet []string, limit int) (*logic.Graph, error) {
+	index := map[string]int{}
+	var states []Expr
+	g := &logic.Graph{Alphabet: alphabet}
+
+	add := func(e Expr) (int, error) {
+		k := e.key()
+		if i, ok := index[k]; ok {
+			return i, nil
+		}
+		if len(states) >= limit {
+			return 0, fmt.Errorf("ere: derivative DFA exceeded %d states", limit)
+		}
+		i := len(states)
+		index[k] = i
+		states = append(states, e)
+		g.Next = append(g.Next, make([]int, len(alphabet)))
+		g.Cat = append(g.Cat, logic.Unknown) // fixed up below
+		return i, nil
+	}
+
+	if _, err := add(root); err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(states); i++ {
+		for a := range alphabet {
+			j, err := add(states[i].deriv(a))
+			if err != nil {
+				return nil, err
+			}
+			g.Next[i][a] = j
+		}
+	}
+
+	// Categories: match for nullable; fail for states that cannot reach a
+	// nullable state (their language is empty, so no extension can match).
+	liveToMatch := make([]bool, len(states))
+	for changed := true; changed; {
+		changed = false
+		for i, e := range states {
+			if liveToMatch[i] {
+				continue
+			}
+			if e.nullable() {
+				liveToMatch[i] = true
+				changed = true
+				continue
+			}
+			for a := range alphabet {
+				if liveToMatch[g.Next[i][a]] {
+					liveToMatch[i] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for i, e := range states {
+		switch {
+		case e.nullable():
+			g.Cat[i] = logic.Match
+		case !liveToMatch[i]:
+			g.Cat[i] = logic.Fail
+		default:
+			g.Cat[i] = logic.Unknown
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Alphabet implements logic.Blueprint.
+func (m *Monitor) Alphabet() []string { return m.alphabet }
+
+// Start implements logic.Blueprint.
+func (m *Monitor) Start() logic.State { return logic.GraphState{G: m.graph, S: 0} }
+
+// Categories implements logic.Blueprint.
+func (m *Monitor) Categories() []logic.Category {
+	return logic.GraphBlueprint{G: m.graph}.Categories()
+}
+
+// Explore implements logic.Explorable.
+func (m *Monitor) Explore(limit int) (*logic.Graph, error) {
+	if m.graph.NumStates() > limit {
+		return nil, fmt.Errorf("ere: %d states exceeds limit %d", m.graph.NumStates(), limit)
+	}
+	return m.graph, nil
+}
+
+// NumStates returns the DFA size (for tests and diagnostics).
+func (m *Monitor) NumStates() int { return m.graph.NumStates() }
+
+var _ logic.Explorable = (*Monitor)(nil)

@@ -1,0 +1,49 @@
+package ere
+
+// Member decides w ∈ L(e) directly on the AST by recursive expansion. It
+// is exponential and exists as an executable specification: tests
+// cross-check the derivative DFA against it on short strings.
+func Member(e Expr, w []int) bool {
+	switch e := e.(type) {
+	case emptyExpr:
+		return false
+	case epsExpr:
+		return len(w) == 0
+	case symExpr:
+		return len(w) == 1 && w[0] == e.a
+	case catExpr:
+		for k := 0; k <= len(w); k++ {
+			if Member(e.l, w[:k]) && Member(e.r, w[k:]) {
+				return true
+			}
+		}
+		return false
+	case altExpr:
+		for _, x := range e.xs {
+			if Member(x, w) {
+				return true
+			}
+		}
+		return false
+	case andExpr:
+		for _, x := range e.xs {
+			if !Member(x, w) {
+				return false
+			}
+		}
+		return true
+	case starExpr:
+		if len(w) == 0 {
+			return true
+		}
+		for k := 1; k <= len(w); k++ {
+			if Member(e.x, w[:k]) && Member(e, w[k:]) {
+				return true
+			}
+		}
+		return false
+	case notExpr:
+		return !Member(e.x, w)
+	}
+	return false
+}

@@ -1,0 +1,179 @@
+// Package fsm implements the finite-state-machine plugin of the RV system
+// (the `fsm:` blocks of Figure 2). A machine is given as named states with
+// event-labelled transitions; the first state is initial. The verdict
+// category of a state is its own name (so a handler may attach to reaching
+// state "error"), and a trace that attempts an undefined transition is
+// classified fail and stays there — matching the paper's "σ(ı,w) undefined
+// ⇒ fail" convention via an explicit fail sink.
+package fsm
+
+import (
+	"fmt"
+
+	"rvgo/internal/logic"
+)
+
+// Machine is a finite state machine in the spirit of Definition 8.
+type Machine struct {
+	alphabet []string
+	states   []string // state names; index 0 is initial
+	next     [][]int  // next[s][a]; -1 means undefined (→ fail sink)
+	byName   map[string]int
+	symByEv  map[string]int
+	graph    *logic.Graph // completed graph, built by Freeze
+}
+
+// New creates a machine over the given event alphabet.
+func New(alphabet []string) *Machine {
+	m := &Machine{
+		alphabet: append([]string(nil), alphabet...),
+		byName:   map[string]int{},
+		symByEv:  map[string]int{},
+	}
+	for i, e := range m.alphabet {
+		if _, dup := m.symByEv[e]; dup {
+			panic(fmt.Sprintf("fsm: duplicate event %q", e))
+		}
+		m.symByEv[e] = i
+	}
+	return m
+}
+
+// Symbol returns the symbol index of an event name.
+func (m *Machine) Symbol(event string) (int, bool) {
+	s, ok := m.symByEv[event]
+	return s, ok
+}
+
+// AddState declares a state; the first declared state is initial.
+func (m *Machine) AddState(name string) error {
+	if m.graph != nil {
+		return fmt.Errorf("fsm: machine already frozen")
+	}
+	if _, dup := m.byName[name]; dup {
+		return fmt.Errorf("fsm: duplicate state %q", name)
+	}
+	m.byName[name] = len(m.states)
+	m.states = append(m.states, name)
+	row := make([]int, len(m.alphabet))
+	for i := range row {
+		row[i] = -1
+	}
+	m.next = append(m.next, row)
+	return nil
+}
+
+// AddTransition adds from --event--> to. Both states must exist.
+func (m *Machine) AddTransition(from, event, to string) error {
+	if m.graph != nil {
+		return fmt.Errorf("fsm: machine already frozen")
+	}
+	f, ok := m.byName[from]
+	if !ok {
+		return fmt.Errorf("fsm: unknown state %q", from)
+	}
+	t, ok := m.byName[to]
+	if !ok {
+		return fmt.Errorf("fsm: unknown state %q", to)
+	}
+	a, ok := m.symByEv[event]
+	if !ok {
+		return fmt.Errorf("fsm: unknown event %q", event)
+	}
+	if m.next[f][a] != -1 {
+		return fmt.Errorf("fsm: state %q already has a transition on %q", from, event)
+	}
+	m.next[f][a] = t
+	return nil
+}
+
+// Freeze completes the machine (adding a fail sink for undefined
+// transitions) and validates it. It must be called before Start/Explore.
+func (m *Machine) Freeze() error {
+	if m.graph != nil {
+		return nil
+	}
+	if len(m.states) == 0 {
+		return fmt.Errorf("fsm: no states")
+	}
+	n := len(m.states)
+	g := &logic.Graph{Alphabet: m.alphabet}
+	needSink := false
+	for _, row := range m.next {
+		for _, t := range row {
+			if t == -1 {
+				needSink = true
+			}
+		}
+	}
+	total := n
+	sink := -1
+	if needSink {
+		sink = n
+		total = n + 1
+	}
+	g.Next = make([][]int, total)
+	g.Cat = make([]logic.Category, total)
+	for s := 0; s < n; s++ {
+		row := make([]int, len(m.alphabet))
+		for a, t := range m.next[s] {
+			if t == -1 {
+				row[a] = sink
+			} else {
+				row[a] = t
+			}
+		}
+		g.Next[s] = row
+		g.Cat[s] = logic.Category(m.states[s])
+	}
+	if needSink {
+		row := make([]int, len(m.alphabet))
+		for a := range row {
+			row[a] = sink
+		}
+		g.Next[sink] = row
+		g.Cat[sink] = logic.Fail
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	m.graph = g
+	return nil
+}
+
+// Alphabet implements logic.Blueprint.
+func (m *Machine) Alphabet() []string { return m.alphabet }
+
+// Start implements logic.Blueprint.
+func (m *Machine) Start() logic.State {
+	m.mustFreeze()
+	return logic.GraphState{G: m.graph, S: 0}
+}
+
+// Categories implements logic.Blueprint.
+func (m *Machine) Categories() []logic.Category {
+	m.mustFreeze()
+	return logic.GraphBlueprint{G: m.graph}.Categories()
+}
+
+// Explore implements logic.Explorable.
+func (m *Machine) Explore(limit int) (*logic.Graph, error) {
+	if err := m.Freeze(); err != nil {
+		return nil, err
+	}
+	if m.graph.NumStates() > limit {
+		return nil, fmt.Errorf("fsm: %d states exceeds limit %d", m.graph.NumStates(), limit)
+	}
+	return m.graph, nil
+}
+
+// States returns the declared state names (excluding the implicit sink).
+func (m *Machine) States() []string { return m.states }
+
+func (m *Machine) mustFreeze() {
+	if err := m.Freeze(); err != nil {
+		panic(err)
+	}
+}
+
+var _ logic.Explorable = (*Machine)(nil)

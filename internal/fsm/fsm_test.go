@@ -1,0 +1,152 @@
+package fsm_test
+
+import (
+	"testing"
+
+	"rvgo/internal/fsm"
+	"rvgo/internal/logic"
+)
+
+// hasNext builds the HASNEXT typestate of Figure 1.
+func hasNext(t *testing.T) *fsm.Machine {
+	t.Helper()
+	m := fsm.New([]string{"hasnexttrue", "hasnextfalse", "next"})
+	for _, s := range []string{"unknown", "more", "none", "error"} {
+		if err := m.AddState(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tr := range [][3]string{
+		{"unknown", "hasnexttrue", "more"},
+		{"unknown", "hasnextfalse", "none"},
+		{"unknown", "next", "error"},
+		{"more", "hasnexttrue", "more"},
+		{"more", "hasnextfalse", "none"},
+		{"more", "next", "unknown"},
+		{"none", "hasnexttrue", "more"},
+		{"none", "hasnextfalse", "none"},
+		{"none", "next", "error"},
+	} {
+		if err := m.AddTransition(tr[0], tr[1], tr[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestHasNextTypestate(t *testing.T) {
+	m := hasNext(t)
+	hnT, _ := m.Symbol("hasnexttrue")
+	hnF, _ := m.Symbol("hasnextfalse")
+	nxt, _ := m.Symbol("next")
+
+	cases := []struct {
+		trace []int
+		want  logic.Category
+	}{
+		{nil, "unknown"},
+		{[]int{hnT}, "more"},
+		{[]int{hnT, nxt}, "unknown"},
+		{[]int{hnT, nxt, nxt}, "error"},
+		{[]int{hnF}, "none"},
+		{[]int{hnF, nxt}, "error"},
+		{[]int{nxt}, "error"},
+		{[]int{hnT, hnT, nxt}, "unknown"},
+		// Transitions out of error are undefined: the fail sink.
+		{[]int{nxt, hnT}, logic.Fail},
+	}
+	for _, c := range cases {
+		s := m.Start()
+		for _, a := range c.trace {
+			s = s.Step(a)
+		}
+		if s.Category() != c.want {
+			t.Errorf("trace %v: got %s want %s", c.trace, s.Category(), c.want)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	m := fsm.New([]string{"a"})
+	if err := m.AddState("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddState("s"); err == nil {
+		t.Error("duplicate state must fail")
+	}
+	if err := m.AddTransition("s", "a", "nosuch"); err == nil {
+		t.Error("unknown target must fail")
+	}
+	if err := m.AddTransition("nosuch", "a", "s"); err == nil {
+		t.Error("unknown source must fail")
+	}
+	if err := m.AddTransition("s", "b", "s"); err == nil {
+		t.Error("unknown event must fail")
+	}
+	if err := m.AddTransition("s", "a", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddTransition("s", "a", "s"); err == nil {
+		t.Error("duplicate transition must fail")
+	}
+	empty := fsm.New([]string{"a"})
+	if err := empty.Freeze(); err == nil {
+		t.Error("empty machine must not freeze")
+	}
+}
+
+func TestDuplicateEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate alphabet event must panic")
+		}
+	}()
+	fsm.New([]string{"a", "a"})
+}
+
+func TestCategoriesAndExplore(t *testing.T) {
+	m := hasNext(t)
+	g, err := m.Explore(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 declared states + fail sink.
+	if g.NumStates() != 5 {
+		t.Fatalf("states = %d", g.NumStates())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cats := map[logic.Category]bool{}
+	for _, c := range m.Categories() {
+		cats[c] = true
+	}
+	for _, want := range []logic.Category{"unknown", "more", "none", "error", logic.Fail} {
+		if !cats[want] {
+			t.Errorf("missing category %s", want)
+		}
+	}
+	if _, err := m.Explore(2); err == nil {
+		t.Error("explore beyond limit must fail")
+	}
+}
+
+func TestNoSinkWhenTotal(t *testing.T) {
+	m := fsm.New([]string{"a"})
+	if err := m.AddState("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddTransition("s", "a", "s"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.Explore(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 1 {
+		t.Fatalf("total machine must not grow a sink: %d states", g.NumStates())
+	}
+}

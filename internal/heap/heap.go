@@ -1,0 +1,144 @@
+// Package heap provides the object-liveness substrate for parametric
+// monitoring.
+//
+// The RV system's monitor garbage collection is driven by the deaths of
+// parameter objects: when the JVM collects an Iterator, the coenable-set
+// analysis may prove that some monitor instances can never trigger again.
+// This package supplies the equivalent signal in Go in two flavours:
+//
+//   - A deterministic simulated heap (Heap/Object), where the workload
+//     explicitly frees objects. This is the substrate used by tests and by
+//     the DaCapo-style benchmark harness, because reproducing the paper's
+//     Figure 10 statistics requires deterministic collection points.
+//   - Real weak references (Weak) built on Go 1.24's weak.Pointer, showing
+//     the same engine running against the real garbage collector.
+//
+// Both implement Ref, the only interface the monitoring engine sees.
+package heap
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"weak"
+)
+
+// Ref is a possibly-weak reference to a parameter object. The monitoring
+// runtime stores Refs in indexing-tree keys and in monitor instances; a Ref
+// must never keep its referent alive.
+type Ref interface {
+	// ID returns a stable nonzero identifier for the referent, usable for
+	// hashing and equality even after the referent dies.
+	ID() uint64
+	// Alive reports whether the referent has not yet been collected.
+	Alive() bool
+	// Label returns a human-readable name for diagnostics.
+	Label() string
+}
+
+// Heap is a simulated heap. Objects are allocated with Alloc and die when
+// the workload calls Free, which is the moment the "collector" runs for
+// them. Heap is safe for concurrent use.
+type Heap struct {
+	mu     sync.Mutex
+	nextID uint64
+	live   int
+	allocs uint64
+	frees  uint64
+}
+
+// New returns an empty simulated heap.
+func New() *Heap { return &Heap{} }
+
+// Object is a simulated heap object. It implements Ref.
+type Object struct {
+	id    uint64
+	label string
+	dead  atomic.Bool
+	h     *Heap
+}
+
+// Alloc allocates a new live object with a diagnostic label.
+func (h *Heap) Alloc(label string) *Object {
+	h.mu.Lock()
+	h.nextID++
+	id := h.nextID
+	h.live++
+	h.allocs++
+	h.mu.Unlock()
+	return &Object{id: id, label: label, h: h}
+}
+
+// Free marks the object as collected. Freeing an already-dead object is a
+// no-op.
+func (h *Heap) Free(o *Object) {
+	if o == nil || o.dead.Swap(true) {
+		return
+	}
+	h.mu.Lock()
+	h.live--
+	h.frees++
+	h.mu.Unlock()
+}
+
+// Stats returns the number of live objects, total allocations and frees.
+func (h *Heap) Stats() (live int, allocs, frees uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.live, h.allocs, h.frees
+}
+
+// ID implements Ref.
+func (o *Object) ID() uint64 { return o.id }
+
+// Alive implements Ref.
+func (o *Object) Alive() bool { return !o.dead.Load() }
+
+// Label implements Ref.
+func (o *Object) Label() string {
+	if o.label != "" {
+		return o.label
+	}
+	return fmt.Sprintf("obj#%d", o.id)
+}
+
+var weakIDs atomic.Uint64
+
+// Weak is a Ref backed by a real weak pointer; the referent becomes dead
+// when the Go garbage collector reclaims it.
+type Weak[T any] struct {
+	id    uint64
+	label string
+	p     weak.Pointer[T]
+}
+
+// NewWeak wraps ptr in a weak Ref.
+func NewWeak[T any](ptr *T, label string) *Weak[T] {
+	return &Weak[T]{id: weakIDs.Add(1), label: label, p: weak.Make(ptr)}
+}
+
+// ID implements Ref.
+func (w *Weak[T]) ID() uint64 { return w.id }
+
+// Alive implements Ref.
+func (w *Weak[T]) Alive() bool { return w.p.Value() != nil }
+
+// Get returns a strong pointer to the referent, or nil if collected.
+func (w *Weak[T]) Get() *T { return w.p.Value() }
+
+// Label implements Ref.
+func (w *Weak[T]) Label() string {
+	if w.label != "" {
+		return w.label
+	}
+	return fmt.Sprintf("weak#%d", w.id)
+}
+
+// ForceCollect encourages the runtime to collect unreachable referents of
+// weak Refs. It is best-effort and intended for tests.
+func ForceCollect() {
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+	}
+}

@@ -1,0 +1,65 @@
+package heap_test
+
+import (
+	"testing"
+
+	"rvgo/internal/heap"
+)
+
+func TestSimHeapLifecycle(t *testing.T) {
+	h := heap.New()
+	a := h.Alloc("a")
+	b := h.Alloc("b")
+	if a.ID() == b.ID() || a.ID() == 0 {
+		t.Fatal("ids must be distinct and nonzero")
+	}
+	if !a.Alive() || !b.Alive() {
+		t.Fatal("fresh objects must be alive")
+	}
+	if live, allocs, frees := h.Stats(); live != 2 || allocs != 2 || frees != 0 {
+		t.Fatalf("stats = %d %d %d", live, allocs, frees)
+	}
+	h.Free(a)
+	if a.Alive() {
+		t.Fatal("freed object must be dead")
+	}
+	h.Free(a) // double free is a no-op
+	if live, _, frees := h.Stats(); live != 1 || frees != 1 {
+		t.Fatalf("after double free: live=%d frees=%d", live, frees)
+	}
+	if a.Label() != "a" {
+		t.Fatalf("label = %q", a.Label())
+	}
+	if h.Alloc("").Label() == "" {
+		t.Fatal("unnamed objects get a synthetic label")
+	}
+}
+
+func TestWeakRefCollected(t *testing.T) {
+	type big struct{ buf [1024]byte }
+	mk := func() *heap.Weak[big] {
+		p := &big{}
+		return heap.NewWeak(p, "w")
+	}
+	w := mk()
+	// Best effort: the referent is unreachable after mk returns.
+	heap.ForceCollect()
+	if w.Alive() {
+		t.Skip("runtime kept the weak referent alive (best-effort test)")
+	}
+	if w.Get() != nil {
+		t.Fatal("Get must be nil after collection")
+	}
+}
+
+func TestWeakRefAliveWhileHeld(t *testing.T) {
+	p := &struct{ x int }{x: 42}
+	w := heap.NewWeak(p, "held")
+	heap.ForceCollect()
+	if !w.Alive() || w.Get() == nil || w.Get().x != 42 {
+		t.Fatal("weak ref must stay alive while the referent is reachable")
+	}
+	if w.ID() == 0 {
+		t.Fatal("weak ids must be nonzero")
+	}
+}

@@ -1,0 +1,358 @@
+// Package index implements the RV system's specialized indexing trees
+// (paper §4.1–§4.2, Figures 6–8): weak-keyed hash maps (Map, the paper's
+// RVMap) whose levels index one parameter each, with leaf sets of monitor
+// instances (Set, the paper's RVSet).
+//
+// The data structures embody the paper's lazy collection discipline:
+//
+//   - Map operations expunge a bounded number of buckets per call, looking
+//     for keys whose parameter object died; monitors below a dead key are
+//     notified (they then decide via coenable ALIVENESS whether to flag
+//     themselves) and the broken mapping is removed (Figure 7).
+//   - Set iteration skips and compacts away monitors flagged for removal in
+//     a single pass (Figure 8).
+//   - A monitor instance is "collected" once every container has dropped it
+//     (container refcounting plays the role of JVM reachability).
+package index
+
+import (
+	"rvgo/internal/heap"
+	"rvgo/internal/param"
+)
+
+// Monitor is the view of a monitor instance the indexing trees need. It is
+// implemented by the engine's monitor type.
+type Monitor interface {
+	// NotifyParamDeath tells the monitor that a parameter object below its
+	// mapping died; the monitor re-evaluates its ALIVENESS formula and may
+	// flag itself.
+	NotifyParamDeath()
+	// Collectable reports whether the monitor has been flagged as
+	// unnecessary (or terminated) and should be dropped from containers.
+	Collectable() bool
+	// Retain/Release maintain the container refcount; Release must record
+	// "collected" when the count reaches zero.
+	Retain()
+	Release()
+}
+
+// Value is a node in an indexing tree: either a *Map (next level) or a
+// *Set (leaf).
+type Value interface {
+	// EachMonitor visits every monitor in the subtree.
+	EachMonitor(f func(Monitor))
+	// detach releases all monitors contained in the subtree; called when
+	// the subtree's mapping is removed from its parent.
+	detach()
+}
+
+// ExpungeQuota is the number of buckets examined for dead keys per map
+// operation; a full sweep happens on resize. The quota keeps pruning
+// overhead bounded per event (the paper's "looks through a subset of its
+// entries").
+const ExpungeQuota = 2
+
+type entry struct {
+	key heap.Ref
+	id  uint64
+	val Value
+}
+
+// Map is a weak-keyed hash map from parameter objects to Values (RVMap).
+// The zero value is not usable; use NewMap.
+type Map struct {
+	buckets [][]entry
+	count   int
+	cursor  int // round-robin expunge position
+	quota   int
+}
+
+// NewMap returns an empty map.
+func NewMap() *Map {
+	return &Map{buckets: make([][]entry, 8), quota: ExpungeQuota}
+}
+
+// Len returns the number of live entries (dead-but-unexpunged keys count
+// until they are discovered).
+func (m *Map) Len() int { return m.count }
+
+func (m *Map) slot(id uint64) int {
+	// Fibonacci hashing spreads sequential IDs.
+	return int((id * 0x9E3779B97F4A7C15) >> 32 & uint64(len(m.buckets)-1))
+}
+
+// Get looks up the value for the key, expunging some dead entries as a side
+// effect (lazy notification, Figure 7A).
+func (m *Map) Get(k heap.Ref) (Value, bool) {
+	m.expunge(m.quota)
+	b := m.slot(k.ID())
+	for _, e := range m.buckets[b] {
+		if e.id == k.ID() {
+			return e.val, true
+		}
+	}
+	return nil, false
+}
+
+// Put inserts or replaces the value for the key.
+func (m *Map) Put(k heap.Ref, v Value) {
+	m.expunge(m.quota)
+	if m.count >= len(m.buckets)*4 {
+		m.grow()
+	}
+	b := m.slot(k.ID())
+	for i, e := range m.buckets[b] {
+		if e.id == k.ID() {
+			m.buckets[b][i].val = v
+			return
+		}
+	}
+	m.buckets[b] = append(m.buckets[b], entry{key: k, id: k.ID(), val: v})
+	m.count++
+}
+
+// grow doubles the table, sweeping every entry for dead keys on the way —
+// the paper expunges exhaustively "when the hash table underlying the map
+// needs to be expanded".
+func (m *Map) grow() {
+	old := m.buckets
+	m.buckets = make([][]entry, len(old)*2)
+	m.count = 0
+	m.cursor = 0
+	for _, bucket := range old {
+		for _, e := range bucket {
+			if !e.key.Alive() {
+				notifyAndDetach(e.val)
+				continue
+			}
+			b := m.slot(e.id)
+			m.buckets[b] = append(m.buckets[b], e)
+			m.count++
+		}
+	}
+}
+
+// expunge scans up to n buckets (round-robin) for entries whose key died,
+// notifying the monitors below and removing the mapping.
+func (m *Map) expunge(n int) {
+	for i := 0; i < n; i++ {
+		b := m.cursor
+		m.cursor = (m.cursor + 1) % len(m.buckets)
+		bucket := m.buckets[b]
+		w := 0
+		for _, e := range bucket {
+			if e.key.Alive() {
+				// Opportunistically drop empty substructures, as the paper
+				// does when checking values of live mappings (§5.1.1).
+				if isEmpty(e.val) {
+					m.count--
+					continue
+				}
+				bucket[w] = e
+				w++
+				continue
+			}
+			notifyAndDetach(e.val)
+			m.count--
+		}
+		if w != len(bucket) {
+			for j := w; j < len(bucket); j++ {
+				bucket[j] = entry{}
+			}
+			m.buckets[b] = bucket[:w]
+		}
+	}
+}
+
+// ExpungeAll sweeps the whole table once (used by tests and by the engine
+// when a property session ends).
+func (m *Map) ExpungeAll() { m.expunge(len(m.buckets)) }
+
+// EachEntry visits live entries (no expunge side effects).
+func (m *Map) EachEntry(f func(k heap.Ref, v Value)) {
+	for _, bucket := range m.buckets {
+		for _, e := range bucket {
+			if e.key.Alive() {
+				f(e.key, e.val)
+			}
+		}
+	}
+}
+
+// EachMonitor implements Value.
+func (m *Map) EachMonitor(f func(Monitor)) {
+	for _, bucket := range m.buckets {
+		for _, e := range bucket {
+			e.val.EachMonitor(f)
+		}
+	}
+}
+
+func (m *Map) detach() {
+	for _, bucket := range m.buckets {
+		for _, e := range bucket {
+			e.val.detach()
+		}
+	}
+	m.buckets = make([][]entry, 1)
+	m.count = 0
+	m.cursor = 0
+}
+
+func notifyAndDetach(v Value) {
+	v.EachMonitor(func(mon Monitor) { mon.NotifyParamDeath() })
+	v.detach()
+}
+
+func isEmpty(v Value) bool {
+	switch n := v.(type) {
+	case *Set:
+		return n.Len() == 0
+	case *Map:
+		return n.Len() == 0
+	}
+	return false
+}
+
+// Set is a compacting slice of monitor instances (RVSet).
+type Set struct {
+	items []Monitor
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set { return &Set{} }
+
+// Len returns the current number of members (flagged-but-unremoved members
+// count until the next compaction).
+func (s *Set) Len() int { return len(s.items) }
+
+// Add appends a monitor and retains it.
+func (s *Set) Add(m Monitor) {
+	m.Retain()
+	s.items = append(s.items, m)
+}
+
+// ForEach visits live members, compacting away collectable ones in the same
+// pass (Figure 8). Visited monitors may become collectable during the pass
+// (e.g. by reaching a final verdict); they are still compacted next time.
+func (s *Set) ForEach(f func(Monitor)) {
+	w := 0
+	for _, m := range s.items {
+		if m.Collectable() {
+			m.Release()
+			continue
+		}
+		s.items[w] = m
+		w++
+		f(m)
+	}
+	for j := w; j < len(s.items); j++ {
+		s.items[j] = nil
+	}
+	s.items = s.items[:w]
+}
+
+// Compact removes collectable members without visiting.
+func (s *Set) Compact() { s.ForEach(func(Monitor) {}) }
+
+// CompactWith removes collectable members and members for which drop
+// returns true (used by the engine's weak domain registries: a member
+// whose bound parameter object died would be unreachable through any weak
+// tree, so registries release it too).
+func (s *Set) CompactWith(drop func(Monitor) bool) {
+	w := 0
+	for _, m := range s.items {
+		if m.Collectable() || drop(m) {
+			m.Release()
+			continue
+		}
+		s.items[w] = m
+		w++
+	}
+	for j := w; j < len(s.items); j++ {
+		s.items[j] = nil
+	}
+	s.items = s.items[:w]
+}
+
+// EachMonitor implements Value.
+func (s *Set) EachMonitor(f func(Monitor)) {
+	for _, m := range s.items {
+		f(m)
+	}
+}
+
+func (s *Set) detach() {
+	for _, m := range s.items {
+		m.Release()
+	}
+	s.items = nil
+}
+
+// Tree is one indexing tree ⟨S⟩ for a parameter subset S: a chain of Maps,
+// one level per parameter in params (ascending index order), with a Set at
+// each leaf holding every monitor whose instance extends the key tuple.
+type Tree struct {
+	params []int
+	root   *Map
+}
+
+// NewTree creates a tree over the given parameter indices.
+func NewTree(params param.Set) *Tree {
+	return &Tree{params: params.Members(), root: NewMap()}
+}
+
+// Params returns the tree's parameter indices.
+func (t *Tree) Params() []int { return t.params }
+
+// Lookup returns the leaf set for θ restricted to the tree's parameters, or
+// nil if no such mapping exists. θ must bind every tree parameter.
+func (t *Tree) Lookup(inst param.Instance) *Set {
+	node := Value(t.root)
+	for _, p := range t.params {
+		m, ok := node.(*Map)
+		if !ok {
+			return nil
+		}
+		v, ok := m.Get(inst.Value(p))
+		if !ok {
+			return nil
+		}
+		node = v
+	}
+	leaf, _ := node.(*Set)
+	return leaf
+}
+
+// GetOrCreate returns the leaf set for θ, creating intermediate levels as
+// needed.
+func (t *Tree) GetOrCreate(inst param.Instance) *Set {
+	if len(t.params) == 0 {
+		panic("index: tree with no parameters")
+	}
+	node := t.root
+	for i, p := range t.params {
+		k := inst.Value(p)
+		last := i == len(t.params)-1
+		v, ok := node.Get(k)
+		if !ok {
+			if last {
+				leaf := NewSet()
+				node.Put(k, leaf)
+				return leaf
+			}
+			next := NewMap()
+			node.Put(k, next)
+			node = next
+			continue
+		}
+		if last {
+			return v.(*Set)
+		}
+		node = v.(*Map)
+	}
+	panic("unreachable")
+}
+
+// Root exposes the root map (tests, diagnostics).
+func (t *Tree) Root() *Map { return t.root }

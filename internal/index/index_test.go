@@ -1,0 +1,237 @@
+package index_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rvgo/internal/heap"
+	"rvgo/internal/index"
+	"rvgo/internal/param"
+)
+
+// fakeMon implements index.Monitor with observable counters.
+type fakeMon struct {
+	notified  int
+	flagged   bool
+	refs      int
+	collected bool
+}
+
+func (m *fakeMon) NotifyParamDeath() { m.notified++ }
+func (m *fakeMon) Collectable() bool { return m.flagged }
+func (m *fakeMon) Retain()           { m.refs++ }
+func (m *fakeMon) Release() {
+	m.refs--
+	if m.refs <= 0 {
+		m.collected = true
+	}
+}
+
+func TestMapPutGet(t *testing.T) {
+	h := heap.New()
+	m := index.NewMap()
+	var keys []*heap.Object
+	mkSet := func() *index.Set {
+		s := index.NewSet()
+		s.Add(&fakeMon{})
+		return s
+	}
+	for i := 0; i < 100; i++ {
+		k := h.Alloc(fmt.Sprintf("k%d", i))
+		keys = append(keys, k)
+		m.Put(k, mkSet())
+	}
+	if m.Len() != 100 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	for _, k := range keys {
+		if _, ok := m.Get(k); !ok {
+			t.Fatalf("missing key %s", k.Label())
+		}
+	}
+	if _, ok := m.Get(h.Alloc("other")); ok {
+		t.Fatal("phantom key")
+	}
+	// Replacement keeps a single entry.
+	m.Put(keys[0], mkSet())
+	if m.Len() != 100 {
+		t.Fatalf("len after replace = %d", m.Len())
+	}
+}
+
+// TestEmptyStructuresDropped: the paper drops mappings to empty data
+// structures opportunistically (§5.1.1).
+func TestEmptyStructuresDropped(t *testing.T) {
+	h := heap.New()
+	m := index.NewMap()
+	k := h.Alloc("k")
+	m.Put(k, index.NewSet()) // empty set
+	m.ExpungeAll()
+	if m.Len() != 0 {
+		t.Fatalf("empty set mapping must be dropped, len = %d", m.Len())
+	}
+}
+
+// TestMapExpungeNotifies reproduces Figure 7: when a key's object dies and
+// the map is touched, the monitors below the mapping are notified and the
+// broken mapping removed.
+func TestMapExpungeNotifies(t *testing.T) {
+	h := heap.New()
+	m := index.NewMap()
+	k := h.Alloc("c2")
+	set := index.NewSet()
+	mon1, mon3 := &fakeMon{}, &fakeMon{}
+	set.Add(mon1)
+	set.Add(mon3)
+	m.Put(k, set)
+
+	h.Free(k)
+	m.ExpungeAll()
+	if mon1.notified == 0 || mon3.notified == 0 {
+		t.Fatal("monitors below a dead key must be notified")
+	}
+	if _, ok := m.Get(k); ok {
+		t.Fatal("broken mapping must be removed")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	// Detaching released the containment.
+	if mon1.refs != 0 || !mon1.collected {
+		t.Fatal("detach must release contained monitors")
+	}
+}
+
+// TestSetCompaction reproduces Figure 8: iterating a set skips and removes
+// collectable monitors in one pass.
+func TestSetCompaction(t *testing.T) {
+	s := index.NewSet()
+	var mons []*fakeMon
+	for i := 0; i < 10; i++ {
+		m := &fakeMon{}
+		mons = append(mons, m)
+		s.Add(m)
+	}
+	for i, m := range mons {
+		if i%2 == 0 {
+			m.flagged = true
+		}
+	}
+	var visited int
+	s.ForEach(func(index.Monitor) { visited++ })
+	if visited != 5 {
+		t.Fatalf("visited %d, want 5", visited)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("len after compaction = %d", s.Len())
+	}
+	for i, m := range mons {
+		if i%2 == 0 && (!m.collected || m.refs != 0) {
+			t.Fatal("flagged members must be released")
+		}
+		if i%2 == 1 && m.refs != 1 {
+			t.Fatal("live members must stay retained")
+		}
+	}
+}
+
+func TestMapGrowSweepsDeadKeys(t *testing.T) {
+	h := heap.New()
+	m := index.NewMap()
+	dead := 0
+	for i := 0; i < 200; i++ {
+		k := h.Alloc("")
+		set := index.NewSet()
+		set.Add(&fakeMon{})
+		m.Put(k, set)
+		if i%3 == 0 {
+			h.Free(k)
+			dead++
+		}
+	}
+	// Growth sweeps exhaustively; remaining entries are only live ones.
+	m.ExpungeAll()
+	if m.Len() != 200-dead {
+		t.Fatalf("len = %d, want %d", m.Len(), 200-dead)
+	}
+}
+
+func TestTreeLookup(t *testing.T) {
+	h := heap.New()
+	tree := index.NewTree(param.SetOf(0, 1))
+	c1, i1, i2 := h.Alloc("c1"), h.Alloc("i1"), h.Alloc("i2")
+
+	inst1 := param.Empty().Bind(0, c1).Bind(1, i1)
+	inst2 := param.Empty().Bind(0, c1).Bind(1, i2)
+
+	if tree.Lookup(inst1) != nil {
+		t.Fatal("lookup before insert must be nil")
+	}
+	mon := &fakeMon{}
+	s1 := tree.GetOrCreate(inst1)
+	s1.Add(mon)
+	s2 := tree.GetOrCreate(inst2)
+	s2.Add(&fakeMon{})
+	if s1 == s2 {
+		t.Fatal("distinct tuples must get distinct leaves")
+	}
+	if tree.GetOrCreate(inst1) != s1 {
+		t.Fatal("GetOrCreate must be stable")
+	}
+	if tree.Lookup(inst1) != s1 || tree.Lookup(inst2) != s2 {
+		t.Fatal("lookup after insert")
+	}
+	h.Free(c1)
+	tree.Root().ExpungeAll()
+	if tree.Lookup(inst1) != nil {
+		t.Fatal("dead first-level key must break the path")
+	}
+	if mon.notified == 0 {
+		t.Fatal("monitor under the dead key must be notified")
+	}
+}
+
+// TestLazyExpungeQuota: without touching the map, dead keys stay; each
+// operation only examines a bounded number of buckets.
+func TestLazyExpungeQuota(t *testing.T) {
+	h := heap.New()
+	m := index.NewMap()
+	var keys []*heap.Object
+	for i := 0; i < 64; i++ {
+		k := h.Alloc("")
+		keys = append(keys, k)
+		m.Put(k, index.NewSet())
+	}
+	before := m.Len()
+	for _, k := range keys {
+		h.Free(k)
+	}
+	if m.Len() != before {
+		t.Fatal("no operation yet: nothing expunged")
+	}
+	// A single Get expunges at most ExpungeQuota buckets.
+	m.Get(keys[0])
+	if before-m.Len() > 16 {
+		t.Fatalf("one op expunged %d entries; laziness broken", before-m.Len())
+	}
+	m.ExpungeAll()
+	if m.Len() != 0 {
+		t.Fatalf("full sweep left %d entries", m.Len())
+	}
+}
+
+func TestEachMonitorWalksSubtrees(t *testing.T) {
+	h := heap.New()
+	outer := index.NewMap()
+	inner := index.NewMap()
+	set := index.NewSet()
+	set.Add(&fakeMon{})
+	set.Add(&fakeMon{})
+	inner.Put(h.Alloc("i"), set)
+	outer.Put(h.Alloc("c"), inner)
+	count := 0
+	outer.EachMonitor(func(index.Monitor) { count++ })
+	if count != 2 {
+		t.Fatalf("EachMonitor visited %d", count)
+	}
+}

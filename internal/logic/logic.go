@@ -1,0 +1,171 @@
+// Package logic defines the formalism-independent base-monitor abstraction
+// of the RV system (paper §2, Definition 8): a monitor is a state machine
+// M = (S, E, C, ı, σ, γ) classifying finite traces into verdict categories.
+//
+// Each specification formalism (FSM, ERE, ptLTL, CFG) provides a Blueprint
+// that manufactures immutable monitor States. Immutability is what makes
+// the parametric algorithm's state copy Δ(θ') ← σ(Δ(max θ”⊑θ'), e) cheap
+// and safe for every plugin: taking a new instance's initial state from a
+// progenitor is a pointer copy.
+package logic
+
+import "fmt"
+
+// Category is a verdict category (an element of C). Conventional values
+// are Match, Fail and Unknown; the FSM plugin additionally uses state names
+// as categories (so a handler can attach to reaching state "error"), and
+// the LTL plugin uses Violation and Validation.
+type Category string
+
+// Conventional verdict categories.
+const (
+	Match      Category = "match"
+	Fail       Category = "fail"
+	Unknown    Category = "?"
+	Violation  Category = "violation"
+	Validation Category = "validation"
+)
+
+// State is an immutable monitor state. Step must not mutate the receiver;
+// it returns the successor state for the given event symbol. Symbols are
+// indices into the blueprint's alphabet.
+type State interface {
+	Step(sym int) State
+	Category() Category
+}
+
+// Blueprint manufactures monitor states for one property formalism.
+type Blueprint interface {
+	// Alphabet returns the event names; a symbol is an index into it.
+	Alphabet() []string
+	// Start returns the initial state ı.
+	Start() State
+	// Categories returns all verdict categories the monitor can emit.
+	Categories() []Category
+}
+
+// Graph is an explicit, explored finite state graph: states are integers,
+// state 0 is initial, Next[s][a] is the successor (always defined — finite
+// monitors are completed with sink states), Cat[s] the verdict category.
+// It is the input to the coenable/enable static analyses.
+type Graph struct {
+	Alphabet []string
+	Next     [][]int
+	Cat      []Category
+}
+
+// NumStates returns the number of states in the graph.
+func (g *Graph) NumStates() int { return len(g.Next) }
+
+// Validate checks internal consistency of the graph.
+func (g *Graph) Validate() error {
+	if len(g.Next) != len(g.Cat) {
+		return fmt.Errorf("logic: graph has %d transition rows but %d categories", len(g.Next), len(g.Cat))
+	}
+	for s, row := range g.Next {
+		if len(row) != len(g.Alphabet) {
+			return fmt.Errorf("logic: state %d has %d transitions, want %d", s, len(row), len(g.Alphabet))
+		}
+		for a, t := range row {
+			if t < 0 || t >= len(g.Next) {
+				return fmt.Errorf("logic: state %d symbol %d: bad successor %d", s, a, t)
+			}
+		}
+	}
+	return nil
+}
+
+// Explorable is implemented by blueprints with a finite reachable state
+// space (FSM, ERE, ptLTL). The coenable analysis consumes the Graph. CFG
+// monitors are not Explorable; the CFG plugin computes coenable sets from
+// the grammar directly (paper §3, "CFG Example").
+type Explorable interface {
+	Blueprint
+	// Explore enumerates the reachable state graph, failing if it would
+	// exceed limit states.
+	Explore(limit int) (*Graph, error)
+}
+
+// GraphState adapts a Graph into a State; the Graph itself then serves as
+// an Explorable Blueprint via GraphBlueprint.
+type GraphState struct {
+	G *Graph
+	S int
+}
+
+// Step implements State.
+func (gs GraphState) Step(sym int) State { return GraphState{G: gs.G, S: gs.G.Next[gs.S][sym]} }
+
+// Category implements State.
+func (gs GraphState) Category() Category { return gs.G.Cat[gs.S] }
+
+// GraphBlueprint wraps an explicit Graph as a Blueprint.
+type GraphBlueprint struct{ G *Graph }
+
+// Alphabet implements Blueprint.
+func (b GraphBlueprint) Alphabet() []string { return b.G.Alphabet }
+
+// Start implements Blueprint.
+func (b GraphBlueprint) Start() State { return GraphState{G: b.G, S: 0} }
+
+// Categories implements Blueprint.
+func (b GraphBlueprint) Categories() []Category {
+	seen := map[Category]bool{}
+	var out []Category
+	for _, c := range b.G.Cat {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Explore implements Explorable.
+func (b GraphBlueprint) Explore(limit int) (*Graph, error) {
+	if b.G.NumStates() > limit {
+		return nil, fmt.Errorf("logic: graph has %d states, limit %d", b.G.NumStates(), limit)
+	}
+	return b.G, nil
+}
+
+// ExploreStates is a generic breadth-first exploration helper for plugins
+// whose states are comparable values. key must canonicalize a State into a
+// comparable identity.
+func ExploreStates(bp Blueprint, key func(State) any, limit int) (*Graph, error) {
+	alpha := bp.Alphabet()
+	g := &Graph{Alphabet: alpha}
+	index := map[any]int{}
+	var states []State
+
+	add := func(s State) (int, error) {
+		k := key(s)
+		if i, ok := index[k]; ok {
+			return i, nil
+		}
+		if len(states) >= limit {
+			return 0, fmt.Errorf("logic: explore exceeded %d states", limit)
+		}
+		i := len(states)
+		index[k] = i
+		states = append(states, s)
+		g.Next = append(g.Next, make([]int, len(alpha)))
+		g.Cat = append(g.Cat, s.Category())
+		return i, nil
+	}
+
+	if _, err := add(bp.Start()); err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(states); i++ {
+		for a := range alpha {
+			succ := states[i].Step(a)
+			j, err := add(succ)
+			if err != nil {
+				return nil, err
+			}
+			g.Next[i][a] = j
+		}
+	}
+	return g, nil
+}

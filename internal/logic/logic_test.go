@@ -1,0 +1,102 @@
+package logic_test
+
+import (
+	"testing"
+
+	"rvgo/internal/logic"
+)
+
+// twoState is a manual blueprint used to exercise ExploreStates.
+type twoState struct{ odd bool }
+
+func (s twoState) Step(sym int) logic.State {
+	if sym == 0 {
+		return twoState{odd: !s.odd}
+	}
+	return s
+}
+
+func (s twoState) Category() logic.Category {
+	if s.odd {
+		return logic.Match
+	}
+	return logic.Unknown
+}
+
+type twoBP struct{}
+
+func (twoBP) Alphabet() []string { return []string{"flip", "noop"} }
+func (twoBP) Start() logic.State { return twoState{} }
+func (twoBP) Categories() []logic.Category {
+	return []logic.Category{logic.Unknown, logic.Match}
+}
+
+func TestExploreStates(t *testing.T) {
+	g, err := logic.ExploreStates(twoBP{}, func(s logic.State) any { return s.(twoState).odd }, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 2 {
+		t.Fatalf("states = %d", g.NumStates())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Graph agrees with direct stepping.
+	s := logic.State(logic.GraphState{G: g, S: 0})
+	d := logic.State(twoState{})
+	for _, sym := range []int{0, 1, 0, 0, 1} {
+		s = s.Step(sym)
+		d = d.Step(sym)
+		if s.Category() != d.Category() {
+			t.Fatal("explored graph diverges")
+		}
+	}
+}
+
+func TestExploreLimit(t *testing.T) {
+	if _, err := logic.ExploreStates(twoBP{}, func(s logic.State) any { return s.(twoState).odd }, 1); err == nil {
+		t.Fatal("limit must be enforced")
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	bad := &logic.Graph{
+		Alphabet: []string{"a"},
+		Next:     [][]int{{5}},
+		Cat:      []logic.Category{logic.Unknown},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range successor must fail validation")
+	}
+	short := &logic.Graph{
+		Alphabet: []string{"a", "b"},
+		Next:     [][]int{{0}},
+		Cat:      []logic.Category{logic.Unknown},
+	}
+	if err := short.Validate(); err == nil {
+		t.Fatal("short transition row must fail validation")
+	}
+}
+
+func TestGraphBlueprint(t *testing.T) {
+	g := &logic.Graph{
+		Alphabet: []string{"a"},
+		Next:     [][]int{{1}, {1}},
+		Cat:      []logic.Category{logic.Unknown, logic.Match},
+	}
+	bp := logic.GraphBlueprint{G: g}
+	if got := bp.Start().Step(0).Category(); got != logic.Match {
+		t.Fatalf("category = %s", got)
+	}
+	cats := bp.Categories()
+	if len(cats) != 2 {
+		t.Fatalf("categories = %v", cats)
+	}
+	if _, err := bp.Explore(1); err == nil {
+		t.Fatal("explore limit must apply")
+	}
+	if eg, err := bp.Explore(10); err != nil || eg != g {
+		t.Fatal("explore must return the graph itself")
+	}
+}

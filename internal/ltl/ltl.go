@@ -1,0 +1,210 @@
+// Package ltl implements the linear-temporal-logic plugin of the RV system
+// (the `ltl:` block of Figure 2). The supported fragment is monitorable
+// past-time LTL with an optional top-level future wrapper:
+//
+//	[] φ   — safety: category "violation" as soon as φ (past-time) fails,
+//	<> φ   — co-safety: category "validation" as soon as φ holds,
+//	φ      — bare: category "match" whenever φ holds at the current step.
+//
+// φ is past-time LTL over event atoms: exactly one event is observed per
+// step, and the atom e holds iff the current event is e. Operators:
+// !, /\, \/, -> (right associative), S (since), (*) (previously, strong),
+// (~) (previously, weak), <*> (eventually in the past), [*] (always in the
+// past). The paper's HASNEXT formula `[](next => (*)hasnexttrue)` is in
+// this fragment.
+//
+// Monitor synthesis follows Havelund & Roşu: a state is the bit vector of
+// current subformula values; stepping recomputes the vector bottom-up from
+// the previous one in O(#subformulas). States are immutable and the
+// reachable state graph is finite, so the blueprint is Explorable and the
+// generic coenable analysis applies unchanged — the formalism-independence
+// claim of the paper.
+package ltl
+
+import (
+	"fmt"
+
+	"rvgo/internal/logic"
+)
+
+type opKind int
+
+const (
+	opAtom opKind = iota
+	opTrue
+	opFalse
+	opNot
+	opAnd
+	opOr
+	opImplies
+	opPrev     // (*) strong previously: false at the first step
+	opWeakPrev // (~) weak previously: true at the first step
+	opOnce     // <*> eventually in the past
+	opHist     // [*] always in the past
+	opSince    // S
+)
+
+// node is one subformula; children are indices of earlier nodes, so the
+// slice of nodes is in bottom-up evaluation order.
+type node struct {
+	kind opKind
+	sym  int // for opAtom
+	l, r int // child indices (-1 when unused)
+}
+
+type wrapper int
+
+const (
+	wrapNone wrapper = iota
+	wrapAlways
+	wrapEventually
+)
+
+// Formula is a compiled ptLTL formula.
+type Formula struct {
+	alphabet []string
+	nodes    []node
+	root     int
+	wrap     wrapper
+	src      string
+}
+
+// Monitor turns a Formula into a logic.Explorable blueprint.
+type Monitor struct{ f *Formula }
+
+// Compile parses and compiles an LTL pattern over the alphabet.
+func Compile(pattern string, alphabet []string) (*Monitor, error) {
+	f, err := parse(pattern, alphabet)
+	if err != nil {
+		return nil, err
+	}
+	if len(f.nodes) > 58 {
+		return nil, fmt.Errorf("ltl: formula has %d subformulas; at most 58 supported", len(f.nodes))
+	}
+	return &Monitor{f: f}, nil
+}
+
+// String returns the source pattern.
+func (m *Monitor) String() string { return m.f.src }
+
+// state packs subformula truth values into bits [0..n); bit 63 marks that
+// at least one step has been taken; bit 62 is the latched verdict for the
+// [] / <> wrappers.
+type state struct {
+	f    *Formula
+	bits uint64
+}
+
+const (
+	startedBit = uint64(1) << 63
+	latchedBit = uint64(1) << 62
+)
+
+func (s state) val(i int) bool { return s.bits&(1<<uint(i)) != 0 }
+
+// Step implements logic.State.
+func (s state) Step(sym int) logic.State {
+	f := s.f
+	first := s.bits&startedBit == 0
+	var nb uint64
+	for i, n := range f.nodes {
+		var v bool
+		switch n.kind {
+		case opAtom:
+			v = n.sym == sym
+		case opTrue:
+			v = true
+		case opFalse:
+			v = false
+		case opNot:
+			v = nb&(1<<uint(n.l)) == 0
+		case opAnd:
+			v = nb&(1<<uint(n.l)) != 0 && nb&(1<<uint(n.r)) != 0
+		case opOr:
+			v = nb&(1<<uint(n.l)) != 0 || nb&(1<<uint(n.r)) != 0
+		case opImplies:
+			v = nb&(1<<uint(n.l)) == 0 || nb&(1<<uint(n.r)) != 0
+		case opPrev:
+			v = !first && s.val(n.l)
+		case opWeakPrev:
+			v = first || s.val(n.l)
+		case opOnce:
+			v = nb&(1<<uint(n.l)) != 0 || (!first && s.val(i))
+		case opHist:
+			v = nb&(1<<uint(n.l)) != 0 && (first || s.val(i))
+		case opSince:
+			// φ S ψ ≡ ψ ∨ (φ ∧ ◦(φ S ψ))
+			v = nb&(1<<uint(n.r)) != 0 ||
+				(nb&(1<<uint(n.l)) != 0 && !first && s.val(i))
+		}
+		if v {
+			nb |= 1 << uint(i)
+		}
+	}
+	nb |= startedBit
+	rootHolds := nb&(1<<uint(f.root)) != 0
+	// Latch wrapper verdicts: a safety violation or co-safety validation is
+	// permanent (the monitor has reached a sink category).
+	if s.bits&latchedBit != 0 {
+		nb |= latchedBit
+	} else {
+		switch f.wrap {
+		case wrapAlways:
+			if !rootHolds {
+				nb |= latchedBit
+			}
+		case wrapEventually:
+			if rootHolds {
+				nb |= latchedBit
+			}
+		}
+	}
+	return state{f: f, bits: nb}
+}
+
+// Category implements logic.State.
+func (s state) Category() logic.Category {
+	f := s.f
+	switch f.wrap {
+	case wrapAlways:
+		if s.bits&latchedBit != 0 {
+			return logic.Violation
+		}
+		return logic.Unknown
+	case wrapEventually:
+		if s.bits&latchedBit != 0 {
+			return logic.Validation
+		}
+		return logic.Unknown
+	default:
+		if s.bits&startedBit != 0 && s.bits&(1<<uint(f.root)) != 0 {
+			return logic.Match
+		}
+		return logic.Unknown
+	}
+}
+
+// Alphabet implements logic.Blueprint.
+func (m *Monitor) Alphabet() []string { return m.f.alphabet }
+
+// Start implements logic.Blueprint.
+func (m *Monitor) Start() logic.State { return state{f: m.f} }
+
+// Categories implements logic.Blueprint.
+func (m *Monitor) Categories() []logic.Category {
+	switch m.f.wrap {
+	case wrapAlways:
+		return []logic.Category{logic.Unknown, logic.Violation}
+	case wrapEventually:
+		return []logic.Category{logic.Unknown, logic.Validation}
+	default:
+		return []logic.Category{logic.Unknown, logic.Match}
+	}
+}
+
+// Explore implements logic.Explorable.
+func (m *Monitor) Explore(limit int) (*logic.Graph, error) {
+	return logic.ExploreStates(m, func(s logic.State) any { return s.(state).bits }, limit)
+}
+
+var _ logic.Explorable = (*Monitor)(nil)

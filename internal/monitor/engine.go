@@ -1,0 +1,745 @@
+package monitor
+
+import (
+	"fmt"
+
+	"rvgo/internal/heap"
+	"rvgo/internal/index"
+	"rvgo/internal/logic"
+	"rvgo/internal/param"
+)
+
+// GCPolicy selects how monitor instances are reclaimed.
+type GCPolicy int
+
+const (
+	// GCNone never flags monitors: the pre-GC baseline.
+	GCNone GCPolicy = iota
+	// GCAllDead flags a monitor only when every bound parameter object has
+	// been collected — the JavaMOP condition the paper improves upon.
+	GCAllDead
+	// GCCoenable is the paper's contribution: a monitor is flagged as soon
+	// as its ALIVENESS formula (derived from coenable sets and the last
+	// event observed) becomes false, plus termination of dead states.
+	GCCoenable
+)
+
+func (p GCPolicy) String() string {
+	switch p {
+	case GCNone:
+		return "none"
+	case GCAllDead:
+		return "alldead"
+	case GCCoenable:
+		return "coenable"
+	}
+	return fmt.Sprintf("GCPolicy(%d)", int(p))
+}
+
+// CreationStrategy selects how new monitor instances are materialized.
+type CreationStrategy int
+
+const (
+	// CreateEnable uses the enable-set analysis (Chen et al., ASE'09) plus
+	// a fresh-object guard: a progenitor θ'' may be extended to θ' only
+	// when the parameters in dom(θ')\dom(θ'') bind objects receiving their
+	// first event now. Sound for G-verdicts; skips instances that could
+	// never trigger. This is the production strategy.
+	CreateEnable CreationStrategy = iota
+	// CreateFull materializes every lub {θ} ⊔ Θ exactly as in Figure 5.
+	// Quadratic in the worst case; used as the semantic oracle in tests.
+	CreateFull
+)
+
+// Verdict is one goal-category report delivered to the handler.
+type Verdict struct {
+	Spec *Spec
+	Sym  int
+	Cat  logic.Category
+	Inst param.Instance
+}
+
+// Options configures an Engine.
+type Options struct {
+	GC       GCPolicy
+	Creation CreationStrategy
+	// OnVerdict is the specification handler; nil counts verdicts only.
+	OnVerdict func(Verdict)
+	// SweepInterval is the number of events between tombstone sweeps
+	// (0 = default).
+	SweepInterval int
+}
+
+// Stats are the monitoring counters of the paper's Figure 10, plus some.
+type Stats struct {
+	Events       uint64 // E: parametric events dispatched
+	Created      uint64 // M: monitor instances created
+	Flagged      uint64 // FM: flagged unnecessary by ALIVENESS/termination
+	Collected    uint64 // CM: dropped from every container
+	GoalVerdicts uint64 // handler invocations
+	Steps        uint64 // base-monitor transitions taken
+	Live         int64  // currently live (uncollected) monitors
+	PeakLive     int64  // maximum of Live
+}
+
+// Mon is one monitor instance: a parameter instance θ, the state of its
+// trace slice, and GC bookkeeping.
+type Mon struct {
+	eng        *Engine
+	inst       param.Instance
+	state      logic.State
+	lastSym    int32
+	paramsSeen param.Set
+	flagged    bool
+	collected  bool
+	refs       int32
+}
+
+// Inst returns the monitor's parameter instance.
+func (m *Mon) Inst() param.Instance { return m.inst }
+
+// NotifyParamDeath implements index.Monitor: re-evaluate ALIVENESS under
+// the engine's GC policy (Figure 7A: monitors below a dead mapping are
+// notified and decide for themselves).
+func (m *Mon) NotifyParamDeath() {
+	if m.flagged {
+		return
+	}
+	switch m.eng.opts.GC {
+	case GCNone:
+	case GCAllDead:
+		if m.inst.AliveMask().Empty() {
+			m.flag()
+		}
+	case GCCoenable:
+		m.eng.checkAliveness(m)
+	}
+}
+
+// Collectable implements index.Monitor.
+func (m *Mon) Collectable() bool { return m.flagged }
+
+// Retain implements index.Monitor.
+func (m *Mon) Retain() { m.refs++ }
+
+// Release implements index.Monitor.
+func (m *Mon) Release() {
+	m.refs--
+	if m.refs <= 0 && !m.collected {
+		m.collected = true
+		m.eng.stats.Collected++
+		m.eng.stats.Live--
+	}
+}
+
+func (m *Mon) flag() {
+	if !m.flagged {
+		m.flagged = true
+		m.eng.stats.Flagged++
+	}
+}
+
+// domainReg indexes the monitor instances whose domain is exactly R, for
+// the creation joins: projections[O] maps θ|O to the instances agreeing on
+// O; all holds every instance (used when a join has empty overlap).
+type domainReg struct {
+	R           param.Set
+	projections map[param.Set]*index.Tree
+	all         *index.Set
+}
+
+// Engine is the RV runtime for one specification.
+type Engine struct {
+	spec *Spec
+	an   *Analysis
+	opts Options
+	bp   logic.Blueprint
+	// botState is Δ(⊥): the state of the empty-domain slice. It only
+	// advances on propositional events (D(e) = ∅) and is the progenitor
+	// state for instances created from ⊥.
+	botState logic.State
+
+	// trees are the dispatch indexing trees, one per event parameter set
+	// (Figure 6).
+	trees map[param.Set]*index.Tree
+	// exact is Δ's domain: instance key → monitor (kept while flagged so a
+	// terminated instance is never re-materialized with a wrong slice).
+	exact map[param.Key]*Mon
+	// regs are the per-domain join indexes (CreateEnable).
+	regs map[param.Set]*domainReg
+	// domains is every instance domain, descending popcount.
+	domains []param.Set
+	// joins[sym] lists the domains R (⊉ D(e)) that a CreateEnable join
+	// must consider for events with symbol sym, with the overlap O.
+	joins [][]joinPlan
+
+	// seen records, per object that has appeared in an event, which event
+	// parameter-domains it appeared under; seenInst records the exact
+	// instances of multi-parameter events. Both are swept periodically and
+	// back the fresh-object creation guard.
+	seen      map[uint64]*seenRec
+	seenInst  map[param.Key]param.Instance
+	evDomains []param.Set // distinct event parameter sets, for seenRec bits
+	domBit    []uint16    // per symbol, bit for its domain in seenRec.doms
+	sinceSwep int
+
+	stats Stats
+
+	// scratch, reused across events.
+	processed map[param.Key]bool
+	pendAdd   []*Mon
+}
+
+type joinPlan struct {
+	R param.Set
+	O param.Set
+}
+
+// seenRec tracks one object's event history shape: which event domains it
+// has been bound under.
+type seenRec struct {
+	ref  heap.Ref
+	doms uint16
+}
+
+// New builds an engine for a spec; Analyze is run if it has not been.
+func New(spec *Spec, opts Options) (*Engine, error) {
+	an, err := spec.Analysis()
+	if err != nil {
+		return nil, err
+	}
+	if opts.SweepInterval <= 0 {
+		opts.SweepInterval = 1 << 14
+	}
+	e := &Engine{
+		spec:      spec,
+		an:        an,
+		opts:      opts,
+		bp:        spec.RuntimeBlueprint(),
+		trees:     map[param.Set]*index.Tree{},
+		exact:     map[param.Key]*Mon{},
+		regs:      map[param.Set]*domainReg{},
+		seen:      map[uint64]*seenRec{},
+		seenInst:  map[param.Key]param.Instance{},
+		processed: map[param.Key]bool{},
+	}
+	e.domBit = make([]uint16, len(spec.Events))
+	for sym, ev := range spec.Events {
+		found := -1
+		for i, d := range e.evDomains {
+			if d == ev.Params {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			found = len(e.evDomains)
+			e.evDomains = append(e.evDomains, ev.Params)
+		}
+		e.domBit[sym] = 1 << uint(found)
+	}
+	e.botState = e.bp.Start()
+
+	// Dispatch trees: one per distinct event parameter set.
+	for _, ev := range spec.Events {
+		if !ev.Params.Empty() {
+			if _, ok := e.trees[ev.Params]; !ok {
+				e.trees[ev.Params] = index.NewTree(ev.Params)
+			}
+		}
+	}
+	// Instance domains: closure of event parameter sets under union.
+	domSet := map[param.Set]bool{}
+	for _, ev := range spec.Events {
+		if !ev.Params.Empty() {
+			domSet[ev.Params] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		var cur []param.Set
+		for d := range domSet {
+			cur = append(cur, d)
+		}
+		for _, a := range cur {
+			for _, b := range cur {
+				u := a.Union(b)
+				if !domSet[u] {
+					domSet[u] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for d := range domSet {
+		e.domains = append(e.domains, d)
+	}
+	sortDomains(e.domains)
+	for d := range domSet {
+		e.regs[d] = &domainReg{R: d, projections: map[param.Set]*index.Tree{}, all: index.NewSet()}
+	}
+
+	// Join plans: for event e and domain R ⊉ D(e), the overlap O = R∩D(e).
+	// Under CreateEnable a join is statically skipped when no nonempty
+	// enable parameter set fits inside R (an exactly-R progenitor's
+	// paramsSeen is a nonempty subset of R).
+	e.joins = make([][]joinPlan, len(spec.Events))
+	for sym, ev := range spec.Events {
+		for _, R := range e.domains {
+			if ev.Params.SubsetOf(R) {
+				continue // instances ⊒ θ: handled by dispatch
+			}
+			if opts.Creation == CreateEnable {
+				ok := false
+				for y := range an.EnableParams[sym] {
+					if !y.Empty() && y.SubsetOf(R) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+			}
+			O := R.Inter(ev.Params)
+			e.joins[sym] = append(e.joins[sym], joinPlan{R: R, O: O})
+			if !O.Empty() {
+				reg := e.regs[R]
+				if _, ok := reg.projections[O]; !ok {
+					reg.projections[O] = index.NewTree(O)
+				}
+			}
+		}
+	}
+	return e, nil
+}
+
+// Spec returns the engine's specification.
+func (e *Engine) Spec() *Spec { return e.spec }
+
+// Stats returns a copy of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// EmitNamed dispatches an event by name; vals bind D(e)'s parameters in
+// ascending parameter-index order.
+func (e *Engine) EmitNamed(name string, vals ...heap.Ref) error {
+	sym, ok := e.spec.Symbol(name)
+	if !ok {
+		return fmt.Errorf("monitor: spec %q has no event %q", e.spec.Name, name)
+	}
+	e.Emit(sym, vals...)
+	return nil
+}
+
+// Emit dispatches the parametric event sym⟨vals⟩. vals bind the parameters
+// in D(e) in ascending index order and must all be alive.
+func (e *Engine) Emit(sym int, vals ...heap.Ref) {
+	theta := param.Of(e.spec.Events[sym].Params, vals...)
+	e.Dispatch(sym, theta)
+}
+
+// Dispatch processes one parametric event (the body of Figure 5's loop,
+// with indexing trees playing the role of Δ and Θ).
+func (e *Engine) Dispatch(sym int, theta param.Instance) {
+	e.stats.Events++
+	clear(e.processed)
+	e.pendAdd = e.pendAdd[:0]
+	evParams := e.spec.Events[sym].Params
+
+	// 1. Dispatch to existing monitors more informative than θ.
+	if evParams.Empty() {
+		// Propositional event: every instance's slice includes it, ⊥'s
+		// too.
+		ms := make([]*Mon, 0, len(e.exact))
+		for _, m := range e.exact {
+			if !m.flagged {
+				ms = append(ms, m)
+			}
+		}
+		sortMons(ms)
+		for _, m := range ms {
+			e.step(m, sym)
+			e.processed[m.inst.Key()] = true
+		}
+		e.botState = e.botState.Step(sym)
+		return
+	}
+	if leaf := e.trees[evParams].Lookup(theta); leaf != nil {
+		leaf.ForEach(func(im index.Monitor) {
+			m := im.(*Mon)
+			e.step(m, sym)
+			e.processed[m.inst.Key()] = true
+		})
+	}
+
+	// 2. Creation joins: combine θ with compatible existing instances of
+	// other domains (largest first, so a new instance is built from the
+	// most informative progenitor).
+	switch e.opts.Creation {
+	case CreateFull:
+		// Exact Figure 5 semantics: scan Θ for all compatible instances.
+		// Joins must read pre-event states; monitors in the dispatch set
+		// were already stepped, but those are ⊒ θ and their lub with θ is
+		// themselves (already processed), so progenitors here are exactly
+		// the un-stepped ones. Candidates are visited most informative
+		// first: because Θ is lub-closed under CreateFull, the first
+		// candidate producing a given lub is max{θ'' ∈ Θ | θ'' ⊑ θ'}.
+		var cands []*Mon
+		for _, m := range e.exact {
+			if m.flagged || e.processed[m.inst.Key()] {
+				continue
+			}
+			if m.inst.Compatible(theta) {
+				cands = append(cands, m)
+			}
+		}
+		sortMonsByInformativeness(cands)
+		for _, m := range cands {
+			e.tryCreate(sym, theta, m)
+		}
+	case CreateEnable:
+		for _, jp := range e.joins[sym] {
+			reg := e.regs[jp.R]
+			if jp.O.Empty() {
+				reg.all.ForEach(func(im index.Monitor) {
+					e.tryCreate(sym, theta, im.(*Mon))
+				})
+				continue
+			}
+			if leaf := reg.projections[jp.O].Lookup(theta); leaf != nil {
+				leaf.ForEach(func(im index.Monitor) {
+					e.tryCreate(sym, theta, im.(*Mon))
+				})
+			}
+		}
+	}
+
+	// 3. θ itself, from ⊥, if nothing else materialized it.
+	if !e.processed[theta.Key()] {
+		if _, exists := e.exact[theta.Key()]; !exists {
+			switch {
+			case e.opts.Creation == CreateFull:
+				e.create(sym, theta, e.botState, 0)
+			case e.an.Creation[sym] && e.priorEventsOK(theta, 0):
+				e.create(sym, theta, e.botState, 0)
+			}
+		}
+	}
+
+	// 4. Insert the new monitors into the indexing structures.
+	for _, m := range e.pendAdd {
+		e.insert(m)
+	}
+
+	// 5. Mark θ's objects as seen and sweep tombstones periodically.
+	for _, p := range evParams.Members() {
+		v := theta.Value(p)
+		rec, ok := e.seen[v.ID()]
+		if !ok {
+			rec = &seenRec{ref: v}
+			e.seen[v.ID()] = rec
+		}
+		rec.doms |= e.domBit[sym]
+	}
+	if evParams.Count() > 1 {
+		e.seenInst[theta.Key()] = theta
+	}
+	e.sinceSwep++
+	if e.sinceSwep >= e.opts.SweepInterval {
+		e.sinceSwep = 0
+		e.sweep()
+	}
+}
+
+// tryCreate materializes θ' = progenitor ⊔ θ if permitted.
+func (e *Engine) tryCreate(sym int, theta param.Instance, prog *Mon) {
+	if prog.flagged {
+		return
+	}
+	lub, ok := prog.inst.Lub(theta)
+	if !ok {
+		return
+	}
+	k := lub.Key()
+	if e.processed[k] {
+		return
+	}
+	if _, exists := e.exact[k]; exists {
+		// Already materialized (it was in the dispatch set, possibly
+		// flagged); never rebuild from a less informative slice.
+		e.processed[k] = true
+		return
+	}
+	if e.opts.Creation == CreateEnable {
+		// Enable check: the progenitor's slice (the candidate's prefix)
+		// must be a viable goal-trace prefix for this event.
+		if !e.an.EnableParams[sym][prog.paramsSeen] {
+			return
+		}
+		if !e.priorEventsOK(lub, prog.inst.Mask()) {
+			return
+		}
+	}
+	e.create(sym, lub, prog.state, prog.paramsSeen)
+}
+
+// priorEventsOK is the fresh-object creation guard of CreateEnable: θ' may
+// be built from a progenitor covering progDom ⊆ dom(θ') only when no prior
+// event belongs to θ”s slice without being in the progenitor's. A prior
+// event is in θ”s slice when its instance is ⊑ θ', which requires its
+// parameter domain to fit inside dom(θ') and its objects to match θ”s; a
+// prior event under a singleton domain {x} always matches (same object),
+// and for multi-parameter domains the exact sub-instance θ'|D is looked up
+// in seenInst. Skipping creation is sound: either the conflicting prior
+// event materialized a progenitor the joins already consulted (and the lub
+// closure loss means no instance carries the merged slice), or it was
+// itself skipped as unable to reach G (enable theorem), making θ”s true
+// slice unviable. The price is completeness on object-recombination
+// interleavings, which JavaMOP's timestamp scheme trades away as well (see
+// DESIGN.md).
+func (e *Engine) priorEventsOK(lub param.Instance, progDom param.Set) bool {
+	target := lub.Mask()
+	for _, x := range target.Diff(progDom).Members() {
+		rec, ok := e.seen[lub.Value(x).ID()]
+		if !ok {
+			continue
+		}
+		for bi, d := range e.evDomains {
+			if rec.doms&(1<<uint(bi)) == 0 || !d.SubsetOf(target) {
+				continue
+			}
+			if d == param.SetOf(x) {
+				return false
+			}
+			if _, hit := e.seenInst[lub.Restrict(d).Key()]; hit {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// create builds a monitor for θ' from a progenitor state, steps it with the
+// current event, and queues it for insertion.
+func (e *Engine) create(sym int, inst param.Instance, base logic.State, seen param.Set) {
+	m := &Mon{eng: e, inst: inst, state: base, paramsSeen: seen}
+	e.stats.Created++
+	e.stats.Live++
+	if e.stats.Live > e.stats.PeakLive {
+		e.stats.PeakLive = e.stats.Live
+	}
+	e.exact[inst.Key()] = m
+	e.processed[inst.Key()] = true
+	e.step(m, sym)
+	e.pendAdd = append(e.pendAdd, m)
+}
+
+// step advances one monitor with an event, reports goal verdicts and
+// applies monitor termination.
+func (e *Engine) step(m *Mon, sym int) {
+	m.state = m.state.Step(sym)
+	m.lastSym = int32(sym)
+	m.paramsSeen = m.paramsSeen.Union(e.spec.Events[sym].Params)
+	e.stats.Steps++
+	cat := m.state.Category()
+	if e.spec.goalSet[cat] {
+		e.stats.GoalVerdicts++
+		if e.opts.OnVerdict != nil {
+			e.opts.OnVerdict(Verdict{Spec: e.spec, Sym: sym, Cat: cat, Inst: m.inst})
+		}
+	}
+	if e.opts.GC == GCCoenable {
+		if e.an.Dead(m.state) {
+			m.flag()
+			return
+		}
+		if e.an.HasCoenable && len(e.an.CoenParams[sym]) == 0 {
+			// No suffix can reach G after this event (∅-only coenable
+			// family): terminate after the handler has run (§3).
+			m.flag()
+		}
+	}
+}
+
+// checkAliveness evaluates the ALIVENESS formula for the monitor's last
+// event (Figure 7 / §4.2.2).
+func (e *Engine) checkAliveness(m *Mon) {
+	if !e.an.HasCoenable {
+		// Fall back to the all-dead condition.
+		if m.inst.AliveMask().Empty() {
+			m.flag()
+		}
+		return
+	}
+	disjuncts := e.an.CoenParams[m.lastSym]
+	if !alive(disjuncts, m.inst) {
+		m.flag()
+	}
+}
+
+func alive(disjuncts []param.Set, inst param.Instance) bool {
+	bound := inst.Mask()
+	aliveMask := inst.AliveMask()
+	deadBound := bound.Diff(aliveMask)
+	for _, s := range disjuncts {
+		if s.Inter(deadBound).Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// insert places a monitor into every dispatch tree over a subset of its
+// domain and into its domain registry.
+func (e *Engine) insert(m *Mon) {
+	dom := m.inst.Mask()
+	for ps, tree := range e.trees {
+		if ps.SubsetOf(dom) {
+			tree.GetOrCreate(m.inst).Add(m)
+		}
+	}
+	reg := e.regs[dom]
+	reg.all.Add(m)
+	for _, tree := range reg.projections {
+		tree.GetOrCreate(m.inst).Add(m)
+	}
+}
+
+// sweep applies the physical weak-reference semantics the paper's systems
+// get from the JVM: bookkeeping entries whose objects died are dropped.
+//
+//   - Δ entries (exact) for instances with a dead bound object go — such an
+//     instance can never recur in an event, so no wrong-slice resurrection
+//     is possible. Flagged monitors whose objects all live stay as
+//     tombstones: their instances can recur, and rebuilding them from a
+//     progenitor would resurrect them with a wrong slice.
+//   - Domain registries release members with dead bound objects: in
+//     JavaMOP/RV a progenitor is only reachable through weak-keyed trees,
+//     so the death of any of its objects ends its progenitor role.
+//   - Fresh-object guard records for dead objects go as well.
+func (e *Engine) sweep() {
+	for k, m := range e.exact {
+		if m.inst.AliveMask() != m.inst.Mask() {
+			if !m.flagged {
+				// An object died without the trees noticing yet; give the
+				// monitor its notification now (equivalent to the paper's
+				// tree-access notification, just on the sweep path).
+				m.NotifyParamDeath()
+			}
+			delete(e.exact, k)
+		}
+	}
+	for id, rec := range e.seen {
+		if !rec.ref.Alive() {
+			delete(e.seen, id)
+		}
+	}
+	for k, inst := range e.seenInst {
+		if inst.AliveMask() != inst.Mask() {
+			delete(e.seenInst, k)
+		}
+	}
+	for _, reg := range e.regs {
+		reg.all.CompactWith(deadParam)
+	}
+}
+
+func deadParam(im index.Monitor) bool {
+	m := im.(*Mon)
+	return m.inst.AliveMask() != m.inst.Mask()
+}
+
+// Flush performs a full expunge/compaction pass over every structure; used
+// at the end of a monitored run so the Figure 10 counters settle.
+func (e *Engine) Flush() {
+	for _, t := range e.trees {
+		flushTree(t.Root())
+	}
+	for _, reg := range e.regs {
+		reg.all.Compact()
+		for _, t := range reg.projections {
+			flushTree(t.Root())
+		}
+	}
+	e.sweep()
+}
+
+func flushTree(m *index.Map) {
+	m.ExpungeAll()
+	m.EachEntry(func(_ heap.Ref, v index.Value) {
+		switch n := v.(type) {
+		case *index.Map:
+			flushTree(n)
+		case *index.Set:
+			n.Compact()
+		}
+	})
+	m.ExpungeAll()
+}
+
+// Monitors returns the live (unflagged, uncollected) monitor instances,
+// for tests and diagnostics.
+func (e *Engine) Monitors() []*Mon {
+	var out []*Mon
+	for _, m := range e.exact {
+		if !m.flagged && !m.collected {
+			out = append(out, m)
+		}
+	}
+	sortMons(out)
+	return out
+}
+
+// State returns the current base state for θ, or nil if no monitor exists.
+func (e *Engine) State(inst param.Instance) logic.State {
+	if m, ok := e.exact[inst.Key()]; ok && !m.flagged {
+		return m.state
+	}
+	return nil
+}
+
+func sortDomains(ds []param.Set) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && domLess(ds[j], ds[j-1]); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+// domLess orders domains by descending popcount (largest progenitors
+// first), then ascending mask.
+func domLess(a, b param.Set) bool {
+	if a.Count() != b.Count() {
+		return a.Count() > b.Count()
+	}
+	return a < b
+}
+
+func sortMons(ms []*Mon) {
+	keys := make([]param.Key, len(ms))
+	byKey := map[param.Key]*Mon{}
+	for i, m := range ms {
+		keys[i] = m.inst.Key()
+		byKey[keys[i]] = m
+	}
+	param.SortKeys(keys)
+	for i, k := range keys {
+		ms[i] = byKey[k]
+	}
+}
+
+// sortMonsByInformativeness orders monitors by descending domain size, then
+// by instance key for determinism.
+func sortMonsByInformativeness(ms []*Mon) {
+	sortMons(ms)
+	// Stable re-partition by popcount, descending.
+	var out []*Mon
+	for c := param.MaxParams; c >= 0; c-- {
+		for _, m := range ms {
+			if m.inst.Mask().Count() == c {
+				out = append(out, m)
+			}
+		}
+	}
+	copy(ms, out)
+}

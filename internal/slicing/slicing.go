@@ -1,0 +1,171 @@
+// Package slicing implements the semantic ground truth of parametric
+// monitoring: trace slicing (Definition 6), parametric properties
+// (Definition 7) and the abstract monitoring algorithm MONITOR(M) of
+// Figure 5. It is deliberately naive — tables keyed by canonical parameter
+// instances, no indexing trees, no GC — and serves as the oracle that the
+// optimized engine (package monitor) is property-tested against.
+package slicing
+
+import (
+	"rvgo/internal/logic"
+	"rvgo/internal/param"
+)
+
+// Event is a parametric event e⟨θ⟩.
+type Event struct {
+	Sym  int
+	Inst param.Instance
+}
+
+// Slice computes the θ-trace slice τ↾θ (Definition 6): the base symbols of
+// the events whose parameter instances are less informative than θ.
+func Slice(trace []Event, theta param.Instance) []int {
+	var out []int
+	for _, e := range trace {
+		if e.Inst.LessInformative(theta) {
+			out = append(out, e.Sym)
+		}
+	}
+	return out
+}
+
+// RunBase runs a base monitor over a non-parametric trace and returns the
+// final verdict category γ(σ(ı, w)).
+func RunBase(bp logic.Blueprint, w []int) logic.Category {
+	s := bp.Start()
+	for _, a := range w {
+		s = s.Step(a)
+	}
+	return s.Category()
+}
+
+// PropertyAt evaluates the parametric property ΛX.P at τ and θ
+// (Definition 7): P(τ↾θ).
+func PropertyAt(bp logic.Blueprint, trace []Event, theta param.Instance) logic.Category {
+	return RunBase(bp, Slice(trace, theta))
+}
+
+// Monitor is the abstract parametric monitor of Figure 5. Δ maps parameter
+// instances to base-monitor states, Θ is the set of known instances
+// (always containing ⊥ and closed under lubs of compatible members), and Γ
+// the verdict table.
+type Monitor struct {
+	bp    logic.Blueprint
+	delta map[param.Key]logic.State
+	insts map[param.Key]param.Instance
+	gamma map[param.Key]logic.Category
+}
+
+// New creates the abstract monitor with Δ(⊥) = ı and Θ = {⊥}.
+func New(bp logic.Blueprint) *Monitor {
+	m := &Monitor{
+		bp:    bp,
+		delta: map[param.Key]logic.State{},
+		insts: map[param.Key]param.Instance{},
+		gamma: map[param.Key]logic.Category{},
+	}
+	bot := param.Empty()
+	m.delta[bot.Key()] = bp.Start()
+	m.insts[bot.Key()] = bot
+	m.gamma[bot.Key()] = bp.Start().Category()
+	return m
+}
+
+// Update is one verdict-table update produced by processing an event.
+type Update struct {
+	Inst param.Instance
+	Cat  logic.Category
+}
+
+// Process implements the body of the foreach loop in Figure 5 for one
+// parametric event e⟨θ⟩, returning the Γ updates in deterministic order.
+func (m *Monitor) Process(e Event) []Update {
+	theta := e.Inst
+
+	// {θ} ⊔ Θ: lubs of θ with every compatible known instance. ⊥ ∈ Θ, so
+	// θ itself always appears.
+	targets := map[param.Key]param.Instance{}
+	for _, known := range m.insts {
+		if lub, ok := known.Lub(theta); ok {
+			targets[lub.Key()] = lub
+		}
+	}
+
+	// Compute all new states against the *old* tables, then commit: line 4
+	// of Figure 5 reads Δ(max{θ'' ∈ Θ | θ'' ⊑ θ'}) from the pre-event
+	// state even when θ' itself is being updated in the same iteration.
+	type pending struct {
+		inst  param.Instance
+		state logic.State
+	}
+	var commits []pending
+	for _, tgt := range targets {
+		base := m.maxBelow(tgt)
+		commits = append(commits, pending{inst: tgt, state: m.delta[base.Key()].Step(e.Sym)})
+	}
+	var ups []Update
+	for _, c := range commits {
+		k := c.inst.Key()
+		m.delta[k] = c.state
+		m.insts[k] = c.inst
+		cat := c.state.Category()
+		m.gamma[k] = cat
+		ups = append(ups, Update{Inst: c.inst, Cat: cat})
+	}
+	sortUpdates(ups)
+	return ups
+}
+
+// maxBelow returns max{θ” ∈ Θ | θ” ⊑ θ'}. Because Θ is closed under lubs
+// of compatible instances, the maximum is unique (all members below θ' are
+// pairwise compatible, and their lub is itself below θ' and in Θ).
+func (m *Monitor) maxBelow(tgt param.Instance) param.Instance {
+	best := param.Empty()
+	bestCount := -1
+	for _, known := range m.insts {
+		if known.LessInformative(tgt) && known.Mask().Count() > bestCount {
+			best = known
+			bestCount = known.Mask().Count()
+		}
+	}
+	return best
+}
+
+// Gamma returns the verdict table entry for θ, defaulting to the verdict of
+// the empty slice for unknown instances (Definition 7 assigns every θ a
+// verdict; unseen instances have the empty slice).
+func (m *Monitor) Gamma(theta param.Instance) logic.Category {
+	if c, ok := m.gamma[theta.Key()]; ok {
+		return c
+	}
+	// Unknown θ: its slice is that of max{θ'' ∈ Θ | θ'' ⊑ θ}.
+	base := m.maxBelow(theta)
+	return m.delta[base.Key()].Category()
+}
+
+// Instances returns all known parameter instances (Θ), ⊥ included.
+func (m *Monitor) Instances() []param.Instance {
+	out := make([]param.Instance, 0, len(m.insts))
+	keys := make([]param.Key, 0, len(m.insts))
+	for k := range m.insts {
+		keys = append(keys, k)
+	}
+	param.SortKeys(keys)
+	for _, k := range keys {
+		out = append(out, m.insts[k])
+	}
+	return out
+}
+
+func sortUpdates(ups []Update) {
+	keys := make([]param.Key, len(ups))
+	byKey := map[param.Key]Update{}
+	for i, u := range ups {
+		keys[i] = u.Inst.Key()
+		byKey[keys[i]] = u
+	}
+	param.SortKeys(keys)
+	for i, k := range keys {
+		ups[i] = byKey[k]
+	}
+}

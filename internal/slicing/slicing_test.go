@@ -1,0 +1,178 @@
+package slicing_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rvgo/internal/ere"
+	"rvgo/internal/heap"
+	"rvgo/internal/logic"
+	"rvgo/internal/param"
+	"rvgo/internal/slicing"
+)
+
+const (
+	pC = 0
+	pI = 1
+)
+
+const (
+	symCreate = 0
+	symUpdate = 1
+	symNext   = 2
+)
+
+func unsafeIterBP(t testing.TB) logic.Blueprint {
+	t.Helper()
+	bp, err := ere.Compile("update* create next* update+ next",
+		[]string{"create", "update", "next"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+// TestPaperSliceExample reproduces the slicing example below Definition 6:
+// for τ = update⟨c1⟩ update⟨c2⟩ create⟨c1,i1⟩ next⟨i1⟩,
+//
+//	τ↾⟨c2⟩     = update
+//	τ↾⟨c1⟩     = update
+//	τ↾⟨c1,i1⟩  = update create next
+//	τ↾⟨i1⟩     = next
+//
+// (the paper lists the ⟨c1,i1⟩ slice as "update next" against its own
+// Definition 6 — create⟨c1,i1⟩ ⊑ ⟨c1,i1⟩, so create is in the slice; the
+// prose around Figure 3 confirms create belongs to the full slice.)
+func TestPaperSliceExample(t *testing.T) {
+	h := heap.New()
+	c1, c2, i1 := h.Alloc("c1"), h.Alloc("c2"), h.Alloc("i1")
+	tau := []slicing.Event{
+		{Sym: symUpdate, Inst: param.Empty().Bind(pC, c1)},
+		{Sym: symUpdate, Inst: param.Empty().Bind(pC, c2)},
+		{Sym: symCreate, Inst: param.Empty().Bind(pC, c1).Bind(pI, i1)},
+		{Sym: symNext, Inst: param.Empty().Bind(pI, i1)},
+	}
+	cases := []struct {
+		theta param.Instance
+		want  []int
+	}{
+		{param.Empty().Bind(pC, c2), []int{symUpdate}},
+		{param.Empty().Bind(pC, c1), []int{symUpdate}},
+		{param.Empty().Bind(pC, c1).Bind(pI, i1), []int{symUpdate, symCreate, symNext}},
+		{param.Empty().Bind(pI, i1), []int{symNext}},
+		{param.Empty(), nil},
+	}
+	for _, c := range cases {
+		got := slicing.Slice(tau, c.theta)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("slice for %s: got %v want %v", c.theta, got, c.want)
+		}
+	}
+}
+
+// TestMonitorComputesParametricProperty is the paper's central correctness
+// statement (TACAS'09 theorem, restated above Figure 5): after processing
+// τ, Γ(θ) = P(τ↾θ) for every θ. Verified on random parametric traces for
+// every instance over the seen values.
+func TestMonitorComputesParametricProperty(t *testing.T) {
+	bp := unsafeIterBP(t)
+	h := heap.New()
+	cols := []*heap.Object{h.Alloc("c1"), h.Alloc("c2")}
+	iters := []*heap.Object{h.Alloc("i1"), h.Alloc("i2"), h.Alloc("i3")}
+
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mon := slicing.New(bp)
+		var tau []slicing.Event
+		for n := 0; n < 40; n++ {
+			var e slicing.Event
+			switch rng.Intn(3) {
+			case 0:
+				e = slicing.Event{Sym: symUpdate, Inst: param.Empty().Bind(pC, cols[rng.Intn(2)])}
+			case 1:
+				e = slicing.Event{Sym: symCreate,
+					Inst: param.Empty().Bind(pC, cols[rng.Intn(2)]).Bind(pI, iters[rng.Intn(3)])}
+			case 2:
+				e = slicing.Event{Sym: symNext, Inst: param.Empty().Bind(pI, iters[rng.Intn(3)])}
+			}
+			tau = append(tau, e)
+			mon.Process(e)
+
+			// Check Γ against Definition 7 for every instance over the
+			// seen values (the full cross product, including partial
+			// ones).
+			for _, theta := range allInstances(cols, iters) {
+				got := mon.Gamma(theta)
+				want := slicing.PropertyAt(bp, tau, theta)
+				if got != want {
+					t.Fatalf("seed %d after %d events: Γ(%s) = %s, P(τ↾θ) = %s",
+						seed, len(tau), theta, got, want)
+				}
+			}
+		}
+	}
+}
+
+func allInstances(cols, iters []*heap.Object) []param.Instance {
+	out := []param.Instance{param.Empty()}
+	for _, c := range cols {
+		out = append(out, param.Empty().Bind(pC, c))
+	}
+	for _, i := range iters {
+		out = append(out, param.Empty().Bind(pI, i))
+	}
+	for _, c := range cols {
+		for _, i := range iters {
+			out = append(out, param.Empty().Bind(pC, c).Bind(pI, i))
+		}
+	}
+	return out
+}
+
+// TestThetaLubClosure: Θ stays closed under lubs of compatible members
+// (the invariant that makes line 4's max unique).
+func TestThetaLubClosure(t *testing.T) {
+	bp := unsafeIterBP(t)
+	h := heap.New()
+	cols := []*heap.Object{h.Alloc("c1"), h.Alloc("c2")}
+	iters := []*heap.Object{h.Alloc("i1"), h.Alloc("i2")}
+	rng := rand.New(rand.NewSource(4))
+	mon := slicing.New(bp)
+	for n := 0; n < 60; n++ {
+		switch rng.Intn(3) {
+		case 0:
+			mon.Process(slicing.Event{Sym: symUpdate, Inst: param.Empty().Bind(pC, cols[rng.Intn(2)])})
+		case 1:
+			mon.Process(slicing.Event{Sym: symCreate,
+				Inst: param.Empty().Bind(pC, cols[rng.Intn(2)]).Bind(pI, iters[rng.Intn(2)])})
+		case 2:
+			mon.Process(slicing.Event{Sym: symNext, Inst: param.Empty().Bind(pI, iters[rng.Intn(2)])})
+		}
+		insts := mon.Instances()
+		keys := map[param.Key]bool{}
+		for _, a := range insts {
+			keys[a.Key()] = true
+		}
+		for _, a := range insts {
+			for _, b := range insts {
+				if lub, ok := a.Lub(b); ok && !keys[lub.Key()] {
+					t.Fatalf("Θ not lub-closed: %s ⊔ %s missing", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRunBase(t *testing.T) {
+	bp := unsafeIterBP(t)
+	if got := slicing.RunBase(bp, []int{symCreate, symNext, symUpdate, symNext}); got != logic.Match {
+		t.Fatalf("create next update next = %s, want match", got)
+	}
+	if got := slicing.RunBase(bp, []int{symNext}); got != logic.Fail {
+		t.Fatalf("next = %s, want fail", got)
+	}
+	if got := slicing.RunBase(bp, nil); got != logic.Unknown {
+		t.Fatalf("ε = %s, want ?", got)
+	}
+}

@@ -1,0 +1,127 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"rvgo/internal/cfg"
+	"rvgo/internal/ere"
+	"rvgo/internal/fsm"
+	"rvgo/internal/logic"
+	"rvgo/internal/ltl"
+	"rvgo/internal/monitor"
+	"rvgo/internal/param"
+)
+
+// Compiled is one runnable monitor compiled from a logic block: Figure 2
+// shows a single property carrying both an fsm and an ltl block, each with
+// its own handlers, so compilation yields one Compiled per block.
+type Compiled struct {
+	Spec *monitor.Spec
+	Kind string // formalism of the block
+	// Handlers maps verdict categories to handler body text; the host
+	// decides how to run them (rvmon interprets `print "..."`).
+	Handlers map[logic.Category]string
+}
+
+// Compile compiles every logic block of the property.
+func (p *Property) Compile() ([]*Compiled, error) {
+	alphabet := make([]string, len(p.Events))
+	events := make([]monitor.EventDef, len(p.Events))
+	paramIdx := map[string]int{}
+	var paramNames []string
+	for i, prm := range p.Params {
+		paramIdx[prm.Name] = i
+		paramNames = append(paramNames, prm.Name)
+	}
+	if len(p.Params) > param.MaxParams {
+		return nil, fmt.Errorf("spec: %q has %d parameters, max %d", p.Name, len(p.Params), param.MaxParams)
+	}
+	for i, ev := range p.Events {
+		alphabet[i] = ev.Name
+		var ps param.Set
+		for _, prm := range ev.Params {
+			ps = ps.Union(param.SetOf(paramIdx[prm]))
+		}
+		events[i] = monitor.EventDef{Name: ev.Name, Params: ps}
+	}
+
+	var out []*Compiled
+	for bi, lb := range p.Logics {
+		bp, err := buildBlueprint(lb, alphabet)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %q %s block: %w", p.Name, lb.Kind, err)
+		}
+		handlers := map[logic.Category]string{}
+		var goal []logic.Category
+		for _, h := range lb.Handlers {
+			cat := logic.Category(h.Category)
+			if _, dup := handlers[cat]; dup {
+				return nil, fmt.Errorf("spec: %q has duplicate handler @%s", p.Name, h.Category)
+			}
+			handlers[cat] = h.Body
+			goal = append(goal, cat)
+		}
+		name := p.Name
+		if len(p.Logics) > 1 {
+			name = fmt.Sprintf("%s#%s%d", p.Name, lb.Kind, bi)
+		}
+		s := &monitor.Spec{
+			Name:   name,
+			Params: paramNames,
+			Events: events,
+			BP:     bp,
+			Goal:   goal,
+		}
+		if err := s.Analyze(); err != nil {
+			return nil, fmt.Errorf("spec: %q: %w", p.Name, err)
+		}
+		out = append(out, &Compiled{Spec: s, Kind: lb.Kind, Handlers: handlers})
+	}
+	return out, nil
+}
+
+func buildBlueprint(lb LogicBlock, alphabet []string) (logic.Blueprint, error) {
+	switch lb.Kind {
+	case "fsm":
+		m := fsm.New(alphabet)
+		for _, st := range lb.FSM {
+			if err := m.AddState(st.Name); err != nil {
+				return nil, err
+			}
+		}
+		for _, st := range lb.FSM {
+			for _, tr := range st.Trans {
+				if err := m.AddTransition(st.Name, tr.Event, tr.To); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := m.Freeze(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case "ere":
+		return ere.Compile(lb.Body, alphabet)
+	case "ltl":
+		return ltl.Compile(lb.Body, alphabet)
+	case "cfg":
+		return cfg.CompileAuto(lb.Body, alphabet)
+	}
+	return nil, fmt.Errorf("unknown formalism %q", lb.Kind)
+}
+
+// RunHandler interprets a handler body: each `print "..."` line yields one
+// output line; anything else is ignored (handler bodies are arbitrary Java
+// in the paper — printing is what its examples do).
+func RunHandler(body string, emit func(string)) {
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		line = strings.TrimSuffix(line, ";")
+		if rest, ok := strings.CutPrefix(line, "print"); ok {
+			rest = strings.TrimSpace(rest)
+			rest = strings.Trim(rest, `"`)
+			emit(rest)
+		}
+	}
+}
