@@ -22,6 +22,7 @@ import (
 	"rvgo/internal/monitor"
 	"rvgo/internal/param"
 	"rvgo/internal/props"
+	"rvgo/internal/shard"
 	"rvgo/internal/slicing"
 	"rvgo/internal/tracematches"
 )
@@ -221,6 +222,113 @@ func BenchmarkSweepInterval(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// --- sharded runtime scaling ---
+
+// shardBackends is the grid compared by the scaling benchmarks: the
+// sequential engine and the sharded runtime at 1/2/4/8 workers.
+var shardBackends = []struct {
+	name   string
+	shards int // 0 = sequential monitor.Engine
+}{
+	{"Sequential", 0},
+	{"Shards1", 1},
+	{"Shards2", 2},
+	{"Shards4", 4},
+	{"Shards8", 8},
+}
+
+// newShardBenchBackend builds one backend for a scaling benchmark.
+func newShardBenchBackend(b *testing.B, propName string, shards int) monitor.Runtime {
+	b.Helper()
+	spec, err := props.Build(propName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := monitor.Options{GC: monitor.GCCoenable, Creation: monitor.CreateEnable}
+	if shards == 0 {
+		eng, err := monitor.New(spec, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+	rt, err := shard.New(spec, shard.Options{Options: opts, Shards: shards, BatchSize: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rt
+}
+
+// BenchmarkShardScalingHasNext measures event throughput on the synthetic
+// multi-slice workload where sharding is embarrassingly parallel: HASNEXT
+// slices are single-iterator, every event binds the pivot, nothing
+// broadcasts. ns/op is per event; compare Sequential vs ShardsN (on a
+// multi-core host, 4 shards should clear 2× the sequential throughput).
+func BenchmarkShardScalingHasNext(b *testing.B) {
+	for _, bk := range shardBackends {
+		b.Run(bk.name, func(b *testing.B) {
+			rt := newShardBenchBackend(b, "HasNext", bk.shards)
+			defer rt.Close()
+			h := heap.New()
+			iters := make([]*heap.Object, 1024)
+			for i := range iters {
+				iters[i] = h.Alloc("")
+			}
+			spec := rt.Spec()
+			hnT, _ := spec.Symbol("hasnexttrue")
+			nxt, _ := spec.Symbol("next")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				it := iters[i&1023]
+				if i&1 == 0 {
+					rt.Emit(hnT, it)
+				} else {
+					rt.Emit(nxt, it)
+				}
+			}
+			rt.Barrier()
+		})
+	}
+}
+
+// BenchmarkShardScalingUnsafeIter is the honest mixed case: next events do
+// not bind the UNSAFEITER pivot (the collection) and broadcast to every
+// shard, so scaling is sublinear — the benchmark quantifies the broadcast
+// tax alongside the routed update/create traffic.
+func BenchmarkShardScalingUnsafeIter(b *testing.B) {
+	for _, bk := range shardBackends {
+		b.Run(bk.name, func(b *testing.B) {
+			rt := newShardBenchBackend(b, "UnsafeIter", bk.shards)
+			defer rt.Close()
+			h := heap.New()
+			spec := rt.Spec()
+			create, _ := spec.Symbol("create")
+			update, _ := spec.Symbol("update")
+			next, _ := spec.Symbol("next")
+			const nColl = 64
+			cols := make([]*heap.Object, nColl)
+			its := make([]*heap.Object, nColl*16)
+			for c := range cols {
+				cols[c] = h.Alloc("")
+			}
+			for i := range its {
+				its[i] = h.Alloc("")
+				rt.Emit(create, cols[i%nColl], its[i])
+			}
+			rt.Barrier() // drain the setup events before the clock starts
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i&7 == 7 {
+					rt.Emit(update, cols[i%nColl])
+				} else {
+					rt.Emit(next, its[i%len(its)])
+				}
+			}
+			rt.Barrier()
 		})
 	}
 }

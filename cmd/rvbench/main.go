@@ -5,7 +5,13 @@
 // Usage:
 //
 //	rvbench [-table fig9a|fig9b|fig10|all] [-scale 0.1] [-timeout 60s]
-//	        [-bench bloat,pmd,...] [-prop HasNext,...] [-v]
+//	        [-bench bloat,pmd,...] [-prop HasNext,...] [-shards N]
+//	        [-json] [-v]
+//
+// -shards N > 1 runs the RV and MOP cells on the sharded concurrent
+// runtime (internal/shard) instead of the sequential engine. -json emits
+// the full result grid as machine-readable JSON instead of the tables, so
+// runs can be archived (BENCH_*.json) and compared across revisions.
 //
 // Scale 1.0 corresponds to roughly 1/50 of the paper's event volumes; the
 // default keeps the full grid under a few minutes. Absolute numbers are
@@ -15,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +41,8 @@ func main() {
 		timeout = flag.Duration("timeout", 60*time.Second, "per-cell time budget (exceeded = ∞)")
 		benchs  = flag.String("bench", "", "comma-separated benchmark subset (default: all 15)")
 		prs     = flag.String("prop", "", "comma-separated property subset (default: the paper's five)")
+		shards  = flag.Int("shards", 1, "RV/MOP backend: 1 = sequential engine, >1 = sharded runtime")
+		jsonOut = flag.Bool("json", false, "emit the result grid as JSON instead of tables")
 		verbose = flag.Bool("v", false, "print per-cell progress")
 	)
 	flag.Parse()
@@ -41,6 +50,7 @@ func main() {
 	cfg := eval.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Timeout = *timeout
+	cfg.Shards = *shards
 	if *benchs != "" {
 		cfg.Benchmarks = splitList(*benchs)
 		for _, b := range cfg.Benchmarks {
@@ -65,6 +75,14 @@ func main() {
 	res, err := eval.Run(cfg, progress)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	}
 	switch *table {
 	case "fig9a":

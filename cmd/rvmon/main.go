@@ -3,7 +3,13 @@
 //
 // Usage:
 //
-//	rvmon -spec hasnext.rv [-trace trace.txt] [-gc coenable|alldead|none] [-stats]
+//	rvmon -spec hasnext.rv [-trace trace.txt] [-gc coenable|alldead|none]
+//	      [-shards N] [-stats]
+//
+// -shards N > 1 monitors on the sharded concurrent runtime
+// (internal/shard); trace semantics are unchanged — the runtime is
+// barriered before every "free" line so deaths land at their trace
+// positions, exactly as the sequential engine observes them.
 //
 // The trace is read from the file or stdin, one step per line:
 //
@@ -25,6 +31,7 @@ import (
 
 	"rvgo/internal/heap"
 	"rvgo/internal/monitor"
+	"rvgo/internal/shard"
 	"rvgo/internal/spec"
 )
 
@@ -33,6 +40,7 @@ func main() {
 		specPath  = flag.String("spec", "", "path to the .rv specification (required)")
 		tracePath = flag.String("trace", "", "path to the trace file (default: stdin)")
 		gcMode    = flag.String("gc", "coenable", "monitor GC policy: coenable, alldead, none")
+		shards    = flag.Int("shards", 1, "1 = sequential engine, >1 = sharded runtime")
 		stats     = flag.Bool("stats", false, "print monitoring statistics at the end")
 	)
 	flag.Parse()
@@ -64,10 +72,10 @@ func main() {
 		fatalf("unknown -gc %q", *gcMode)
 	}
 
-	var engines []*monitor.Engine
+	var engines []monitor.Runtime
 	for _, c := range compiled {
 		c := c
-		eng, err := monitor.New(c.Spec, monitor.Options{
+		opts := monitor.Options{
 			GC:       gc,
 			Creation: monitor.CreateEnable,
 			OnVerdict: func(v monitor.Verdict) {
@@ -76,7 +84,14 @@ func main() {
 					spec.RunHandler(body, func(line string) { fmt.Println("  " + line) })
 				}
 			},
-		})
+		}
+		var eng monitor.Runtime
+		var err error
+		if *shards > 1 {
+			eng, err = shard.New(c.Spec, shard.Options{Options: opts, Shards: *shards})
+		} else {
+			eng, err = monitor.New(c.Spec, opts)
+		}
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -113,6 +128,11 @@ func main() {
 			continue
 		}
 		if fields[0] == "free" {
+			// Process everything dispatched so far, so asynchronous
+			// backends observe the death at its trace position.
+			for _, eng := range engines {
+				eng.Barrier()
+			}
 			for _, name := range fields[1:] {
 				if o, ok := objects[name]; ok {
 					h.Free(o)
@@ -157,6 +177,9 @@ func main() {
 			fmt.Printf("%s: events=%d created=%d flagged=%d collected=%d verdicts=%d\n",
 				eng.Spec().Name, st.Events, st.Created, st.Flagged, st.Collected, st.GoalVerdicts)
 		}
+	}
+	for _, eng := range engines {
+		eng.Close()
 	}
 }
 

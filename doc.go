@@ -5,6 +5,14 @@
 // parametric monitor instances, paired with lazily collected weak-keyed
 // indexing trees.
 //
+// Two interchangeable runtimes implement the monitor.Runtime interface:
+// the sequential engine of the paper (internal/monitor) and a sharded
+// concurrent runtime (internal/shard) that partitions the monitor store
+// across single-threaded engine workers by a pivot parameter derived from
+// the enable-set analysis, with batched, backpressured event ingestion —
+// the slicing semantics make disjoint parameter bindings independent, so
+// the store shards without any cross-shard locking.
+//
 // The library lives under internal/ (one package per subsystem — see
 // DESIGN.md for the inventory), with three command-line tools:
 //

@@ -1,0 +1,3 @@
+module rvgo
+
+go 1.24

@@ -11,8 +11,10 @@ import (
 	"time"
 
 	"rvgo/internal/dacapo"
+	"rvgo/internal/heap"
 	"rvgo/internal/monitor"
 	"rvgo/internal/props"
+	"rvgo/internal/shard"
 	"rvgo/internal/tracematches"
 )
 
@@ -33,6 +35,10 @@ type Config struct {
 	Benchmarks []string
 	Properties []string
 	Systems    []System
+	// Shards selects the monitoring backend for the RV and MOP cells:
+	// 0 or 1 is the sequential engine, >1 the sharded runtime
+	// (internal/shard) with that many workers.
+	Shards int
 }
 
 // DefaultConfig returns the full Figure 9/10 grid at a CI-friendly scale.
@@ -87,8 +93,10 @@ func (s *memSampler) sample() {
 func (s *memSampler) mb() float64 { return float64(s.peak) / (1 << 20) }
 
 // runWorkload executes one profile with the given sinks attached and
-// returns duration, peak memory and timeout status.
-func runWorkload(bench string, scale float64, timeout time.Duration, attach func(rt *dacapo.Runtime) error) (sec float64, peakMB float64, timedOut bool, err error) {
+// returns duration, peak memory and timeout status. settle, if non-nil,
+// runs inside the timed region after the workload ends — asynchronous
+// backends pass their Barrier so queued events count against the clock.
+func runWorkload(bench string, scale float64, timeout time.Duration, attach func(rt *dacapo.Runtime) error, settle func()) (sec float64, peakMB float64, timedOut bool, err error) {
 	p, ok := dacapo.Get(bench)
 	if !ok {
 		return 0, 0, false, fmt.Errorf("eval: unknown benchmark %q", bench)
@@ -108,6 +116,9 @@ func runWorkload(bench string, scale float64, timeout time.Duration, attach func
 	sampler.sample()
 	start := time.Now()
 	werr := p.Run(rt, scale)
+	if settle != nil {
+		settle()
+	}
 	sec = time.Since(start).Seconds()
 	sampler.sample()
 	if werr == dacapo.ErrTimeout {
@@ -132,14 +143,14 @@ func memSink(s *memSampler) dacapo.Sink {
 // precedes the measurement so the baseline is not penalized for cold
 // caches relative to the monitored runs that follow it.
 func RunBaseline(bench string, scale float64) (Baseline, error) {
-	if _, _, _, err := runWorkload(bench, scale, 0, nil); err != nil {
+	if _, _, _, err := runWorkload(bench, scale, 0, nil, nil); err != nil {
 		return Baseline{}, err
 	}
 	events := uint64(0)
 	sec, mem, _, err := runWorkload(bench, scale, 0, func(rt *dacapo.Runtime) error {
 		rt.AddSink(func(dacapo.Event) { events++ })
 		return nil
-	})
+	}, nil)
 	if err != nil {
 		return Baseline{}, err
 	}
@@ -148,10 +159,20 @@ func RunBaseline(bench string, scale float64) (Baseline, error) {
 	return Baseline{RunSec: sec, PeakMemMB: mem, Events: events}, nil
 }
 
+// newEngine builds the RV/MOP monitoring backend: the sequential engine,
+// or the sharded runtime when cfg.Shards > 1.
+func newEngine(spec *monitor.Spec, gc monitor.GCPolicy, cfg Config) (monitor.Runtime, error) {
+	opts := monitor.Options{GC: gc, Creation: monitor.CreateEnable}
+	if cfg.Shards > 1 {
+		return shard.New(spec, shard.Options{Options: opts, Shards: cfg.Shards})
+	}
+	return monitor.New(spec, opts)
+}
+
 // RunCell measures one benchmark × property × system combination.
 func RunCell(bench, prop string, sys System, base Baseline, cfg Config) (Cell, error) {
 	var cell Cell
-	var eng *monitor.Engine
+	var eng monitor.Runtime
 	var tme *tracematches.Engine
 
 	attach := func(rt *dacapo.Runtime) error {
@@ -165,7 +186,7 @@ func RunCell(bench, prop string, sys System, base Baseline, cfg Config) (Cell, e
 			if sys == SysMOP {
 				gc = monitor.GCAllDead
 			}
-			eng, err = monitor.New(spec, monitor.Options{GC: gc, Creation: monitor.CreateEnable})
+			eng, err = newEngine(spec, gc, cfg)
 			if err != nil {
 				return err
 			}
@@ -174,6 +195,13 @@ func RunCell(bench, prop string, sys System, base Baseline, cfg Config) (Cell, e
 				return err
 			}
 			rt.AddSink(sink)
+			if cfg.Shards > 1 {
+				// Barrier the asynchronous backend before every object
+				// death, so the Figure 10 counters stay trace-faithful and
+				// comparable to the sequential engine. Death-racing
+				// throughput is measured by bench_test.go instead.
+				rt.Heap.SetFreeHook(func(*heap.Object) { eng.Barrier() })
+			}
 		case SysTM:
 			tme, err = tracematches.New(spec, tracematches.Options{})
 			if err != nil {
@@ -190,7 +218,12 @@ func RunCell(bench, prop string, sys System, base Baseline, cfg Config) (Cell, e
 		return nil
 	}
 
-	sec, mem, timedOut, err := runWorkload(bench, cfg.Scale, cfg.Timeout, attach)
+	settle := func() {
+		if eng != nil {
+			eng.Barrier()
+		}
+	}
+	sec, mem, timedOut, err := runWorkload(bench, cfg.Scale, cfg.Timeout, attach, settle)
 	if err != nil {
 		return cell, err
 	}
@@ -203,6 +236,7 @@ func RunCell(bench, prop string, sys System, base Baseline, cfg Config) (Cell, e
 	if eng != nil {
 		eng.Flush()
 		cell.Stats = eng.Stats()
+		eng.Close()
 	}
 	if tme != nil {
 		tme.Sweep()
@@ -215,14 +249,14 @@ func RunCell(bench, prop string, sys System, base Baseline, cfg Config) (Cell, e
 // paper's ALL column, "not possible in other monitoring systems").
 func RunAllProps(bench string, base Baseline, cfg Config) (Cell, error) {
 	var cell Cell
-	engines := make([]*monitor.Engine, 0, len(cfg.Properties))
+	engines := make([]monitor.Runtime, 0, len(cfg.Properties))
 	attach := func(rt *dacapo.Runtime) error {
 		for _, prop := range cfg.Properties {
 			spec, err := props.Build(prop)
 			if err != nil {
 				return err
 			}
-			eng, err := monitor.New(spec, monitor.Options{GC: monitor.GCCoenable, Creation: monitor.CreateEnable})
+			eng, err := newEngine(spec, monitor.GCCoenable, cfg)
 			if err != nil {
 				return err
 			}
@@ -233,9 +267,23 @@ func RunAllProps(bench string, base Baseline, cfg Config) (Cell, error) {
 			rt.AddSink(sink)
 			engines = append(engines, eng)
 		}
+		if cfg.Shards > 1 {
+			// As in RunCell: deaths are barriered so counters stay
+			// trace-faithful on the asynchronous backend.
+			rt.Heap.SetFreeHook(func(*heap.Object) {
+				for _, eng := range engines {
+					eng.Barrier()
+				}
+			})
+		}
 		return nil
 	}
-	sec, mem, timedOut, err := runWorkload(bench, cfg.Scale, cfg.Timeout, attach)
+	settle := func() {
+		for _, eng := range engines {
+			eng.Barrier()
+		}
+	}
+	sec, mem, timedOut, err := runWorkload(bench, cfg.Scale, cfg.Timeout, attach, settle)
 	if err != nil {
 		return cell, err
 	}
@@ -255,6 +303,7 @@ func RunAllProps(bench string, base Baseline, cfg Config) (Cell, error) {
 		cell.Stats.GoalVerdicts += st.GoalVerdicts
 		cell.Stats.Live += st.Live
 		cell.Stats.PeakLive += st.PeakLive
+		eng.Close()
 	}
 	return cell, nil
 }

@@ -89,3 +89,27 @@ func TestRunCellUnknownBenchmark(t *testing.T) {
 		t.Fatal("unknown benchmark must error")
 	}
 }
+
+// TestRunCellSharded: the sharded backend runs a cell end to end and
+// reports sane counters. RunCell barriers the runtime before every object
+// death (via the heap free hook), so this exercises the trace-faithful
+// path; exact equivalence with the sequential engine is covered by
+// internal/shard's oracle tests.
+func TestRunCellSharded(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Shards = 4
+	base, err := eval.RunBaseline("avrora", cfg.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := eval.RunCell("avrora", "UnsafeIter", eval.SysRV, base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Stats.Events == 0 || cell.Stats.Created == 0 {
+		t.Fatalf("sharded cell saw no monitoring activity: %+v", cell.Stats)
+	}
+	if cell.Stats.Collected == 0 {
+		t.Fatalf("sharded cell collected nothing: %+v", cell.Stats)
+	}
+}

@@ -41,11 +41,12 @@ type Ref interface {
 // the workload calls Free, which is the moment the "collector" runs for
 // them. Heap is safe for concurrent use.
 type Heap struct {
-	mu     sync.Mutex
-	nextID uint64
-	live   int
-	allocs uint64
-	frees  uint64
+	mu       sync.Mutex
+	nextID   uint64
+	live     int
+	allocs   uint64
+	frees    uint64
+	freeHook func(*Object)
 }
 
 // New returns an empty simulated heap.
@@ -71,16 +72,33 @@ func (h *Heap) Alloc(label string) *Object {
 }
 
 // Free marks the object as collected. Freeing an already-dead object is a
-// no-op.
+// no-op, even when frees race: the hook-then-mark sequence runs under the
+// heap lock, so the free hook fires exactly once per object, strictly
+// before the death becomes visible through Alive.
 func (h *Heap) Free(o *Object) {
-	if o == nil || o.dead.Swap(true) {
+	if o == nil || o.dead.Load() {
 		return
 	}
 	h.mu.Lock()
+	if o.dead.Load() {
+		h.mu.Unlock()
+		return
+	}
+	if h.freeHook != nil {
+		h.freeHook(o)
+	}
+	o.dead.Store(true)
 	h.live--
 	h.frees++
 	h.mu.Unlock()
 }
+
+// SetFreeHook registers f to run once per effective Free, before the
+// object is marked dead. Trace recorders use it to capture death points in
+// event order, and test harnesses use it to barrier asynchronous consumers
+// against object death. Set it before the workload runs; the hook runs
+// under the heap lock and must not call back into this Heap.
+func (h *Heap) SetFreeHook(f func(*Object)) { h.freeHook = f }
 
 // Stats returns the number of live objects, total allocations and frees.
 func (h *Heap) Stats() (live int, allocs, frees uint64) {

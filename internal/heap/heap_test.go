@@ -1,6 +1,7 @@
 package heap_test
 
 import (
+	"runtime"
 	"testing"
 
 	"rvgo/internal/heap"
@@ -62,4 +63,7 @@ func TestWeakRefAliveWhileHeld(t *testing.T) {
 	if w.ID() == 0 {
 		t.Fatal("weak ids must be nonzero")
 	}
+	// Without this, the compiler may treat p as dead before ForceCollect
+	// and the GC is free to clear the weak pointer mid-test.
+	runtime.KeepAlive(p)
 }

@@ -349,7 +349,11 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 	// 1. Dispatch to existing monitors more informative than θ.
 	if evParams.Empty() {
 		// Propositional event: every instance's slice includes it, ⊥'s
-		// too.
+		// too. The same deterministic rule as the indexed path applies
+		// (observeDeaths): a parameter death is observed before stepping,
+		// and the monitor is skipped only if that flags it. Δ keeps
+		// unflagged monitors even after a parameter death (see sweep), so
+		// membership here never depends on sweep timing.
 		ms := make([]*Mon, 0, len(e.exact))
 		for _, m := range e.exact {
 			if !m.flagged {
@@ -358,6 +362,9 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 		}
 		sortMons(ms)
 		for _, m := range ms {
+			if !e.observeDeaths(m) {
+				continue
+			}
 			e.step(m, sym)
 			e.processed[m.inst.Key()] = true
 		}
@@ -367,6 +374,9 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 	if leaf := e.trees[evParams].Lookup(theta); leaf != nil {
 		leaf.ForEach(func(im index.Monitor) {
 			m := im.(*Mon)
+			if !e.observeDeaths(m) {
+				return
+			}
 			e.step(m, sym)
 			e.processed[m.inst.Key()] = true
 		})
@@ -451,9 +461,41 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 	}
 }
 
+// observeDeaths delivers parameter-death notifications for a monitor at a
+// deterministic point — the moment an event or a creation join reaches it —
+// rather than whenever lazy expunging or a sweep happens to discover the
+// death (Figure 7's notification, hoisted onto the access path). Verdict
+// semantics are unchanged: a monitor is only flagged when its ALIVENESS
+// formula is false, and by Theorem 1 such a monitor can never reach a goal
+// verdict. What eagerness buys is that step and creation decisions become a
+// pure function of the per-slice event/death sequence, independent of
+// expunge quotas and sweep intervals — the property that lets the sharded
+// runtime (internal/shard) compare its merged counters exactly against the
+// sequential engine. Reports whether the monitor may be stepped.
+func (e *Engine) observeDeaths(m *Mon) bool {
+	if m.flagged {
+		return false
+	}
+	if m.inst.AliveMask() != m.inst.Mask() {
+		m.NotifyParamDeath()
+		return !m.flagged
+	}
+	return true
+}
+
 // tryCreate materializes θ' = progenitor ⊔ θ if permitted.
 func (e *Engine) tryCreate(sym int, theta param.Instance, prog *Mon) {
 	if prog.flagged {
+		return
+	}
+	if e.opts.Creation == CreateEnable && prog.inst.AliveMask() != prog.inst.Mask() {
+		// The death of any bound object ends the progenitor role: in
+		// JavaMOP/RV a progenitor is only reachable through weak-keyed
+		// trees (see sweep). Observing the death here, instead of at the
+		// sweep that would compact the registry, makes the creation
+		// decision deterministic. CreateFull is exempt — it is the exact
+		// Figure 5 oracle, and Figure 5 has no notion of object death.
+		prog.NotifyParamDeath()
 		return
 	}
 	lub, ok := prog.inst.Lub(theta)
@@ -608,11 +650,15 @@ func (e *Engine) insert(m *Mon) {
 // sweep applies the physical weak-reference semantics the paper's systems
 // get from the JVM: bookkeeping entries whose objects died are dropped.
 //
-//   - Δ entries (exact) for instances with a dead bound object go — such an
-//     instance can never recur in an event, so no wrong-slice resurrection
-//     is possible. Flagged monitors whose objects all live stay as
-//     tombstones: their instances can recur, and rebuilding them from a
-//     progenitor would resurrect them with a wrong slice.
+//   - Δ entries (exact) for *flagged* instances with a dead bound object go
+//     — such an instance can never recur in an event, so no wrong-slice
+//     resurrection is possible, and the flag means nothing will step it
+//     again. Unflagged monitors stay even with a dead parameter (they
+//     remain reachable through live keys in the weak trees, and keeping
+//     them makes propositional dispatch independent of sweep timing).
+//     Flagged monitors whose objects all live stay as tombstones: their
+//     instances can recur, and rebuilding them from a progenitor would
+//     resurrect them with a wrong slice.
 //   - Domain registries release members with dead bound objects: in
 //     JavaMOP/RV a progenitor is only reachable through weak-keyed trees,
 //     so the death of any of its objects ends its progenitor role.
@@ -626,7 +672,9 @@ func (e *Engine) sweep() {
 				// tree-access notification, just on the sweep path).
 				m.NotifyParamDeath()
 			}
-			delete(e.exact, k)
+			if m.flagged {
+				delete(e.exact, k)
+			}
 		}
 	}
 	for id, rec := range e.seen {
@@ -651,17 +699,27 @@ func deadParam(im index.Monitor) bool {
 
 // Flush performs a full expunge/compaction pass over every structure; used
 // at the end of a monitored run so the Figure 10 counters settle.
+//
+// Two passes are required for the counters to converge deterministically:
+// the first delivers every pending death notification (expunging a dead key
+// notifies the monitors below; the sweep notifies exact-map stragglers), but
+// a monitor can become flagged mid-pass, after some of its containers were
+// already compacted — which containers depends on map iteration order. The
+// second pass re-compacts with the settled flag state, releasing every
+// flagged monitor from every container.
 func (e *Engine) Flush() {
-	for _, t := range e.trees {
-		flushTree(t.Root())
-	}
-	for _, reg := range e.regs {
-		reg.all.Compact()
-		for _, t := range reg.projections {
+	for pass := 0; pass < 2; pass++ {
+		for _, t := range e.trees {
 			flushTree(t.Root())
 		}
+		for _, reg := range e.regs {
+			reg.all.Compact()
+			for _, t := range reg.projections {
+				flushTree(t.Root())
+			}
+		}
+		e.sweep()
 	}
-	e.sweep()
 }
 
 func flushTree(m *index.Map) {

@@ -1,0 +1,47 @@
+package monitor
+
+import (
+	"rvgo/internal/heap"
+	"rvgo/internal/param"
+)
+
+// Runtime is the engine-agnostic monitoring surface: everything a workload
+// adapter, a trace driver or the evaluation harness needs from a backend.
+// The sequential Engine implements it synchronously; the sharded runtime
+// (package internal/shard) implements it over a pool of Engine workers.
+// Every future backend (remote, persistent, ...) should implement Runtime
+// so the tools in cmd/ can run it unchanged.
+type Runtime interface {
+	// Spec returns the specification being monitored.
+	Spec() *Spec
+	// Emit dispatches the parametric event sym⟨vals⟩; vals bind D(e) in
+	// ascending parameter-index order and must all be alive.
+	Emit(sym int, vals ...heap.Ref)
+	// EmitNamed dispatches an event by name.
+	EmitNamed(name string, vals ...heap.Ref) error
+	// Dispatch processes one parametric event.
+	Dispatch(sym int, theta param.Instance)
+	// Barrier returns once every event dispatched before the call has been
+	// fully processed. Synchronous backends return immediately.
+	Barrier()
+	// Flush performs a full expunge/compaction pass so the Figure 10
+	// counters settle; it implies Barrier.
+	Flush()
+	// Stats returns the monitoring counters. For asynchronous backends the
+	// snapshot covers at least every event processed before the last
+	// Barrier or Flush.
+	Stats() Stats
+	// Close releases backend resources (worker goroutines, mailboxes).
+	// Dispatching after Close is a programming error.
+	Close()
+}
+
+var _ Runtime = (*Engine)(nil)
+
+// Barrier implements Runtime. The sequential engine processes events
+// synchronously, so every dispatched event is already fully processed.
+func (e *Engine) Barrier() {}
+
+// Close implements Runtime. The sequential engine holds no goroutines or
+// external resources.
+func (e *Engine) Close() {}

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"testing"
+
+	"rvgo/internal/heap"
+	"rvgo/internal/monitor"
+	"rvgo/internal/param"
+	"rvgo/internal/props"
+)
+
+// TestTryDispatchBackpressure stalls a worker and fills its mailbox:
+// TryDispatch must refuse exactly when the mailbox is full and accept
+// again once the worker drains.
+func TestTryDispatchBackpressure(t *testing.T) {
+	spec, err := props.Build("HasNext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const depth = 4
+	rt, err := New(spec, Options{
+		Options:      monitor.Options{GC: monitor.GCCoenable, Creation: monitor.CreateEnable},
+		Shards:       2,
+		BatchSize:    1,
+		MailboxDepth: depth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// Find an object routed to shard 0.
+	h := heap.New()
+	var it heap.Ref
+	for {
+		o := h.Alloc("i")
+		if target, _ := rt.router.Route(0, param.Of(param.SetOf(0), o)); target == 0 {
+			it = o
+			break
+		}
+	}
+	theta := param.Of(param.SetOf(0), it)
+
+	// Stall worker 0 inside a control request; entered guarantees the
+	// worker has taken the request off the mailbox.
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	done := rt.workers[0].control(func(*monitor.Engine) {
+		entered <- struct{}{}
+		<-gate
+	})
+	<-entered
+
+	// With BatchSize 1 every accepted event is one mailbox send: exactly
+	// depth of them fit while the worker is stalled.
+	for k := 0; k < depth; k++ {
+		if !rt.TryDispatch(0, theta) {
+			t.Fatalf("TryDispatch refused at %d/%d with mailbox space left", k, depth)
+		}
+	}
+	if rt.TryDispatch(0, theta) {
+		t.Fatal("TryDispatch accepted with a full mailbox and stalled worker")
+	}
+	// The other shard is idle and must still accept its own events.
+	var other heap.Ref
+	for {
+		o := h.Alloc("j")
+		if target, _ := rt.router.Route(0, param.Of(param.SetOf(0), o)); target == 1 {
+			other = o
+			break
+		}
+	}
+	if !rt.TryDispatch(0, param.Of(param.SetOf(0), other)) {
+		t.Fatal("a stalled shard must not block TryDispatch to other shards")
+	}
+
+	close(gate)
+	<-done
+	rt.Barrier()
+	if !rt.TryDispatch(0, theta) {
+		t.Fatal("TryDispatch must accept again after the worker drained")
+	}
+	rt.Barrier()
+	if got := rt.Stats().Events; got != depth+2 {
+		t.Fatalf("Events = %d, want %d", got, depth+2)
+	}
+}
+
+// TestPartialBatchVisible: Stats and Barrier must flush a partially filled
+// batch; events never linger in the open batch.
+func TestPartialBatchVisible(t *testing.T) {
+	spec, err := props.Build("HasNext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(spec, Options{
+		Options:   monitor.Options{GC: monitor.GCCoenable, Creation: monitor.CreateEnable},
+		Shards:    4,
+		BatchSize: 1024, // far larger than the event count
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	h := heap.New()
+	hnT, _ := spec.Symbol("hasnexttrue")
+	for k := 0; k < 5; k++ {
+		rt.Emit(hnT, h.Alloc("i"))
+	}
+	st := rt.Stats()
+	if st.Events != 5 || st.Created != 5 {
+		t.Fatalf("stats after partial batch = %+v, want Events=5 Created=5", st)
+	}
+}
+
+// TestStatsAfterClose: `defer rt.Close()` must compose with reading the
+// final counters in any order — Stats/ShardStats return the captured
+// values, Barrier/Flush are no-ops, Close is idempotent.
+func TestStatsAfterClose(t *testing.T) {
+	spec, err := props.Build("HasNext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(spec, Options{
+		Options: monitor.Options{GC: monitor.GCCoenable, Creation: monitor.CreateEnable},
+		Shards:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := heap.New()
+	hnT, _ := spec.Symbol("hasnexttrue")
+	for k := 0; k < 7; k++ {
+		rt.Emit(hnT, h.Alloc("i"))
+	}
+	rt.Close()
+	rt.Close() // idempotent
+	rt.Barrier()
+	rt.Flush()
+	st := rt.Stats()
+	if st.Events != 7 || st.Created != 7 {
+		t.Fatalf("post-Close stats = %+v, want Events=7 Created=7", st)
+	}
+	if got := len(rt.ShardStats()); got != 4 {
+		t.Fatalf("post-Close ShardStats has %d shards, want 4", got)
+	}
+}

@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"sync"
+
+	"rvgo/internal/monitor"
+	"rvgo/internal/param"
+)
+
+// event is one parametric event in flight to a shard.
+type event struct {
+	sym  int
+	inst param.Instance
+}
+
+// message is one mailbox element: either a batch of events or a control
+// request executed by the worker between batches (stats snapshots, flushes,
+// barriers). Control requests ride the same FIFO as batches, so by the time
+// one executes, every event enqueued before it has been processed.
+type message struct {
+	batch []event
+	ctl   func(*monitor.Engine)
+	done  chan<- struct{}
+}
+
+// batchPool recycles event batches between producers and workers without
+// taking any worker lock (a worker must never need a producer-side lock to
+// make progress, or a blocking Dispatch holding that lock would deadlock).
+var batchPool = sync.Pool{New: func() any { return []event(nil) }}
+
+func getBatch(capHint int) []event {
+	b := batchPool.Get().([]event)
+	if cap(b) < capHint {
+		b = make([]event, 0, capHint)
+	}
+	return b[:0]
+}
+
+func putBatch(b []event) {
+	clear(b)
+	batchPool.Put(b[:0])
+}
+
+// worker is one shard: a single-threaded monitor.Engine behind a bounded
+// mailbox of event batches. All mailbox sends happen while holding mu, so
+// the channel's free capacity can only grow between a producer's check and
+// its send; the worker only receives and never takes mu.
+type worker struct {
+	idx     int
+	eng     *monitor.Engine
+	mu      sync.Mutex
+	pending []event // open batch, always len < batchSize outside mu
+	mailbox chan message
+	batchSz int
+}
+
+// run is the shard goroutine: drain batches in FIFO order, execute control
+// requests in between.
+func (w *worker) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for msg := range w.mailbox {
+		if msg.ctl != nil {
+			msg.ctl(w.eng)
+			close(msg.done)
+			continue
+		}
+		for _, ev := range msg.batch {
+			w.eng.Dispatch(ev.sym, ev.inst)
+		}
+		putBatch(msg.batch)
+	}
+}
+
+// enqueue appends one event to the open batch, shipping the batch to the
+// mailbox when it fills. The mailbox send blocks while holding mu — that is
+// the backpressure: further producers queue on the mutex until the worker
+// drains a batch.
+func (w *worker) enqueue(ev event) {
+	w.mu.Lock()
+	w.pending = append(w.pending, ev)
+	if len(w.pending) >= w.batchSz {
+		w.mailbox <- message{batch: w.pending}
+		w.pending = getBatch(w.batchSz)
+	}
+	w.mu.Unlock()
+}
+
+// canAccept reports whether one more event fits without blocking: either
+// the open batch has room to spare, or the mailbox can take the filled
+// batch. Callers must hold mu.
+func (w *worker) canAccept() bool {
+	return len(w.pending)+1 < w.batchSz || len(w.mailbox) < cap(w.mailbox)
+}
+
+// enqueueLocked is enqueue for callers already holding mu after a positive
+// canAccept: the mailbox send is guaranteed not to block.
+func (w *worker) enqueueLocked(ev event) {
+	w.pending = append(w.pending, ev)
+	if len(w.pending) >= w.batchSz {
+		w.mailbox <- message{batch: w.pending}
+		w.pending = getBatch(w.batchSz)
+	}
+}
+
+// flush ships the open batch even if partially filled.
+func (w *worker) flush() {
+	w.mu.Lock()
+	if len(w.pending) > 0 {
+		w.mailbox <- message{batch: w.pending}
+		w.pending = getBatch(w.batchSz)
+	}
+	w.mu.Unlock()
+}
+
+// control flushes the open batch and enqueues a control request behind it,
+// returning the done channel.
+func (w *worker) control(ctl func(*monitor.Engine)) <-chan struct{} {
+	done := make(chan struct{})
+	w.mu.Lock()
+	if len(w.pending) > 0 {
+		w.mailbox <- message{batch: w.pending}
+		w.pending = getBatch(w.batchSz)
+	}
+	w.mailbox <- message{ctl: ctl, done: done}
+	w.mu.Unlock()
+	return done
+}

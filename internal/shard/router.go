@@ -1,0 +1,114 @@
+package shard
+
+import (
+	"fmt"
+
+	"rvgo/internal/monitor"
+	"rvgo/internal/param"
+)
+
+// Router decides which shard processes an event. It exploits the slicing
+// semantics (paper §2): trace slices for incompatible parameter instances
+// are independent, so the monitor store can be partitioned — provided every
+// event reaches every shard whose monitors its slice touches.
+//
+// The partition key is a spec-level pivot parameter p, chosen so that every
+// monitor-creating event binds p (see NewRouter). Under the enable-set
+// creation strategy every monitor instance is then guaranteed to bind p:
+//
+//   - an instance created from ⊥ is the instance of a creation event, and
+//     every creation event binds p;
+//   - an instance created by a join θ” ⊔ θ extends its progenitor θ”,
+//     which binds p by induction.
+//
+// Because an instance's binding of p never changes, hashing the pivot
+// object gives each monitor a stable home shard. Events binding p route to
+// that shard; events not binding p (including propositional events) are
+// broadcast to every shard, where they can only reach monitors agreeing
+// with them — exactly the monitors the sequential engine would dispatch
+// them to. Creation joins stay shard-local: a progenitor compatible with a
+// pivot-binding event binds the same pivot object, hence lives on the same
+// shard, and a join triggered by a broadcast event finds its progenitor on
+// whichever single shard owns it. The fresh-object creation guard is also
+// preserved: any prior event relevant to a creation on shard k either bound
+// the same pivot object (routed to k) or no pivot at all (broadcast), so
+// shard k's seen-records contain every record the guard consults.
+type Router struct {
+	shards int
+	pivot  int    // parameter index, or -1 when unshardable (single shard)
+	binds  []bool // per symbol: does D(sym) contain the pivot?
+}
+
+// NewRouter analyzes the spec and selects the pivot parameter. Candidate
+// pivots are the parameters bound by every creation event (an event e with
+// ∅ ∈ ENABLE(e), per the enable-set analysis of internal/coenable): that is
+// what makes every monitor instance bind the pivot. Among candidates the
+// one appearing in the most event domains wins — each covered event routes
+// to a single shard instead of broadcasting. If no candidate exists the
+// spec is unshardable and the router degenerates to a single shard.
+func NewRouter(spec *monitor.Spec, shards int) (*Router, error) {
+	an, err := spec.Analysis()
+	if err != nil {
+		return nil, err
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: %d shards", shards)
+	}
+	cand := param.Set(1<<uint(len(spec.Params))) - 1
+	for sym := range spec.Events {
+		if an.Creation[sym] {
+			cand = cand.Inter(spec.Events[sym].Params)
+		}
+	}
+	pivot, bestCover := -1, -1
+	for _, p := range cand.Members() {
+		cover := 0
+		for _, ev := range spec.Events {
+			if ev.Params.Has(p) {
+				cover++
+			}
+		}
+		if cover > bestCover {
+			pivot, bestCover = p, cover
+		}
+	}
+	if pivot < 0 {
+		shards = 1
+	}
+	r := &Router{shards: shards, pivot: pivot, binds: make([]bool, len(spec.Events))}
+	for sym, ev := range spec.Events {
+		r.binds[sym] = pivot >= 0 && ev.Params.Has(pivot)
+	}
+	return r, nil
+}
+
+// Shards returns the effective shard count (1 when the spec is
+// unshardable, regardless of what was requested).
+func (r *Router) Shards() int { return r.shards }
+
+// Pivot returns the pivot parameter index, or -1 when the spec is
+// unshardable.
+func (r *Router) Pivot() int { return r.pivot }
+
+// Route returns the target shard for an event, or broadcast=true when the
+// event must go to every shard (it does not bind the pivot).
+func (r *Router) Route(sym int, theta param.Instance) (target int, broadcast bool) {
+	if r.shards == 1 {
+		return 0, false
+	}
+	if !r.binds[sym] {
+		return 0, true
+	}
+	return int(mix(theta.Value(r.pivot).ID()) % uint64(r.shards)), false
+}
+
+// mix is the splitmix64 finalizer: object IDs are sequential, and the
+// router needs them spread uniformly over shards.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,302 @@
+// Package shard is the concurrent monitoring runtime: it partitions the
+// parametric monitor store across N single-threaded monitor.Engine workers
+// and routes events to shards by a stable hash of their parameter bindings.
+//
+// The paper's engine is inherently sequential — one event at a time through
+// one store, with expunging amortized over operations. But its slicing
+// semantics make the store shardable: trace slices for incompatible
+// parameter instances never interact, so monitors can be partitioned by a
+// pivot parameter's object (see Router) and each partition monitored by an
+// unmodified sequential engine, preserving the paper's lazy collection
+// discipline — per-shard indexing trees, per-shard sweeps, no cross-shard
+// locking. Events whose bindings do not determine a shard are broadcast;
+// they reach the one shard holding their monitors and are no-ops elsewhere.
+//
+// Ingestion is batched: producers append to a per-shard open batch and ship
+// full batches through a bounded mailbox, amortizing channel traffic the
+// same way the paper amortizes expunging. Dispatch blocks when a mailbox is
+// full (backpressure); TryDispatch refuses instead. Because each slice's
+// events flow through one producer into one FIFO mailbox and one worker,
+// per-slice verdict ordering stays deterministic; cross-slice verdict
+// interleaving is not (it never was observable — slices are independent).
+//
+// The Runtime implements monitor.Runtime, so cmd/rvmon, cmd/rvbench and the
+// evaluation harness run either backend behind one interface. Merged
+// counters match the sequential engine exactly on the same per-slice event
+// and death sequence (see the equivalence tests); PeakLive is the one
+// exception — it sums per-shard peaks, an upper bound on the global peak.
+//
+// "Same death sequence" is the caller's obligation: liveness is read when
+// an event is processed, not when it is dispatched, so a death racing the
+// mailboxes can be observed before queued events that preceded it. That
+// only ever collects monitors earlier — but verdicts still in flight inside
+// the mailbox window at death time can be suppressed with them. Callers
+// that need exact trace fidelity Barrier before each death (cmd/rvmon's
+// "free", internal/eval's heap free hook, the oracle tests); callers whose
+// event sources keep objects alive until their events are processed (the
+// natural contract with real weak references) get fidelity for free.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rvgo/internal/heap"
+	"rvgo/internal/monitor"
+	"rvgo/internal/param"
+)
+
+// Options configures a sharded runtime. The embedded monitor.Options are
+// applied to every shard engine; OnVerdict is serialized across shards, so
+// handlers need not be safe for concurrent use.
+type Options struct {
+	monitor.Options
+	// Shards is the number of worker engines (default: GOMAXPROCS). The
+	// effective count may be lower: 1 when the spec is unshardable.
+	Shards int
+	// BatchSize is the number of events shipped to a shard per mailbox
+	// send (default 64).
+	BatchSize int
+	// MailboxDepth is the number of batches a shard mailbox buffers before
+	// Dispatch blocks (default 16).
+	MailboxDepth int
+}
+
+// Runtime is the sharded monitoring runtime for one specification.
+type Runtime struct {
+	spec    *monitor.Spec
+	router  *Router
+	workers []*worker
+	events  atomic.Uint64 // Dispatch calls, the merged Stats.Events
+	vmu     sync.Mutex    // serializes OnVerdict across shards
+	wg      sync.WaitGroup
+	closed  bool
+	final   []monitor.Stats // per-shard counters captured at Close
+}
+
+var _ monitor.Runtime = (*Runtime)(nil)
+
+// New builds a sharded runtime. The creation strategy must be CreateEnable
+// when more than one shard is requested: the enable-set analysis is what
+// guarantees every monitor instance binds the routing pivot (CreateFull
+// materializes instances for arbitrary event subsets, which cannot be
+// partitioned without cross-shard joins).
+func New(spec *monitor.Spec, opts Options) (*Runtime, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 64
+	}
+	if opts.MailboxDepth <= 0 {
+		opts.MailboxDepth = 16
+	}
+	if opts.Creation != monitor.CreateEnable && opts.Shards > 1 {
+		return nil, fmt.Errorf("shard: creation strategy %d requires a single shard", opts.Creation)
+	}
+	router, err := NewRouter(spec, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{spec: spec, router: router}
+	engOpts := opts.Options
+	if user := opts.OnVerdict; user != nil {
+		engOpts.OnVerdict = func(v monitor.Verdict) {
+			rt.vmu.Lock()
+			defer rt.vmu.Unlock()
+			user(v)
+		}
+	}
+	for i := 0; i < router.Shards(); i++ {
+		eng, err := monitor.New(spec, engOpts)
+		if err != nil {
+			return nil, err
+		}
+		w := &worker{
+			idx:     i,
+			eng:     eng,
+			pending: getBatch(opts.BatchSize),
+			mailbox: make(chan message, opts.MailboxDepth),
+			batchSz: opts.BatchSize,
+		}
+		rt.workers = append(rt.workers, w)
+		rt.wg.Add(1)
+		go w.run(&rt.wg)
+	}
+	return rt, nil
+}
+
+// Spec implements monitor.Runtime.
+func (rt *Runtime) Spec() *monitor.Spec { return rt.spec }
+
+// Shards returns the effective shard count.
+func (rt *Runtime) Shards() int { return len(rt.workers) }
+
+// Pivot returns the routing pivot parameter index, or -1 when the spec is
+// unshardable.
+func (rt *Runtime) Pivot() int { return rt.router.Pivot() }
+
+// Emit implements monitor.Runtime.
+func (rt *Runtime) Emit(sym int, vals ...heap.Ref) {
+	rt.Dispatch(sym, param.Of(rt.spec.Events[sym].Params, vals...))
+}
+
+// EmitNamed implements monitor.Runtime.
+func (rt *Runtime) EmitNamed(name string, vals ...heap.Ref) error {
+	sym, ok := rt.spec.Symbol(name)
+	if !ok {
+		return fmt.Errorf("shard: spec %q has no event %q", rt.spec.Name, name)
+	}
+	rt.Emit(sym, vals...)
+	return nil
+}
+
+// Dispatch routes one parametric event, blocking when the target mailbox
+// (every mailbox, for broadcast events) is full. Safe for concurrent use;
+// events from one goroutine reach each shard in dispatch order.
+func (rt *Runtime) Dispatch(sym int, theta param.Instance) {
+	rt.events.Add(1)
+	ev := event{sym: sym, inst: theta}
+	if target, broadcast := rt.router.Route(sym, theta); !broadcast {
+		rt.workers[target].enqueue(ev)
+	} else {
+		for _, w := range rt.workers {
+			w.enqueue(ev)
+		}
+	}
+}
+
+// TryDispatch is the non-blocking Dispatch: it enqueues the event and
+// returns true only when every target shard can accept it without blocking.
+// A refused event is not enqueued anywhere (all-or-nothing, so broadcast
+// events cannot be half-delivered). Callers retrying TryDispatch must
+// preserve their own per-slice ordering.
+func (rt *Runtime) TryDispatch(sym int, theta param.Instance) bool {
+	ev := event{sym: sym, inst: theta}
+	target, broadcast := rt.router.Route(sym, theta)
+	if !broadcast {
+		w := rt.workers[target]
+		w.mu.Lock()
+		ok := w.canAccept()
+		if ok {
+			w.enqueueLocked(ev)
+		}
+		w.mu.Unlock()
+		if ok {
+			rt.events.Add(1)
+		}
+		return ok
+	}
+	// Broadcast: take every shard lock in index order, check, then commit.
+	// Mailbox sends only ever happen under the shard's lock, so a positive
+	// canAccept cannot be invalidated before the enqueue.
+	for _, w := range rt.workers {
+		w.mu.Lock()
+	}
+	ok := true
+	for _, w := range rt.workers {
+		if !w.canAccept() {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		for _, w := range rt.workers {
+			w.enqueueLocked(ev)
+		}
+	}
+	for i := len(rt.workers) - 1; i >= 0; i-- {
+		rt.workers[i].mu.Unlock()
+	}
+	if ok {
+		rt.events.Add(1)
+	}
+	return ok
+}
+
+// ctlAll flushes open batches and runs a control request on every shard,
+// returning once all have executed. Shards drain concurrently. After Close
+// it is a no-op: the mailboxes are gone, and the workers drained everything
+// on the way out.
+func (rt *Runtime) ctlAll(ctl func(int, *monitor.Engine)) {
+	if rt.closed {
+		return
+	}
+	dones := make([]<-chan struct{}, len(rt.workers))
+	for i, w := range rt.workers {
+		i := i
+		dones[i] = w.control(func(e *monitor.Engine) { ctl(i, e) })
+	}
+	for _, d := range dones {
+		<-d
+	}
+}
+
+// Barrier implements monitor.Runtime: it returns once every event
+// dispatched before the call has been fully processed by its shard.
+func (rt *Runtime) Barrier() {
+	rt.ctlAll(func(int, *monitor.Engine) {})
+}
+
+// Flush implements monitor.Runtime: a barrier followed by a full
+// expunge/compaction pass on every shard, so the merged counters settle.
+// After Close it is a no-op (Close flushes).
+func (rt *Runtime) Flush() {
+	rt.ctlAll(func(_ int, e *monitor.Engine) { e.Flush() })
+}
+
+// Stats implements monitor.Runtime: per-shard counters are snapshotted by
+// the workers (behind any events already mailed) and merged. Events is the
+// number of Dispatch calls — a broadcast event counts once, as in the
+// sequential engine — and PeakLive sums per-shard peaks, an upper bound on
+// the true concurrent peak. All other counters are exact sums.
+func (rt *Runtime) Stats() monitor.Stats {
+	per := rt.ShardStats()
+	var s monitor.Stats
+	for _, st := range per {
+		s.Created += st.Created
+		s.Flagged += st.Flagged
+		s.Collected += st.Collected
+		s.GoalVerdicts += st.GoalVerdicts
+		s.Steps += st.Steps
+		s.Live += st.Live
+		s.PeakLive += st.PeakLive
+	}
+	s.Events = rt.events.Load()
+	return s
+}
+
+// ShardStats returns each shard engine's counters (diagnostics, tests).
+// After Close it returns the counters captured when the runtime shut down.
+func (rt *Runtime) ShardStats() []monitor.Stats {
+	if rt.closed {
+		return append([]monitor.Stats(nil), rt.final...)
+	}
+	out := make([]monitor.Stats, len(rt.workers))
+	rt.ctlAll(func(i int, e *monitor.Engine) { out[i] = e.Stats() })
+	return out
+}
+
+// Close drains the mailboxes, flushes every shard and stops the workers.
+// Stats/ShardStats keep working afterwards (returning the final counters)
+// and Barrier/Flush become no-ops, so `defer rt.Close()` composes with
+// reading results in any order; only Dispatch after Close is a programming
+// error. Close is idempotent but must not race Dispatch or itself.
+func (rt *Runtime) Close() {
+	if rt.closed {
+		return
+	}
+	rt.final = make([]monitor.Stats, len(rt.workers))
+	rt.ctlAll(func(i int, e *monitor.Engine) {
+		e.Flush()
+		rt.final[i] = e.Stats()
+	})
+	rt.closed = true
+	for _, w := range rt.workers {
+		w.flush()
+		close(w.mailbox)
+	}
+	rt.wg.Wait()
+}
