@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"rvgo/internal/cliutil"
 	"rvgo/internal/dacapo"
 	"rvgo/internal/eval"
 	"rvgo/internal/props"
@@ -42,15 +43,22 @@ func main() {
 		benchs  = flag.String("bench", "", "comma-separated benchmark subset (default: all 15)")
 		prs     = flag.String("prop", "", "comma-separated property subset (default: the paper's five)")
 		shards  = flag.Int("shards", 1, "RV/MOP backend: 1 = sequential engine, >1 = sharded runtime")
+		remote  = flag.String("remote", "", "rvserve address: run the RV/MOP cells over the network")
 		jsonOut = flag.Bool("json", false, "emit the result grid as JSON instead of tables")
+		compare = flag.String("compare", "", "baseline JSON (from -json): rerun its config and fail on regressions")
+		tol     = flag.Float64("tolerance", 1.0, "with -compare: allowed relative runtime regression (1.0 = 2x)")
 		verbose = flag.Bool("v", false, "print per-cell progress")
 	)
 	flag.Parse()
 
+	if err := cliutil.ValidateShards(*shards); err != nil {
+		fatalf("%v", err)
+	}
 	cfg := eval.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Timeout = *timeout
 	cfg.Shards = *shards
+	cfg.Remote = *remote
 	if *benchs != "" {
 		cfg.Benchmarks = splitList(*benchs)
 		for _, b := range cfg.Benchmarks {
@@ -72,6 +80,12 @@ func main() {
 	if *verbose {
 		progress = os.Stderr
 	}
+
+	if *compare != "" {
+		compareBaseline(*compare, *tol, cfg, progress)
+		return
+	}
+
 	res, err := eval.Run(cfg, progress)
 	if err != nil {
 		fatalf("%v", err)
@@ -101,6 +115,38 @@ func main() {
 	default:
 		fatalf("unknown table %q", *table)
 	}
+}
+
+// compareBaseline reruns a baseline's configuration and fails (exit 1) on
+// counter divergence or runtime regression beyond the tolerance. The
+// baseline's grid shape (scale, benchmarks, properties, systems, shards)
+// is authoritative; the current -timeout and -remote still apply.
+func compareBaseline(path string, tol float64, cur eval.Config, progress io.Writer) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var base eval.Results
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("parsing %s: %v", path, err)
+	}
+	cfg := base.Config
+	cfg.Timeout = cur.Timeout
+	cfg.Remote = cur.Remote
+	res, err := eval.Run(cfg, progress)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	bad := eval.Compare(&base, res, tol)
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "rvbench: %d regression(s) against %s:\n", len(bad), path)
+		for _, b := range bad {
+			fmt.Fprintf(os.Stderr, "  %s\n", b)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("rvbench: no regressions against %s (%d benchmarks × %d properties, tolerance %.0f%%)\n",
+		path, len(cfg.Benchmarks), len(cfg.Properties), tol*100)
 }
 
 func splitList(s string) []string {

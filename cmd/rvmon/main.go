@@ -29,9 +29,9 @@ import (
 	"os"
 	"strings"
 
+	"rvgo/internal/cliutil"
 	"rvgo/internal/heap"
 	"rvgo/internal/monitor"
-	"rvgo/internal/shard"
 	"rvgo/internal/spec"
 )
 
@@ -60,16 +60,12 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	var gc monitor.GCPolicy
-	switch *gcMode {
-	case "coenable":
-		gc = monitor.GCCoenable
-	case "alldead":
-		gc = monitor.GCAllDead
-	case "none":
-		gc = monitor.GCNone
-	default:
-		fatalf("unknown -gc %q", *gcMode)
+	gc, err := cliutil.ParseGC(*gcMode)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := cliutil.ValidateShards(*shards); err != nil {
+		fatalf("%v", err)
 	}
 
 	var engines []monitor.Runtime
@@ -85,13 +81,7 @@ func main() {
 				}
 			},
 		}
-		var eng monitor.Runtime
-		var err error
-		if *shards > 1 {
-			eng, err = shard.New(c.Spec, shard.Options{Options: opts, Shards: *shards})
-		} else {
-			eng, err = monitor.New(c.Spec, opts)
-		}
+		eng, err := cliutil.NewRuntime(c.Spec, opts, *shards)
 		if err != nil {
 			fatalf("%v", err)
 		}

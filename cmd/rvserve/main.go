@@ -1,0 +1,99 @@
+// Command rvserve runs the multi-tenant monitoring server: it accepts
+// wire-protocol sessions over TCP (package client is the Go client) and
+// monitors each session's event stream with its own engine — the paper's
+// runtime, deployed as a service, with protocol-level object deaths
+// driving the coenable-set monitor GC in place of weak references.
+//
+// Usage:
+//
+//	rvserve [-listen :7472] [-window 4096] [-max-shards 16]
+//	        [-default-shards 1] [-drain 10s] [-stats 0] [-v]
+//
+// Each session chooses its property (from the built-in library or from
+// .rv source shipped in the handshake), GC policy, and backend shape
+// (sequential or sharded, up to -max-shards). SIGINT/SIGTERM drain
+// gracefully: accepting stops, active sessions get -drain to finish their
+// streams, stragglers are cut.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rvgo/internal/cliutil"
+	"rvgo/internal/server"
+)
+
+func main() {
+	var (
+		listen        = flag.String("listen", ":7472", "TCP listen address")
+		window        = flag.Int("window", 4096, "per-session event-credit window")
+		maxShards     = flag.Int("max-shards", 16, "largest per-session backend a client may request")
+		defaultShards = flag.Int("default-shards", 1, "backend when the client leaves the choice to the server")
+		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for active sessions")
+		statsEvery    = flag.Duration("stats", 0, "print aggregate stats on this interval (0 = never)")
+		verbose       = flag.Bool("v", false, "log session lifecycle events")
+	)
+	flag.Parse()
+	if err := cliutil.ValidateShards(*defaultShards); err != nil {
+		fatalf("-default-shards: %v", err)
+	}
+	if err := cliutil.ValidateShards(*maxShards); err != nil {
+		fatalf("-max-shards: %v", err)
+	}
+
+	opts := server.Options{
+		Window:        *window,
+		MaxShards:     *maxShards,
+		DefaultShards: *defaultShards,
+	}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+	srv := server.New(opts)
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	log.Printf("rvserve: listening on %s (window=%d, max-shards=%d)", l.Addr(), *window, *maxShards)
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := srv.Stats()
+				log.Printf("rvserve: sessions=%d/%d events=%d verdicts=%d",
+					st.ActiveSessions, st.TotalSessions, st.Events, st.Verdicts)
+			}
+		}()
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	select {
+	case sig := <-sigs:
+		log.Printf("rvserve: %v — draining (budget %s)", sig, *drain)
+		srv.Shutdown(*drain)
+		<-done
+	case err := <-done:
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	st := srv.Stats()
+	log.Printf("rvserve: served %d sessions, %d events, %d verdicts", st.TotalSessions, st.Events, st.Verdicts)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rvserve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -5,20 +5,25 @@
 // parametric monitor instances, paired with lazily collected weak-keyed
 // indexing trees.
 //
-// Two interchangeable runtimes implement the monitor.Runtime interface:
-// the sequential engine of the paper (internal/monitor) and a sharded
+// Three interchangeable runtimes implement the monitor.Runtime interface:
+// the sequential engine of the paper (internal/monitor); a sharded
 // concurrent runtime (internal/shard) that partitions the monitor store
 // across single-threaded engine workers by a pivot parameter derived from
-// the enable-set analysis, with batched, backpressured event ingestion —
-// the slicing semantics make disjoint parameter bindings independent, so
-// the store shards without any cross-shard locking.
+// the enable-set analysis, with batched, backpressured event ingestion;
+// and a remote runtime (package client) that monitors over a TCP session
+// against the multi-tenant monitoring server (internal/server), speaking
+// a compact binary protocol (internal/wire) in which object death is an
+// explicit trace event — the network replacement for the weak references
+// the in-process engines consume.
 //
 // The library lives under internal/ (one package per subsystem — see
-// DESIGN.md for the inventory), with three command-line tools:
+// DESIGN.md for the inventory), with five command-line tools:
 //
 //	cmd/rvmon       monitor a parametric event trace against an .rv spec
 //	cmd/rvcoenable  print the Section 3 static analyses for a property
 //	cmd/rvbench     regenerate the paper's Figure 9/10 tables
+//	cmd/rvserve     serve monitoring sessions over TCP
+//	cmd/rvload      load-test a monitoring server with concurrent sessions
 //
 // and runnable examples under examples/. The benchmarks in bench_test.go
 // regenerate each evaluation artifact as a testing.B benchmark.

@@ -1,0 +1,47 @@
+// Package cliutil holds the flag-parsing and backend-construction helpers
+// shared by the command-line tools (cmd/rvmon, cmd/rvbench, cmd/rvserve,
+// cmd/rvload) and the evaluation harness, so every tool validates -shards
+// and -gc the same way and builds the same backend for the same flags.
+package cliutil
+
+import (
+	"fmt"
+
+	"rvgo/internal/monitor"
+	"rvgo/internal/shard"
+)
+
+// ParseGC maps the -gc flag values to monitor GC policies.
+func ParseGC(s string) (monitor.GCPolicy, error) {
+	switch s {
+	case "coenable":
+		return monitor.GCCoenable, nil
+	case "alldead":
+		return monitor.GCAllDead, nil
+	case "none":
+		return monitor.GCNone, nil
+	}
+	return 0, fmt.Errorf("unknown -gc %q (want coenable, alldead or none)", s)
+}
+
+// ValidateShards rejects shard counts no backend accepts. 1 selects the
+// sequential engine; >1 the sharded runtime.
+func ValidateShards(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d (1 = sequential engine, >1 = sharded runtime)", n)
+	}
+	return nil
+}
+
+// NewRuntime builds the monitoring backend the -shards flag selects: the
+// sequential engine for 1, the sharded runtime for >1. Invalid shard
+// counts are rejected with the ValidateShards error.
+func NewRuntime(spec *monitor.Spec, opts monitor.Options, shards int) (monitor.Runtime, error) {
+	if err := ValidateShards(shards); err != nil {
+		return nil, err
+	}
+	if shards > 1 {
+		return shard.New(spec, shard.Options{Options: opts, Shards: shards})
+	}
+	return monitor.New(spec, opts)
+}

@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"fmt"
+)
+
+// Compare checks a current result grid against a baseline run of the same
+// configuration and returns a list of regressions (empty = pass).
+//
+// Two kinds of checks:
+//
+//   - Monitoring counters (the Figure 10 statistics) are deterministic for
+//     the seeded synthetic workloads, so any divergence is a semantic
+//     change in the engine and is reported regardless of tolerance.
+//     PeakLive is only compared on single-shard configurations (the
+//     sharded runtime sums per-shard peaks, which is timing-dependent).
+//   - Cell runtimes may regress by at most tol (relative: 1.0 allows 2×
+//     the baseline). An absolute floor of 50ms per cell filters out
+//     scheduling noise on the sub-millisecond cells. Timing checks are
+//     advisory by nature (different hosts differ); counters are the
+//     ground truth.
+//
+// Cells that timed out in either run are compared for timeout status
+// only: their counters reflect whatever was processed before the
+// deadline.
+func Compare(base, cur *Results, tol float64) []string {
+	var bad []string
+	exactPeak := base.Config.Shards <= 1 && cur.Config.Shards <= 1
+
+	cell := func(where string, b, c Cell) {
+		if b.TimedOut != c.TimedOut {
+			bad = append(bad, fmt.Sprintf("%s: timeout status changed %v -> %v", where, b.TimedOut, c.TimedOut))
+			return
+		}
+		if b.TimedOut {
+			return
+		}
+		bs, cs := b.Stats, c.Stats
+		if !exactPeak {
+			bs.PeakLive, cs.PeakLive = 0, 0
+		}
+		if bs != cs {
+			bad = append(bad, fmt.Sprintf("%s: counters diverge:\n    baseline %+v\n    current  %+v", where, bs, cs))
+		}
+		if b.TMStats != c.TMStats {
+			bad = append(bad, fmt.Sprintf("%s: tracematch counters diverge:\n    baseline %+v\n    current  %+v", where, b.TMStats, c.TMStats))
+		}
+		if c.RunSec > b.RunSec*(1+tol) && c.RunSec-b.RunSec > 0.05 {
+			bad = append(bad, fmt.Sprintf("%s: runtime regressed %.3fs -> %.3fs (tolerance %.0f%%)", where, b.RunSec, c.RunSec, tol*100))
+		}
+	}
+
+	for _, bench := range base.Config.Benchmarks {
+		for _, prop := range base.Config.Properties {
+			for _, sys := range base.Config.Systems {
+				b, okB := lookup(base, bench, prop, sys)
+				c, okC := lookup(cur, bench, prop, sys)
+				if !okB || !okC {
+					if okB != okC {
+						bad = append(bad, fmt.Sprintf("%s/%s/%s: cell missing (baseline %v, current %v)", bench, prop, sys, okB, okC))
+					}
+					continue
+				}
+				cell(fmt.Sprintf("%s/%s/%s", bench, prop, sys), b, c)
+			}
+		}
+		b, okB := base.All[bench]
+		c, okC := cur.All[bench]
+		if okB && okC {
+			cell(fmt.Sprintf("%s/ALL/RV", bench), b, c)
+		}
+	}
+	return bad
+}
+
+func lookup(r *Results, bench, prop string, sys System) (Cell, bool) {
+	props, ok := r.Cells[bench]
+	if !ok {
+		return Cell{}, false
+	}
+	systems, ok := props[prop]
+	if !ok {
+		return Cell{}, false
+	}
+	c, ok := systems[sys]
+	return c, ok
+}

@@ -10,11 +10,12 @@ import (
 	"runtime"
 	"time"
 
+	"rvgo/client"
+	"rvgo/internal/cliutil"
 	"rvgo/internal/dacapo"
 	"rvgo/internal/heap"
 	"rvgo/internal/monitor"
 	"rvgo/internal/props"
-	"rvgo/internal/shard"
 	"rvgo/internal/tracematches"
 )
 
@@ -39,6 +40,12 @@ type Config struct {
 	// 0 or 1 is the sequential engine, >1 the sharded runtime
 	// (internal/shard) with that many workers.
 	Shards int
+	// Remote, when non-empty, is the address of an rvserve monitoring
+	// server: the RV and MOP cells run over the network through the
+	// client package, one session per cell, with object deaths forwarded
+	// as protocol-level free messages. Shards then selects the backend on
+	// the server side, per session.
+	Remote string
 }
 
 // DefaultConfig returns the full Figure 9/10 grid at a CI-friendly scale.
@@ -160,13 +167,66 @@ func RunBaseline(bench string, scale float64) (Baseline, error) {
 }
 
 // newEngine builds the RV/MOP monitoring backend: the sequential engine,
-// or the sharded runtime when cfg.Shards > 1.
-func newEngine(spec *monitor.Spec, gc monitor.GCPolicy, cfg Config) (monitor.Runtime, error) {
-	opts := monitor.Options{GC: gc, Creation: monitor.CreateEnable}
-	if cfg.Shards > 1 {
-		return shard.New(spec, shard.Options{Options: opts, Shards: cfg.Shards})
+// the sharded runtime when cfg.Shards > 1, or a remote session against
+// cfg.Remote when set.
+func newEngine(spec *monitor.Spec, prop string, gc monitor.GCPolicy, cfg Config) (monitor.Runtime, error) {
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = 1
 	}
-	return monitor.New(spec, opts)
+	if cfg.Remote != "" {
+		return client.Dial(cfg.Remote, client.Options{
+			Prop:     prop,
+			GC:       gc,
+			Creation: monitor.CreateEnable,
+			Shards:   shards,
+		})
+	}
+	opts := monitor.Options{GC: gc, Creation: monitor.CreateEnable}
+	return cliutil.NewRuntime(spec, opts, shards)
+}
+
+// objectFreer is the death-forwarding surface of the remote client: the
+// network backend cannot observe in-process liveness, so the harness tells
+// it explicitly when a parameter object dies.
+type objectFreer interface {
+	Free(refs ...heap.Ref)
+}
+
+// sessionErr surfaces a remote backend's sticky session error. The
+// Runtime methods cannot return errors, so a connection lost mid-cell
+// degrades them to no-ops; without this check the cell would report
+// zeroed counters as a successful measurement.
+func sessionErr(eng monitor.Runtime) error {
+	if e, ok := eng.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
+
+// setFreeHook wires object deaths to the monitoring backends. Remote
+// sessions get the death as a protocol free message (the server barriers
+// its runtime before applying it, so counters stay trace-faithful); the
+// in-process sharded runtime is barriered at each death for the same
+// reason. The sequential engine observes deaths through ref liveness and
+// needs no hook.
+func setFreeHook(rt *dacapo.Runtime, engines []monitor.Runtime, cfg Config) {
+	switch {
+	case cfg.Remote != "":
+		rt.Heap.SetFreeHook(func(o *heap.Object) {
+			for _, eng := range engines {
+				if f, ok := eng.(objectFreer); ok {
+					f.Free(o)
+				}
+			}
+		})
+	case cfg.Shards > 1:
+		rt.Heap.SetFreeHook(func(*heap.Object) {
+			for _, eng := range engines {
+				eng.Barrier()
+			}
+		})
+	}
 }
 
 // RunCell measures one benchmark × property × system combination.
@@ -186,7 +246,7 @@ func RunCell(bench, prop string, sys System, base Baseline, cfg Config) (Cell, e
 			if sys == SysMOP {
 				gc = monitor.GCAllDead
 			}
-			eng, err = newEngine(spec, gc, cfg)
+			eng, err = newEngine(spec, prop, gc, cfg)
 			if err != nil {
 				return err
 			}
@@ -195,13 +255,7 @@ func RunCell(bench, prop string, sys System, base Baseline, cfg Config) (Cell, e
 				return err
 			}
 			rt.AddSink(sink)
-			if cfg.Shards > 1 {
-				// Barrier the asynchronous backend before every object
-				// death, so the Figure 10 counters stay trace-faithful and
-				// comparable to the sequential engine. Death-racing
-				// throughput is measured by bench_test.go instead.
-				rt.Heap.SetFreeHook(func(*heap.Object) { eng.Barrier() })
-			}
+			setFreeHook(rt, []monitor.Runtime{eng}, cfg)
 		case SysTM:
 			tme, err = tracematches.New(spec, tracematches.Options{})
 			if err != nil {
@@ -237,6 +291,9 @@ func RunCell(bench, prop string, sys System, base Baseline, cfg Config) (Cell, e
 		eng.Flush()
 		cell.Stats = eng.Stats()
 		eng.Close()
+		if err := sessionErr(eng); err != nil {
+			return cell, err
+		}
 	}
 	if tme != nil {
 		tme.Sweep()
@@ -256,7 +313,7 @@ func RunAllProps(bench string, base Baseline, cfg Config) (Cell, error) {
 			if err != nil {
 				return err
 			}
-			eng, err := newEngine(spec, monitor.GCCoenable, cfg)
+			eng, err := newEngine(spec, prop, monitor.GCCoenable, cfg)
 			if err != nil {
 				return err
 			}
@@ -267,15 +324,7 @@ func RunAllProps(bench string, base Baseline, cfg Config) (Cell, error) {
 			rt.AddSink(sink)
 			engines = append(engines, eng)
 		}
-		if cfg.Shards > 1 {
-			// As in RunCell: deaths are barriered so counters stay
-			// trace-faithful on the asynchronous backend.
-			rt.Heap.SetFreeHook(func(*heap.Object) {
-				for _, eng := range engines {
-					eng.Barrier()
-				}
-			})
-		}
+		setFreeHook(rt, engines, cfg)
 		return nil
 	}
 	settle := func() {
@@ -304,6 +353,9 @@ func RunAllProps(bench string, base Baseline, cfg Config) (Cell, error) {
 		cell.Stats.Live += st.Live
 		cell.Stats.PeakLive += st.PeakLive
 		eng.Close()
+		if err := sessionErr(eng); err != nil {
+			return cell, err
+		}
 	}
 	return cell, nil
 }

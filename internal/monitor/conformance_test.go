@@ -1,0 +1,29 @@
+package monitor_test
+
+import (
+	"testing"
+
+	"rvgo/internal/conformance"
+	"rvgo/internal/monitor"
+	"rvgo/internal/props"
+)
+
+// TestEngineConformance runs the backend-independent Runtime suite on the
+// sequential engine.
+func TestEngineConformance(t *testing.T) {
+	conformance.RunEmitNamed(t, func(t *testing.T, prop string, onVerdict func(monitor.Verdict)) monitor.Runtime {
+		spec, err := props.Build(prop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := monitor.New(spec, monitor.Options{
+			GC:        monitor.GCCoenable,
+			Creation:  monitor.CreateEnable,
+			OnVerdict: onVerdict,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	})
+}

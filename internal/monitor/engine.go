@@ -321,11 +321,15 @@ func (e *Engine) Spec() *Spec { return e.spec }
 func (e *Engine) Stats() Stats { return e.stats }
 
 // EmitNamed dispatches an event by name; vals bind D(e)'s parameters in
-// ascending parameter-index order.
+// ascending parameter-index order. Unknown names and arity mismatches are
+// reported as errors (Emit, the index-based hot path, panics instead).
 func (e *Engine) EmitNamed(name string, vals ...heap.Ref) error {
 	sym, ok := e.spec.Symbol(name)
 	if !ok {
 		return fmt.Errorf("monitor: spec %q has no event %q", e.spec.Name, name)
+	}
+	if want := e.spec.Events[sym].Params.Count(); len(vals) != want {
+		return fmt.Errorf("monitor: event %q takes %d values, got %d", name, want, len(vals))
 	}
 	e.Emit(sym, vals...)
 	return nil

@@ -1,0 +1,511 @@
+// Package server is the multi-tenant monitoring server: it accepts
+// wire-protocol sessions over TCP and runs one monitor.Runtime per session
+// — the paper's engine, deployed as a service.
+//
+// Each session owns a private spec registry entry (compiled from the
+// client's Hello), its own monitoring backend (sequential engine or
+// sharded runtime, chosen per session), a session-scoped simulated heap,
+// and a remote-ID→object table. The table is the network replacement for
+// weak references: a client names parameter objects with integer IDs, the
+// server materializes one heap object per ID on first mention, and a
+// protocol Free message kills the object — which is exactly the death
+// signal the coenable-set GC consumes. Monitor lifetime on the server is
+// governed entirely by these protocol-level deaths; no amount of server-
+// side garbage collection can reclaim a monitor whose client never
+// declares its objects dead, and nothing but the table keeps them alive.
+//
+// Before applying a Free the session barriers its runtime, so every event
+// sent before the Free observes the objects alive: per-session counters
+// and verdicts are trace-faithful and equal to a local replay of the same
+// stream (see the client package's oracle tests).
+//
+// Flow control: sessions grant event credits (wire.Credit) as the backend
+// actually accepts events. Ingestion into a sharded runtime first tries
+// the non-blocking TryDispatch; when the target mailbox refuses, the
+// session falls back to the blocking Dispatch — which stalls the session
+// reader, withholds further credit, and so propagates the mailbox's
+// backpressure to the remote producer at the protocol level.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rvgo/internal/heap"
+	"rvgo/internal/monitor"
+	"rvgo/internal/param"
+	"rvgo/internal/props"
+	"rvgo/internal/shard"
+	"rvgo/internal/spec"
+	"rvgo/internal/wire"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Window is the event-credit window granted to each session (default
+	// 4096). A client may request a smaller one in its Hello.
+	Window int
+	// MaxShards caps the per-session backend size a client may request
+	// (default 16; the cap exists because shards are goroutines the client
+	// makes the server spawn).
+	MaxShards int
+	// DefaultShards is the backend when the client's Hello leaves the
+	// choice to the server (Shards == 0). Default 1: the sequential
+	// engine.
+	DefaultShards int
+	// Logf, when non-nil, receives one line per session lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Server accepts and runs monitoring sessions.
+type Server struct {
+	opts Options
+
+	mu       sync.Mutex
+	listener net.Listener
+	sessions map[*session]struct{}
+	nextID   uint64
+	draining bool
+
+	wg sync.WaitGroup
+
+	// Aggregate counters across all sessions, past and present.
+	events   atomic.Uint64
+	verdicts atomic.Uint64
+	accepted atomic.Uint64
+}
+
+// New builds a server.
+func New(opts Options) *Server {
+	if opts.Window <= 0 {
+		opts.Window = 4096
+	}
+	if opts.MaxShards <= 0 {
+		opts.MaxShards = 16
+	}
+	if opts.DefaultShards <= 0 {
+		opts.DefaultShards = 1
+	}
+	return &Server{opts: opts, sessions: map[*session]struct{}{}}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Stats is the server-wide aggregate view.
+type Stats struct {
+	ActiveSessions int
+	TotalSessions  uint64
+	Events         uint64
+	Verdicts       uint64
+}
+
+// Stats returns the aggregate counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	active := len(s.sessions)
+	s.mu.Unlock()
+	return Stats{
+		ActiveSessions: active,
+		TotalSessions:  s.accepted.Load(),
+		Events:         s.events.Load(),
+		Verdicts:       s.verdicts.Load(),
+	}
+}
+
+// Serve accepts sessions on l until the listener is closed (by Shutdown or
+// Close). It returns nil on orderly shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: Serve after Shutdown")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.nextID++
+		sess := &session{srv: s, id: s.nextID, conn: conn}
+		s.sessions[sess] = struct{}{}
+		s.accepted.Add(1)
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			sess.run()
+			s.mu.Lock()
+			delete(s.sessions, sess)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown drains the server gracefully: it stops accepting, then waits up
+// to timeout for active sessions to finish their streams (a client Bye or
+// disconnect). Sessions still active at the deadline are force-closed.
+func (s *Server) Shutdown(timeout time.Duration) {
+	s.mu.Lock()
+	s.draining = true
+	l := s.listener
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.mu.Lock()
+		for sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+}
+
+// Close force-closes the listener and every active session.
+func (s *Server) Close() { s.Shutdown(0) }
+
+// session is one client connection: a spec, a backend, a heap, and the
+// remote-ID table.
+type session struct {
+	srv  *Server
+	id   uint64
+	conn net.Conn
+
+	wmu sync.Mutex // serializes all frame writes + flushes
+	w   *wire.Writer
+
+	rt   monitor.Runtime
+	srt  *shard.Runtime // non-nil when the backend is sharded
+	spec *monitor.Spec
+	heap *heap.Heap
+
+	// tmu guards the ID tables: the session goroutine writes them while
+	// ingesting events, and onVerdict reads back on shard workers.
+	tmu     sync.Mutex
+	objects map[uint64]*heap.Object // remote ID → session heap object
+	back    map[uint64]uint64       // session heap object ID → remote ID
+
+	window  int
+	ungrant int // events accepted since the last credit grant
+
+	events uint64
+	vals   []heap.Ref // dispatch scratch
+}
+
+// run executes the session to completion.
+func (s *session) run() {
+	defer s.conn.Close()
+	r := wire.NewReader(s.conn)
+	s.w = wire.NewWriter(s.conn)
+
+	var msg wire.Msg
+	if err := r.Next(&msg); err != nil {
+		s.srv.logf("session %d: reading hello: %v", s.id, err)
+		return
+	}
+	if msg.Type != wire.THello {
+		s.fail("expected Hello, got message type %d", msg.Type)
+		return
+	}
+	if err := s.handshake(msg.Hello); err != nil {
+		s.fail("%v", err)
+		return
+	}
+	defer s.rt.Close()
+	s.srv.logf("session %d: open spec=%s shards=%d window=%d", s.id, s.spec.Name, s.shardCount(), s.window)
+
+	for {
+		if err := r.Next(&msg); err != nil {
+			if err != io.EOF {
+				s.srv.logf("session %d: read: %v", s.id, err)
+			}
+			return
+		}
+		switch msg.Type {
+		case wire.TEvent:
+			if err := s.event(msg.Event); err != nil {
+				s.fail("%v", err)
+				return
+			}
+		case wire.TFree:
+			s.free(msg.Free.IDs)
+		case wire.TBarrier:
+			s.rt.Barrier()
+			s.ack(wire.TBarrierAck, msg.Sync.Token)
+		case wire.TFlush:
+			s.rt.Flush()
+			s.ack(wire.TFlushAck, msg.Sync.Token)
+		case wire.TStatsReq:
+			st := s.rt.Stats()
+			s.writeLocked(func() error { return s.w.WriteStats(toWireStats(msg.Sync.Token, st)) })
+		case wire.TBye:
+			s.rt.Flush()
+			st := s.rt.Stats()
+			s.writeLocked(func() error { return s.w.WriteByeAck(wire.ByeAck{Stats: toWireStats(0, st)}) })
+			s.srv.logf("session %d: closed after %d events", s.id, s.events)
+			return
+		default:
+			s.fail("unexpected message type %d", msg.Type)
+			return
+		}
+	}
+}
+
+func (s *session) shardCount() int {
+	if s.srt != nil {
+		return s.srt.Shards()
+	}
+	return 1
+}
+
+// handshake validates the Hello, compiles the spec and builds the backend.
+func (s *session) handshake(h wire.Hello) error {
+	if h.Version != wire.Version {
+		return fmt.Errorf("protocol version %d not supported (server speaks %d)", h.Version, wire.Version)
+	}
+	compiled, err := resolveSpec(h.SpecKind, h.Spec)
+	if err != nil {
+		return err
+	}
+	gc := monitor.GCPolicy(h.GC)
+	if gc < monitor.GCNone || gc > monitor.GCCoenable {
+		return fmt.Errorf("unknown GC policy %d", h.GC)
+	}
+	creation := monitor.CreationStrategy(h.Creation)
+	if creation != monitor.CreateEnable && creation != monitor.CreateFull {
+		return fmt.Errorf("unknown creation strategy %d", h.Creation)
+	}
+	shards := int(h.Shards)
+	if shards == 0 {
+		shards = s.srv.opts.DefaultShards
+	}
+	if shards < 1 || shards > s.srv.opts.MaxShards {
+		return fmt.Errorf("shards %d out of range 1..%d", shards, s.srv.opts.MaxShards)
+	}
+	window := s.srv.opts.Window
+	if h.Window > 0 && int(h.Window) < window {
+		window = int(h.Window)
+	}
+
+	opts := monitor.Options{GC: gc, Creation: creation, OnVerdict: s.onVerdict}
+	if shards > 1 {
+		srt, err := shard.New(compiled, shard.Options{Options: opts, Shards: shards})
+		if err != nil {
+			return err
+		}
+		s.rt, s.srt = srt, srt
+	} else {
+		eng, err := monitor.New(compiled, opts)
+		if err != nil {
+			return err
+		}
+		s.rt = eng
+	}
+	s.spec = compiled
+	s.heap = heap.New()
+	s.objects = map[uint64]*heap.Object{}
+	s.back = map[uint64]uint64{}
+	s.window = window
+
+	ack := wire.HelloAck{
+		Session:  s.id,
+		Window:   uint64(window),
+		SpecName: compiled.Name,
+		Params:   compiled.Params,
+	}
+	for _, ev := range compiled.Events {
+		ack.Events = append(ack.Events, wire.EventDef{Name: ev.Name, Params: uint64(ev.Params)})
+	}
+	return s.writeLocked(func() error { return s.w.WriteHelloAck(ack) })
+}
+
+// resolveSpec turns the Hello's spec reference into a compiled Spec: a
+// library property name, or .rv source compiled on the spot (which must
+// define exactly one property).
+func resolveSpec(kind byte, src string) (*monitor.Spec, error) {
+	switch kind {
+	case wire.SpecProp:
+		return props.Build(src)
+	case wire.SpecSource:
+		return spec.CompileOne(src)
+	}
+	return nil, fmt.Errorf("unknown spec kind %d", kind)
+}
+
+// event dispatches one remote event into the backend and replenishes
+// credit as the backend accepts it.
+func (s *session) event(ev wire.Event) error {
+	if ev.Sym < 0 || ev.Sym >= len(s.spec.Events) {
+		return fmt.Errorf("event symbol %d out of range (spec %s has %d events)", ev.Sym, s.spec.Name, len(s.spec.Events))
+	}
+	want := s.spec.Events[ev.Sym].Params.Count()
+	if len(ev.IDs) != want {
+		return fmt.Errorf("event %q takes %d objects, got %d", s.spec.Events[ev.Sym].Name, want, len(ev.IDs))
+	}
+	s.vals = s.vals[:0]
+	s.tmu.Lock()
+	for _, id := range ev.IDs {
+		o, ok := s.objects[id]
+		if !ok {
+			o = s.heap.Alloc(fmt.Sprintf("r%d", id))
+			s.objects[id] = o
+			s.back[o.ID()] = id
+		}
+		if !o.Alive() {
+			s.tmu.Unlock()
+			return fmt.Errorf("event %q uses remote object %d after its free", s.spec.Events[ev.Sym].Name, id)
+		}
+		s.vals = append(s.vals, o)
+	}
+	s.tmu.Unlock()
+	theta := param.Of(s.spec.Events[ev.Sym].Params, s.vals...)
+	if s.srt != nil {
+		// Non-blocking first: a refusal means the target mailbox is full,
+		// and the blocking fallback is precisely the backpressure — the
+		// session reads no further frames (and grants no further credit)
+		// until the shard drains.
+		if !s.srt.TryDispatch(ev.Sym, theta) {
+			s.srt.Dispatch(ev.Sym, theta)
+		}
+	} else {
+		s.rt.Dispatch(ev.Sym, theta)
+	}
+	s.events++
+	s.srv.events.Add(1)
+
+	// Credit: replenish at half-window so the producer's pipeline never
+	// empties while the backend keeps up.
+	s.ungrant++
+	if s.ungrant >= s.window/2 || s.window < 2 {
+		n := uint64(s.ungrant)
+		s.ungrant = 0
+		return s.writeLocked(func() error { return s.w.WriteCredit(n) })
+	}
+	return nil
+}
+
+// free applies protocol-level object deaths: barrier the backend so every
+// event sent before the Free is processed against the old liveness, then
+// kill the objects — from this moment the coenable-set GC may flag and
+// collect every monitor whose ALIVENESS formula depended on them, exactly
+// as if a weak reference had been cleared. Table entries are retained,
+// now holding dead objects: an event naming the ID again is
+// use-after-free and must be refused (never silently re-allocated), and a
+// late verdict (the alldead/none GC policies keep such monitors) may
+// still mention the object. A dead entry costs the same bounded memory as
+// its s.back row.
+func (s *session) free(ids []uint64) {
+	// Barrier only when a death is observable: deaths of objects that
+	// never appeared in an event (dacapo workloads free far more objects
+	// than any one property mentions) change nothing for the monitors,
+	// and a cross-shard sync per irrelevant death would stall ingestion.
+	s.tmu.Lock()
+	observable := false
+	for _, id := range ids {
+		if o, ok := s.objects[id]; ok && o.Alive() {
+			observable = true
+			break
+		}
+	}
+	s.tmu.Unlock()
+	if observable {
+		s.rt.Barrier()
+	}
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	for _, id := range ids {
+		o, ok := s.objects[id]
+		if !ok {
+			// Never appeared in an event: record a tombstone anyway, so
+			// the death is final for this ID too — a later event naming
+			// it must be refused, not silently allocated live.
+			o = s.heap.Alloc(fmt.Sprintf("r%d", id))
+			s.objects[id] = o
+			s.back[o.ID()] = id
+		}
+		s.heap.Free(o)
+	}
+}
+
+// onVerdict forwards a goal verdict to the client. It is called from the
+// session goroutine (sequential backend) or from shard workers (serialized
+// by the shard runtime's verdict mutex).
+func (s *session) onVerdict(v monitor.Verdict) {
+	s.srv.verdicts.Add(1)
+	wv := wire.Verdict{Sym: v.Sym, Cat: string(v.Cat), Mask: uint64(v.Inst.Mask())}
+	s.tmu.Lock()
+	for _, p := range v.Inst.Mask().Members() {
+		wv.IDs = append(wv.IDs, s.back[v.Inst.Value(p).ID()])
+	}
+	s.tmu.Unlock()
+	s.writeLocked(func() error { return s.w.WriteVerdict(wv) })
+}
+
+// ack writes a token-echo frame.
+func (s *session) ack(t byte, token uint64) {
+	s.writeLocked(func() error { return s.w.WriteSync(t, token) })
+}
+
+// fail sends a fatal Error frame and logs; the caller closes the session.
+func (s *session) fail(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	s.srv.logf("session %d: %s", s.id, msg)
+	s.writeLocked(func() error { return s.w.WriteError(msg) })
+}
+
+// writeLocked runs one or more frame writes under the write mutex and
+// flushes, so every server→client frame becomes visible promptly and
+// writes from shard workers never interleave mid-frame.
+func (s *session) writeLocked(f func() error) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := f(); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+func toWireStats(token uint64, st monitor.Stats) wire.Stats {
+	return wire.Stats{
+		Token:        token,
+		Events:       st.Events,
+		Created:      st.Created,
+		Flagged:      st.Flagged,
+		Collected:    st.Collected,
+		GoalVerdicts: st.GoalVerdicts,
+		Steps:        st.Steps,
+		Live:         st.Live,
+		PeakLive:     st.PeakLive,
+	}
+}

@@ -1,0 +1,202 @@
+package server_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"rvgo/internal/monitor"
+	"rvgo/internal/server"
+	"rvgo/internal/wire"
+)
+
+// startServer runs a server on an ephemeral port; the test gets the
+// address and a raw-dial helper for speaking the protocol by hand.
+func startServer(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Options{})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Shutdown(2 * time.Second)
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return l.Addr().String()
+}
+
+func dialRaw(t *testing.T, addr string) (net.Conn, *wire.Writer, *wire.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, wire.NewWriter(conn), wire.NewReader(conn)
+}
+
+// expectError reads frames until a TError arrives (skipping acks and
+// credit) and returns its message.
+func expectError(t *testing.T, r *wire.Reader) string {
+	t.Helper()
+	var msg wire.Msg
+	for {
+		if err := r.Next(&msg); err != nil {
+			t.Fatalf("stream ended without an Error frame: %v", err)
+		}
+		if msg.Type == wire.TError {
+			return msg.Error.Msg
+		}
+	}
+}
+
+func hello(t *testing.T, w *wire.Writer, h wire.Hello) {
+	t.Helper()
+	if err := w.WriteHello(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func validHello() wire.Hello {
+	return wire.Hello{
+		Version:  wire.Version,
+		SpecKind: wire.SpecProp,
+		Spec:     "UnsafeIter",
+		GC:       byte(monitor.GCCoenable),
+		Creation: byte(monitor.CreateEnable),
+		Shards:   1,
+	}
+}
+
+// TestGarbageStream: raw garbage instead of a Hello must not wedge the
+// server; the connection just dies.
+func TestGarbageStream(t *testing.T) {
+	addr := startServer(t)
+	conn, _, _ := dialRaw(t, addr)
+	if _, err := conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return // closed (possibly after an Error frame): the right outcome
+		}
+	}
+}
+
+// TestEventBeforeHello: the first frame must be a Hello.
+func TestEventBeforeHello(t *testing.T) {
+	addr := startServer(t)
+	_, w, r := dialRaw(t, addr)
+	if err := w.WriteEvent(0, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if msg := expectError(t, r); !strings.Contains(msg, "Hello") {
+		t.Errorf("error %q does not mention the missing Hello", msg)
+	}
+}
+
+// TestBadVersion: an unknown protocol version is refused.
+func TestBadVersion(t *testing.T) {
+	addr := startServer(t)
+	_, w, r := dialRaw(t, addr)
+	h := validHello()
+	h.Version = 99
+	hello(t, w, h)
+	if msg := expectError(t, r); !strings.Contains(msg, "version") {
+		t.Errorf("error %q does not mention the version", msg)
+	}
+}
+
+// TestUseAfterFree: an event naming a remote object the client already
+// freed is a protocol error — the object's death was final.
+func TestUseAfterFree(t *testing.T) {
+	addr := startServer(t)
+	_, w, r := dialRaw(t, addr)
+	hello(t, w, validHello())
+	var msg wire.Msg
+	if err := r.Next(&msg); err != nil || msg.Type != wire.THelloAck {
+		t.Fatalf("no HelloAck: %v %d", err, msg.Type)
+	}
+	// create(c=1, i=2); free 2; next(i=2) → error.
+	if err := w.WriteEvent(0, []uint64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFree([]uint64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteEvent(2, []uint64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if msg := expectError(t, r); !strings.Contains(msg, "free") {
+		t.Errorf("error %q does not mention the free", msg)
+	}
+}
+
+// TestFreeBeforeFirstMentionIsFinal: freeing an ID the server has never
+// seen must still make that ID's death final — a later event naming it is
+// use-after-free, not a fresh allocation.
+func TestFreeBeforeFirstMentionIsFinal(t *testing.T) {
+	addr := startServer(t)
+	_, w, r := dialRaw(t, addr)
+	hello(t, w, validHello())
+	var msg wire.Msg
+	if err := r.Next(&msg); err != nil || msg.Type != wire.THelloAck {
+		t.Fatalf("no HelloAck: %v %d", err, msg.Type)
+	}
+	if err := w.WriteFree([]uint64{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteEvent(0, []uint64{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if msg := expectError(t, r); !strings.Contains(msg, "free") {
+		t.Errorf("error %q does not mention the free", msg)
+	}
+}
+
+// TestBadSymbolAndArity: out-of-range symbols and wrong value counts are
+// protocol errors, not panics.
+func TestBadSymbolAndArity(t *testing.T) {
+	for name, ev := range map[string]wire.Event{
+		"symbol":   {Sym: 99, IDs: []uint64{1}},
+		"negative": {Sym: 0, IDs: []uint64{}},
+		"arity":    {Sym: 0, IDs: []uint64{1, 2, 3}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			addr := startServer(t)
+			_, w, r := dialRaw(t, addr)
+			hello(t, w, validHello())
+			var msg wire.Msg
+			if err := r.Next(&msg); err != nil || msg.Type != wire.THelloAck {
+				t.Fatalf("no HelloAck: %v %d", err, msg.Type)
+			}
+			if err := w.WriteEvent(ev.Sym, ev.IDs); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			expectError(t, r)
+		})
+	}
+}

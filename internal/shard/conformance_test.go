@@ -1,0 +1,33 @@
+package shard_test
+
+import (
+	"testing"
+
+	"rvgo/internal/conformance"
+	"rvgo/internal/monitor"
+	"rvgo/internal/props"
+	"rvgo/internal/shard"
+)
+
+// TestShardConformance runs the backend-independent Runtime suite on the
+// sharded runtime.
+func TestShardConformance(t *testing.T) {
+	conformance.RunEmitNamed(t, func(t *testing.T, prop string, onVerdict func(monitor.Verdict)) monitor.Runtime {
+		spec, err := props.Build(prop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := shard.New(spec, shard.Options{
+			Options: monitor.Options{
+				GC:        monitor.GCCoenable,
+				Creation:  monitor.CreateEnable,
+				OnVerdict: onVerdict,
+			},
+			Shards: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	})
+}

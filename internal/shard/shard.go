@@ -143,11 +143,16 @@ func (rt *Runtime) Emit(sym int, vals ...heap.Ref) {
 	rt.Dispatch(sym, param.Of(rt.spec.Events[sym].Params, vals...))
 }
 
-// EmitNamed implements monitor.Runtime.
+// EmitNamed implements monitor.Runtime. Unknown names and arity
+// mismatches are reported as errors (Emit, the index-based hot path,
+// panics instead).
 func (rt *Runtime) EmitNamed(name string, vals ...heap.Ref) error {
 	sym, ok := rt.spec.Symbol(name)
 	if !ok {
 		return fmt.Errorf("shard: spec %q has no event %q", rt.spec.Name, name)
+	}
+	if want := rt.spec.Events[sym].Params.Count(); len(vals) != want {
+		return fmt.Errorf("shard: event %q takes %d values, got %d", name, want, len(vals))
 	}
 	rt.Emit(sym, vals...)
 	return nil
@@ -156,7 +161,10 @@ func (rt *Runtime) EmitNamed(name string, vals ...heap.Ref) error {
 // Dispatch routes one parametric event, blocking when the target mailbox
 // (every mailbox, for broadcast events) is full. Safe for concurrent use;
 // events from one goroutine reach each shard in dispatch order.
+// Dispatching after Close is a programming error and panics with a
+// diagnosable message rather than corrupting the shut-down mailboxes.
 func (rt *Runtime) Dispatch(sym int, theta param.Instance) {
+	rt.checkOpen()
 	rt.events.Add(1)
 	ev := event{sym: sym, inst: theta}
 	if target, broadcast := rt.router.Route(sym, theta); !broadcast {
@@ -174,6 +182,7 @@ func (rt *Runtime) Dispatch(sym int, theta param.Instance) {
 // events cannot be half-delivered). Callers retrying TryDispatch must
 // preserve their own per-slice ordering.
 func (rt *Runtime) TryDispatch(sym int, theta param.Instance) bool {
+	rt.checkOpen()
 	ev := event{sym: sym, inst: theta}
 	target, broadcast := rt.router.Route(sym, theta)
 	if !broadcast {
@@ -214,6 +223,16 @@ func (rt *Runtime) TryDispatch(sym int, theta param.Instance) bool {
 		rt.events.Add(1)
 	}
 	return ok
+}
+
+// checkOpen panics when the runtime has been closed. The check is
+// advisory (closed is read without synchronization, as Close must not race
+// Dispatch anyway), but it turns the silent misuse into a deterministic,
+// clearly attributed failure on the sequential misuse pattern.
+func (rt *Runtime) checkOpen() {
+	if rt.closed {
+		panic("shard: Dispatch after Close on spec " + rt.spec.Name)
+	}
 }
 
 // ctlAll flushes open batches and runs a control request on every shard,

@@ -24,6 +24,30 @@ type Compiled struct {
 	Handlers map[logic.Category]string
 }
 
+// CompileOne parses and compiles .rv source that must define exactly one
+// monitorable property, with the static analyses run. This is the shape
+// the wire protocol's spec negotiation needs: the client and server both
+// compile the same source through this helper, so the single-property
+// rule and its diagnostics cannot drift between the two ends.
+func CompileOne(src string) (*monitor.Spec, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	if len(compiled) != 1 {
+		return nil, fmt.Errorf("spec: source compiles to %d properties, want exactly 1", len(compiled))
+	}
+	s := compiled[0].Spec
+	if err := s.Analyze(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // Compile compiles every logic block of the property.
 func (p *Property) Compile() ([]*Compiled, error) {
 	alphabet := make([]string, len(p.Events))
