@@ -226,6 +226,40 @@ func BenchmarkSweepInterval(b *testing.B) {
 	}
 }
 
+// BenchmarkLiveObjects measures the live-object ingestion mode (the rv
+// frontend over real Go objects, deaths delivered by pinned real-GC
+// cycles): per-policy runtime of the workload, with the settled monitor
+// counts as metrics. The shape to expect mirrors BenchmarkGCPolicy, now
+// against the real collector: coenable leaves only the collections'
+// monitors live (liveMons ≈ #collections), the other policies retain
+// every dead iterator's monitor.
+func BenchmarkLiveObjects(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		gc   monitor.GCPolicy
+	}{
+		{"None", monitor.GCNone},
+		{"AllDead", monitor.GCAllDead},
+		{"Coenable", monitor.GCCoenable},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var last eval.LiveResult
+			for i := 0; i < b.N; i++ {
+				r, err := eval.RunLivePolicy(mode.gc, eval.LiveConfig{Scale: 0.125})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Settled {
+					b.Fatal("cleanups did not settle")
+				}
+				last = r
+			}
+			b.ReportMetric(float64(last.Stats.Collected), "CM")
+			b.ReportMetric(float64(last.Stats.Live), "liveMons")
+		})
+	}
+}
+
 // --- sharded runtime scaling ---
 
 // shardBackends is the grid compared by the scaling benchmarks: the

@@ -406,7 +406,9 @@ func (c *Client) spendCredit() {
 // relative to Dispatch: every event already dispatched observes the
 // objects alive, every later event must not mention them. This is the
 // explicit, protocol-level replacement for the weak-reference death signal
-// the in-process backends get from the heap.
+// the in-process backends get from the heap. It implements
+// monitor.Runtime's synchronous death positioning: the server barriers the
+// session's backend before applying the free.
 func (c *Client) Free(refs ...heap.Ref) {
 	if len(refs) == 0 {
 		return
@@ -425,6 +427,19 @@ func (c *Client) Free(refs ...heap.Ref) {
 	// even when the event pipeline is idle.
 	if err := c.w.Flush(); err != nil {
 		c.fatal(err)
+	}
+}
+
+// FreeAsync implements monitor.Runtime's pipelined death positioning. For
+// a remote session the positioned point is the free frame's place in the
+// write pipeline — the server barriers its backend when the frame arrives —
+// so the local die runs as soon as the frame is written: the local refs
+// only feed verdict reconstruction, where dead identities are expected
+// (that is the whole point of monitor GC).
+func (c *Client) FreeAsync(die func(), refs ...heap.Ref) {
+	c.Free(refs...)
+	if die != nil {
+		die()
 	}
 }
 

@@ -64,6 +64,30 @@ func TestClientConformance(t *testing.T) {
 	}
 }
 
+// TestClientFreeConformance runs the death-positioning suite (Free and
+// FreeAsync) over the network: protocol-level frees must position deaths
+// exactly as the in-process backends do.
+func TestClientFreeConformance(t *testing.T) {
+	addr := startServer(t, server.Options{})
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			conformance.RunFree(t, func(t *testing.T, prop string, onVerdict func(monitor.Verdict)) monitor.Runtime {
+				cl, err := client.Dial(addr, client.Options{
+					Prop:      prop,
+					GC:        monitor.GCCoenable,
+					Creation:  monitor.CreateEnable,
+					Shards:    shards,
+					OnVerdict: onVerdict,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return cl
+			})
+		})
+	}
+}
+
 // gstep is one step of a backend-independent random trace: an event over
 // object ordinals, or (sym == -1) the death of objs[0].
 type gstep struct {

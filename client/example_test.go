@@ -1,0 +1,64 @@
+package client_test
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"rvgo/client"
+	"rvgo/internal/heap"
+	"rvgo/internal/monitor"
+	"rvgo/internal/server"
+)
+
+// Example monitors the UNSAFEITER property over a TCP session: the
+// monitored program names its objects with heap.Refs, streams events to
+// an rvserve-style server, and reports object deaths with Free — the
+// protocol-level replacement for the weak-reference death signal the
+// in-process backends consume.
+func Example() {
+	// An in-process server stands in for `rvserve -listen ...`.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	srv := server.New(server.Options{})
+	go srv.Serve(l)
+	defer srv.Shutdown(5 * time.Second)
+
+	verdicts := make(chan string, 1)
+	c, err := client.Dial(l.Addr().String(), client.Options{
+		Prop:     "UnsafeIter",
+		GC:       monitor.GCCoenable,
+		Creation: monitor.CreateEnable,
+		OnVerdict: func(v monitor.Verdict) {
+			verdicts <- fmt.Sprintf("verdict: %s at %s", v.Cat, v.Inst.Format(v.Spec.Params))
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	h := heap.New()
+	coll, iter := h.Alloc("coll"), h.Alloc("iter")
+	c.Emit(0, coll, iter) // create
+	c.Emit(1, coll)       // update: the collection changes mid-iteration
+	c.Emit(2, iter)       // next: the stale iterator is used — a match
+	c.Barrier()           // every verdict those events produced is in
+	fmt.Println(<-verdicts)
+
+	// The iterator goes out of scope in the monitored program: its death
+	// travels as a protocol free, and the server's coenable-set GC
+	// reclaims the monitors that depended on it.
+	c.Free(iter)
+	h.Free(iter)
+
+	c.Flush()
+	st := c.Stats()
+	fmt.Printf("monitors created: %d, collected: %d\n", st.Created, st.Collected)
+	c.Close()
+
+	// Output:
+	// verdict: match at <c=coll, i=iter>
+	// monitors created: 2, collected: 1
+}

@@ -6,18 +6,21 @@
 //
 //	rvbench [-table fig9a|fig9b|fig10|all] [-scale 0.1] [-timeout 60s]
 //	        [-bench bloat,pmd,...] [-prop HasNext,...] [-shards N]
-//	        [-json] [-v]
+//	        [-live] [-json] [-v]
 //
 // -shards N > 1 runs the RV and MOP cells on the sharded concurrent
 // runtime (internal/shard) instead of the sequential engine. -json emits
 // the full result grid as machine-readable JSON instead of the tables, so
 // runs can be archived (BENCH_*.json) and compared across revisions.
+// -live runs the live-object ingestion experiment instead of the DaCapo
+// grid: real Go objects monitored through the rv frontend, with monitor
+// reclamation driven by real, pinned garbage-collection cycles.
 //
 // Scale 1.0 corresponds to roughly 1/50 of the paper's event volumes; the
 // default keeps the full grid under a few minutes. Absolute numbers are
 // not comparable to the paper's Pentium-4 JVM measurements — the shapes
 // (which system wins, by what factor, where Tracematches times out) are
-// what the harness reproduces. See EXPERIMENTS.md.
+// what the harness reproduces. See DESIGN.md's experiment index.
 package main
 
 import (
@@ -44,6 +47,7 @@ func main() {
 		prs     = flag.String("prop", "", "comma-separated property subset (default: the paper's five)")
 		shards  = flag.Int("shards", 1, "RV/MOP backend: 1 = sequential engine, >1 = sharded runtime")
 		remote  = flag.String("remote", "", "rvserve address: run the RV/MOP cells over the network")
+		live    = flag.Bool("live", false, "run the live-object ingestion experiment (rv frontend, real Go GC)")
 		jsonOut = flag.Bool("json", false, "emit the result grid as JSON instead of tables")
 		compare = flag.String("compare", "", "baseline JSON (from -json): rerun its config and fail on regressions")
 		tol     = flag.Float64("tolerance", 1.0, "with -compare: allowed relative runtime regression (1.0 = 2x)")
@@ -85,6 +89,10 @@ func main() {
 		compareBaseline(*compare, *tol, cfg, progress)
 		return
 	}
+	if *live {
+		runLive(eval.LiveConfig{Scale: *scale, Shards: *shards}, *jsonOut)
+		return
+	}
 
 	res, err := eval.Run(cfg, progress)
 	if err != nil {
@@ -114,6 +122,37 @@ func main() {
 		res.Retained(os.Stdout)
 	default:
 		fatalf("unknown table %q", *table)
+	}
+}
+
+// runLive runs the live-object ingestion experiment and prints its table:
+// the Figure 10 counters per GC policy, with deaths delivered by the real
+// garbage collector at pinned collection points instead of simulated-heap
+// frees.
+func runLive(cfg eval.LiveConfig, jsonOut bool) {
+	results, err := eval.RunLive(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	fmt.Println("live-object ingestion (rv frontend, real Go GC; see DESIGN.md)")
+	fmt.Printf("%-10s %10s %10s %10s %10s %8s %8s %9s %8s\n",
+		"policy", "events", "created", "flagged", "collected", "live", "deaths", "gc-pinned", "sec")
+	for _, r := range results {
+		mark := ""
+		if !r.Settled {
+			mark = "  (unsettled: some cleanups never fired)"
+		}
+		fmt.Printf("%-10s %10d %10d %10d %10d %8d %8d %9d %8.2f%s\n",
+			r.Policy, r.Stats.Events, r.Stats.Created, r.Stats.Flagged, r.Stats.Collected,
+			r.Stats.Live, r.Delivered, r.GCPinned, r.RunSec, mark)
 	}
 }
 

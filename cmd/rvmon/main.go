@@ -118,13 +118,22 @@ func main() {
 			continue
 		}
 		if fields[0] == "free" {
-			// Process everything dispatched so far, so asynchronous
-			// backends observe the death at its trace position.
-			for _, eng := range engines {
-				eng.Barrier()
-			}
+			// The runtimes position the deaths behind everything
+			// dispatched so far (one barrier per line for asynchronous
+			// backends), then the heap applies them.
+			var refs []heap.Ref
+			var objs []*heap.Object
 			for _, name := range fields[1:] {
 				if o, ok := objects[name]; ok {
+					refs = append(refs, o)
+					objs = append(objs, o)
+				}
+			}
+			if len(refs) > 0 {
+				for _, eng := range engines {
+					eng.Free(refs...)
+				}
+				for _, o := range objs {
 					h.Free(o)
 				}
 			}

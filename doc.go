@@ -16,6 +16,14 @@
 // explicit trace event — the network replacement for the weak references
 // the in-process engines consume.
 //
+// Three ingestion modes feed those runtimes: recorded traces (cmd/rvmon,
+// internal/dacapo), network sessions (client), and — closest to the
+// paper's title — live Go objects through the rv frontend: rv.Attach
+// emits events over a program's own heap objects, a weak-keyed registry
+// (internal/registry) assigns their monitoring identities, and the real
+// Go garbage collector's cleanups become the stream-positioned death
+// signals that drive coenable-set monitor reclamation.
+//
 // The library lives under internal/ (one package per subsystem — see
 // DESIGN.md for the inventory), with five command-line tools:
 //

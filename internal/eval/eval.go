@@ -186,13 +186,6 @@ func newEngine(spec *monitor.Spec, prop string, gc monitor.GCPolicy, cfg Config)
 	return cliutil.NewRuntime(spec, opts, shards)
 }
 
-// objectFreer is the death-forwarding surface of the remote client: the
-// network backend cannot observe in-process liveness, so the harness tells
-// it explicitly when a parameter object dies.
-type objectFreer interface {
-	Free(refs ...heap.Ref)
-}
-
 // sessionErr surfaces a remote backend's sticky session error. The
 // Runtime methods cannot return errors, so a connection lost mid-cell
 // degrades them to no-ops; without this check the cell would report
@@ -204,29 +197,22 @@ func sessionErr(eng monitor.Runtime) error {
 	return nil
 }
 
-// setFreeHook wires object deaths to the monitoring backends. Remote
-// sessions get the death as a protocol free message (the server barriers
-// its runtime before applying it, so counters stay trace-faithful); the
-// in-process sharded runtime is barriered at each death for the same
-// reason. The sequential engine observes deaths through ref liveness and
-// needs no hook.
+// setFreeHook wires object deaths to the monitoring backends through the
+// uniform Runtime.Free path: the hook runs just before the simulated heap
+// marks the object dead, and each backend positions the death its own way
+// — the sequential engine needs nothing (it observes liveness
+// synchronously, so the hook is skipped entirely), the sharded runtime
+// barriers its mailboxes, and a remote session sends a protocol-level
+// free that the server barriers against.
 func setFreeHook(rt *dacapo.Runtime, engines []monitor.Runtime, cfg Config) {
-	switch {
-	case cfg.Remote != "":
-		rt.Heap.SetFreeHook(func(o *heap.Object) {
-			for _, eng := range engines {
-				if f, ok := eng.(objectFreer); ok {
-					f.Free(o)
-				}
-			}
-		})
-	case cfg.Shards > 1:
-		rt.Heap.SetFreeHook(func(*heap.Object) {
-			for _, eng := range engines {
-				eng.Barrier()
-			}
-		})
+	if cfg.Remote == "" && cfg.Shards <= 1 {
+		return
 	}
+	rt.Heap.SetFreeHook(func(o *heap.Object) {
+		for _, eng := range engines {
+			eng.Free(o)
+		}
+	})
 }
 
 // RunCell measures one benchmark × property × system combination.

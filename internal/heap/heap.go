@@ -9,7 +9,12 @@
 //   - A deterministic simulated heap (Heap/Object), where the workload
 //     explicitly frees objects. This is the substrate used by tests and by
 //     the DaCapo-style benchmark harness, because reproducing the paper's
-//     Figure 10 statistics requires deterministic collection points.
+//     Figure 10 statistics requires deterministic collection points. It is
+//     also the identity currency of the other death channels: the remote
+//     server materializes one Object per protocol object ID, and the
+//     live-object registry (internal/registry) allocates one Object per
+//     registered Go object, freeing it when the real GC's cleanup signal
+//     is delivered.
 //   - Real weak references (Weak) built on Go 1.24's weak.Pointer, showing
 //     the same engine running against the real garbage collector.
 //

@@ -8,22 +8,31 @@ import (
 	"rvgo/internal/props"
 )
 
+// engineFactory builds a sequential engine for the conformance suites.
+func engineFactory(t *testing.T, prop string, onVerdict func(monitor.Verdict)) monitor.Runtime {
+	spec, err := props.Build(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := monitor.New(spec, monitor.Options{
+		GC:        monitor.GCCoenable,
+		Creation:  monitor.CreateEnable,
+		OnVerdict: onVerdict,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
 // TestEngineConformance runs the backend-independent Runtime suite on the
 // sequential engine.
 func TestEngineConformance(t *testing.T) {
-	conformance.RunEmitNamed(t, func(t *testing.T, prop string, onVerdict func(monitor.Verdict)) monitor.Runtime {
-		spec, err := props.Build(prop)
-		if err != nil {
-			t.Fatal(err)
-		}
-		eng, err := monitor.New(spec, monitor.Options{
-			GC:        monitor.GCCoenable,
-			Creation:  monitor.CreateEnable,
-			OnVerdict: onVerdict,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return eng
-	})
+	conformance.RunEmitNamed(t, engineFactory)
+}
+
+// TestEngineFreeConformance runs the death-positioning suite (Free and
+// FreeAsync) on the sequential engine.
+func TestEngineFreeConformance(t *testing.T) {
+	conformance.RunFree(t, engineFactory)
 }

@@ -21,6 +21,25 @@ type Runtime interface {
 	EmitNamed(name string, vals ...heap.Ref) error
 	// Dispatch processes one parametric event.
 	Dispatch(sym int, theta param.Instance)
+	// Free positions an explicit object death in the event stream: every
+	// event dispatched before the call is processed observing the objects
+	// alive. The caller marks the objects dead after Free returns and
+	// dispatches no later event mentioning them. Synchronous backends need
+	// do nothing; asynchronous backends barrier their queues or forward a
+	// protocol-level free. This is the synchronous death signal used by
+	// explicit-free drivers (trace replay, the simulated-heap free hook).
+	Free(refs ...heap.Ref)
+	// FreeAsync positions an object death without stalling the producer:
+	// the runtime invokes die exactly once, after every previously
+	// dispatched event has been processed and before any later event is,
+	// and die marks the objects dead. The caller dispatches no later event
+	// mentioning the refs (with a garbage-collected object that is
+	// automatic: the object is unreachable, so no event can bind it). A nil
+	// die degrades to Free's synchronous contract. This is the death path
+	// of the live-object frontend (package rv): Go-GC cleanups become
+	// stream-positioned deaths that drive coenable-set monitor GC exactly
+	// like an internal/wire free.
+	FreeAsync(die func(), refs ...heap.Ref)
 	// Barrier returns once every event dispatched before the call has been
 	// fully processed. Synchronous backends return immediately.
 	Barrier()
@@ -41,6 +60,18 @@ var _ Runtime = (*Engine)(nil)
 // Barrier implements Runtime. The sequential engine processes events
 // synchronously, so every dispatched event is already fully processed.
 func (e *Engine) Barrier() {}
+
+// Free implements Runtime. The sequential engine needs no positioning:
+// every dispatched event has already been processed, and it observes
+// deaths lazily through ref liveness when the death is applied.
+func (e *Engine) Free(refs ...heap.Ref) {}
+
+// FreeAsync implements Runtime: the positioned point is now.
+func (e *Engine) FreeAsync(die func(), refs ...heap.Ref) {
+	if die != nil {
+		die()
+	}
+}
 
 // Close implements Runtime. The sequential engine holds no goroutines or
 // external resources.

@@ -1,0 +1,230 @@
+// Package registry is the weak-keyed live-object table behind the public
+// rv frontend: it assigns stable monitoring identities (simulated-heap
+// objects, the heap.Ref currency of every backend) to live Go objects, and
+// turns the host garbage collector into the death signal that drives
+// coenable-set monitor GC.
+//
+// Each registered Go object gets one heap.Object identity, held in a table
+// keyed by the object's address and guarded by a weak.Pointer — the table
+// never keeps a registered object alive. A runtime.AddCleanup hook fires
+// after the Go GC collects the object and enqueues its identity on the
+// death queue; the queue is drained at deterministic points chosen by the
+// caller (package rv drains before dispatching, tests drain at pinned
+// runtime.GC() cycles via Settle), and the drained identities are then
+// freed through the monitoring runtime's async-free path exactly like an
+// internal/wire protocol free: positioned in the event stream, then
+// driving coenable-set GC.
+//
+// This is the in-process analogue of the paper's JVM weak references
+// (§4.2): where the JVM clears a weak key and the indexing trees notice,
+// Go runs a cleanup and the registry converts it into an explicit,
+// stream-positioned death. The conversion is what restores determinism —
+// a raw weak-reference flip could race queued events, but a queued death
+// signal has a definite position in the trace.
+//
+// Allocator caveat: a pointer-free object smaller than 16 bytes lands in
+// the Go tiny allocator, which packs unrelated objects into one block; the
+// block — and with it the object's cleanup — survives until every tenant
+// dies. Monitored objects should contain a pointer or be ≥ 16 bytes
+// (every realistic iterator or collection is).
+package registry
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+	"weak"
+
+	"rvgo/internal/heap"
+)
+
+// Stats are the table's lifetime counters.
+type Stats struct {
+	Registered uint64 // distinct objects given an identity
+	Cleaned    uint64 // cleanups fired (objects collected by the Go GC)
+	Delivered  uint64 // death signals handed out by Drain
+	Live       int    // table entries whose object has not been cleaned up
+	Pending    int    // deaths queued but not yet drained
+}
+
+// entry is one registered object: its monitoring identity and the weak
+// guard that detects address reuse. It holds no strong reference to the
+// Go object.
+type entry struct {
+	wp   weak.Pointer[byte]
+	obj  *heap.Object
+	addr uintptr
+}
+
+// Table maps live Go objects to monitoring identities. It is safe for
+// concurrent use; cleanup hooks run on the runtime's cleanup goroutine and
+// take the same lock.
+type Table struct {
+	mu         sync.Mutex
+	heap       *heap.Heap
+	entries    map[uintptr]*entry
+	queue      []*heap.Object // cleanup-fired identities, in cleanup order
+	registered uint64
+	delivered  uint64
+	cleaned    atomic.Uint64 // also read by Settle without the lock
+	pending    atomic.Int64  // len(queue), readable without the lock
+}
+
+// New returns an empty table with its own identity heap.
+func New() *Table {
+	return &Table{heap: heap.New(), entries: map[uintptr]*entry{}}
+}
+
+// Heap returns the identity heap. Identities drained from the death queue
+// are freed against it (heap.Free) when the death is applied.
+func (t *Table) Heap() *heap.Heap { return t.heap }
+
+// refOf extracts the identity-bearing pointer from a registered value.
+// Pointer-shaped kinds (pointers, maps, channels) carry a stable heap
+// address; everything else either has no address (a non-pointer boxed into
+// the interface is a fresh allocation per call, so its identity would be
+// meaningless) or an ambiguous one (two slices can share a data pointer).
+func refOf(v any) (*byte, uintptr, error) {
+	if v == nil {
+		return nil, 0, fmt.Errorf("registry: cannot register nil")
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Pointer, reflect.Map, reflect.Chan, reflect.UnsafePointer:
+		if rv.IsNil() {
+			return nil, 0, fmt.Errorf("registry: cannot register nil %s", rv.Type())
+		}
+		p := rv.UnsafePointer()
+		return (*byte)(p), uintptr(p), nil
+	}
+	return nil, 0, fmt.Errorf("registry: %s is not a pointer, map or channel — parameter objects must have reference identity", rv.Type())
+}
+
+// Register returns the monitoring identity for a live Go object, creating
+// one on first sight: the same object always maps to the same identity,
+// and a dead object's address reused by a new allocation gets a fresh one
+// (the weak guard detects the reuse). The table itself never keeps the
+// object alive.
+//
+// The object must be heap-allocated: like runtime.AddCleanup and
+// weak.Make, registering a pointer to a global crashes the runtime.
+func (t *Table) Register(v any, label string) (*heap.Object, error) {
+	bp, addr, err := refOf(v)
+	if err != nil {
+		return nil, err
+	}
+
+	t.mu.Lock()
+	if e, ok := t.entries[addr]; ok {
+		if e.wp.Value() == bp {
+			obj := e.obj
+			t.mu.Unlock()
+			runtime.KeepAlive(v)
+			return obj, nil
+		}
+		// The previous occupant of this address died but its cleanup has
+		// not run yet; it keeps ownership of its queued death, we just
+		// stop pointing at it.
+		delete(t.entries, addr)
+	}
+	obj := t.heap.Alloc(label)
+	e := &entry{wp: weak.Make(bp), obj: obj, addr: addr}
+	t.entries[addr] = e
+	t.registered++
+	t.mu.Unlock()
+
+	runtime.AddCleanup(bp, t.onCollected, e)
+	runtime.KeepAlive(v)
+	return obj, nil
+}
+
+// Lookup returns the identity of an already-registered live object, or nil.
+func (t *Table) Lookup(v any) *heap.Object {
+	bp, addr, err := refOf(v)
+	if err != nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.entries[addr]; ok && e.wp.Value() == bp {
+		return e.obj
+	}
+	return nil
+}
+
+// onCollected is the runtime.AddCleanup hook: the Go GC has collected a
+// registered object. The identity joins the death queue; the table entry
+// is dropped only if it still describes this object (the address may
+// already host a successor).
+func (t *Table) onCollected(e *entry) {
+	t.mu.Lock()
+	if cur, ok := t.entries[e.addr]; ok && cur == e {
+		delete(t.entries, e.addr)
+	}
+	t.queue = append(t.queue, e.obj)
+	t.pending.Add(1)
+	t.cleaned.Add(1)
+	t.mu.Unlock()
+}
+
+// Drain removes and returns every queued death signal, in cleanup order.
+// The returned identities are still alive; the caller owns their deaths
+// and applies them through the runtime's free path (which calls heap.Free
+// on this table's Heap at the positioned point). Callers serialize their
+// drains against their own event dispatch — that choice of drain point is
+// what pins deaths to trace positions.
+func (t *Table) Drain() []*heap.Object {
+	t.mu.Lock()
+	q := t.queue
+	t.queue = nil
+	t.pending.Store(0)
+	t.delivered += uint64(len(q))
+	t.mu.Unlock()
+	return q
+}
+
+// Pending returns the number of queued, undrained death signals.
+func (t *Table) Pending() int { return int(t.pending.Load()) }
+
+// Cleaned returns the number of cleanups fired since the table was
+// created. Tests record it before dropping objects and Settle to the
+// expected count — that is the "runtime.GC()-pinned" discipline.
+func (t *Table) Cleaned() uint64 { return t.cleaned.Load() }
+
+// Settle runs garbage-collection cycles until at least target cleanups
+// have fired in total (Cleaned reaches target), or the timeout elapses.
+// Cleanups run asynchronously after the collection that discovers the
+// object, so one runtime.GC() is not enough; Settle loops GC and yields
+// until the count arrives. It reports whether the target was reached.
+func (t *Table) Settle(target uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for i := 0; t.cleaned.Load() < target; i++ {
+		if time.Now().After(deadline) {
+			return false
+		}
+		runtime.GC()
+		// The cleanup goroutine needs to run between our cycles.
+		if i < 4 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return true
+}
+
+// Stats returns a snapshot of the table counters.
+func (t *Table) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{
+		Registered: t.registered,
+		Cleaned:    t.cleaned.Load(),
+		Delivered:  t.delivered,
+		Live:       len(t.entries),
+		Pending:    len(t.queue),
+	}
+}

@@ -1,0 +1,181 @@
+package registry
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"rvgo/internal/heap"
+)
+
+type thing struct {
+	id  int
+	pad [8]int64
+}
+
+// register boxes the allocation in a noinline helper so the test frame
+// holds no hidden strong reference to it.
+//
+//go:noinline
+func register(t *testing.T, tab *Table, id int, label string) *heap.Object {
+	t.Helper()
+	o := &thing{id: id}
+	ref, err := tab.Register(o, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+func TestIdentityStable(t *testing.T) {
+	tab := New()
+	o := &thing{id: 1}
+	a, err := tab.Register(o, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tab.Register(o, "ignored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same object mapped to two identities: %v, %v", a, b)
+	}
+	if got := tab.Lookup(o); got != a {
+		t.Fatalf("Lookup = %v, want %v", got, a)
+	}
+	o2 := &thing{id: 2}
+	c, err := tab.Register(o2, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a || c.ID() == a.ID() {
+		t.Fatalf("distinct objects share an identity: %v, %v", a, c)
+	}
+	st := tab.Stats()
+	if st.Registered != 2 || st.Live != 2 || st.Pending != 0 {
+		t.Errorf("stats = %+v, want Registered=2 Live=2 Pending=0", st)
+	}
+	runtime.KeepAlive(o)
+	runtime.KeepAlive(o2)
+}
+
+func TestRejectsNonReference(t *testing.T) {
+	tab := New()
+	if _, err := tab.Register(nil, ""); err == nil {
+		t.Error("Register(nil) succeeded")
+	}
+	if _, err := tab.Register(42, ""); err == nil {
+		t.Error("Register(int) succeeded")
+	}
+	if _, err := tab.Register(thing{}, ""); err == nil {
+		t.Error("Register(struct value) succeeded")
+	}
+	if _, err := tab.Register((*thing)(nil), ""); err == nil {
+		t.Error("Register(typed nil) succeeded")
+	}
+	if _, err := tab.Register([]int{1}, ""); err == nil {
+		t.Error("Register(slice) succeeded")
+	}
+	m := map[int]int{}
+	if _, err := tab.Register(m, "m"); err != nil {
+		t.Errorf("Register(map): %v", err)
+	}
+	runtime.KeepAlive(m)
+}
+
+func TestDeathSignal(t *testing.T) {
+	tab := New()
+	keep := &thing{id: 0}
+	keepRef, err := tab.Register(keep, "keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tab.Cleaned()
+	dead := register(t, tab, 1, "dead")
+	if !dead.Alive() {
+		t.Fatal("identity dead before its object was collected")
+	}
+	if !tab.Settle(base+1, 5*time.Second) {
+		t.Fatalf("cleanup did not fire; stats %+v", tab.Stats())
+	}
+	if got := tab.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+	q := tab.Drain()
+	if len(q) != 1 || q[0] != dead {
+		t.Fatalf("Drain = %v, want [%v]", q, dead)
+	}
+	// The drained identity is still alive: the caller positions the death.
+	if !q[0].Alive() {
+		t.Error("identity died before the caller applied the death")
+	}
+	tab.Heap().Free(q[0])
+	if q[0].Alive() {
+		t.Error("identity still alive after heap.Free")
+	}
+	if !keepRef.Alive() {
+		t.Error("live object's identity died")
+	}
+	if tab.Pending() != 0 {
+		t.Errorf("Pending after drain = %d, want 0", tab.Pending())
+	}
+	st := tab.Stats()
+	if st.Delivered != 1 || st.Live != 1 {
+		t.Errorf("stats = %+v, want Delivered=1 Live=1", st)
+	}
+	runtime.KeepAlive(keep)
+}
+
+func TestDeathOrderAndBatch(t *testing.T) {
+	tab := New()
+	base := tab.Cleaned()
+	const n = 16
+	for i := 0; i < n; i++ {
+		register(t, tab, i, "x")
+	}
+	if !tab.Settle(base+n, 10*time.Second) {
+		t.Fatalf("only %d/%d cleanups fired", tab.Cleaned()-base, n)
+	}
+	q := tab.Drain()
+	if len(q) != n {
+		t.Fatalf("Drain returned %d identities, want %d", len(q), n)
+	}
+	seen := map[uint64]bool{}
+	for _, o := range q {
+		if seen[o.ID()] {
+			t.Fatalf("identity %d delivered twice", o.ID())
+		}
+		seen[o.ID()] = true
+	}
+	if tab.Stats().Live != 0 {
+		t.Errorf("Live = %d, want 0", tab.Stats().Live)
+	}
+}
+
+// TestAddressReuse hammers allocate/collect cycles: a reused address must
+// never resurrect the previous occupant's identity.
+func TestAddressReuse(t *testing.T) {
+	tab := New()
+	seen := map[uint64]bool{}
+	for round := 0; round < 8; round++ {
+		base := tab.Cleaned()
+		const n = 64
+		for i := 0; i < n; i++ {
+			ref := register(t, tab, i, "r")
+			if seen[ref.ID()] {
+				t.Fatalf("round %d: identity %d issued twice", round, ref.ID())
+			}
+			seen[ref.ID()] = true
+		}
+		if !tab.Settle(base+n, 10*time.Second) {
+			t.Fatalf("round %d: only %d/%d cleanups fired", round, tab.Cleaned()-base, n)
+		}
+		for _, o := range tab.Drain() {
+			tab.Heap().Free(o)
+		}
+	}
+	if st := tab.Stats(); st.Live != 0 || st.Registered != 8*64 {
+		t.Errorf("stats = %+v, want Live=0 Registered=%d", st, 8*64)
+	}
+}

@@ -9,25 +9,34 @@ import (
 	"rvgo/internal/shard"
 )
 
+// shardFactory builds a 4-shard runtime for the conformance suites.
+func shardFactory(t *testing.T, prop string, onVerdict func(monitor.Verdict)) monitor.Runtime {
+	spec, err := props.Build(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := shard.New(spec, shard.Options{
+		Options: monitor.Options{
+			GC:        monitor.GCCoenable,
+			Creation:  monitor.CreateEnable,
+			OnVerdict: onVerdict,
+		},
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
 // TestShardConformance runs the backend-independent Runtime suite on the
 // sharded runtime.
 func TestShardConformance(t *testing.T) {
-	conformance.RunEmitNamed(t, func(t *testing.T, prop string, onVerdict func(monitor.Verdict)) monitor.Runtime {
-		spec, err := props.Build(prop)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rt, err := shard.New(spec, shard.Options{
-			Options: monitor.Options{
-				GC:        monitor.GCCoenable,
-				Creation:  monitor.CreateEnable,
-				OnVerdict: onVerdict,
-			},
-			Shards: 4,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return rt
-	})
+	conformance.RunEmitNamed(t, shardFactory)
+}
+
+// TestShardFreeConformance runs the death-positioning suite (Free and
+// FreeAsync) on the sharded runtime.
+func TestShardFreeConformance(t *testing.T) {
+	conformance.RunFree(t, shardFactory)
 }

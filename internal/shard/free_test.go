@@ -1,0 +1,148 @@
+package shard_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"rvgo/internal/heap"
+	"rvgo/internal/monitor"
+	"rvgo/internal/props"
+	"rvgo/internal/shard"
+)
+
+// execTraceFreeAsync is execTrace with deaths delivered through the
+// pipelined FreeAsync path instead of Barrier-then-kill: the producer
+// never stalls on a death, yet the positioning contract promises the same
+// per-slice event/death sequences — and therefore identical results.
+func execTraceFreeAsync(t testing.TB, spec *monitor.Spec, gc monitor.GCPolicy, shards, batch int, steps []gstep) result {
+	t.Helper()
+	verdicts := map[string][]string{}
+	opts := monitor.Options{GC: gc, Creation: monitor.CreateEnable, OnVerdict: recordVerdicts(spec, verdicts)}
+	var rt monitor.Runtime
+	var err error
+	if shards == 0 {
+		rt, err = monitor.New(spec, opts)
+	} else {
+		rt, err = shard.New(spec, shard.Options{Options: opts, Shards: shards, BatchSize: batch})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := heap.New()
+	objs := map[int]*heap.Object{}
+	get := func(o int) *heap.Object {
+		v, ok := objs[o]
+		if !ok {
+			v = h.Alloc(fmt.Sprintf("o%d", o))
+			objs[o] = v
+		}
+		return v
+	}
+	for _, st := range steps {
+		if st.sym < 0 {
+			o := get(st.objs[0])
+			rt.FreeAsync(func() { h.Free(o) }, o)
+			continue
+		}
+		vals := make([]heap.Ref, len(st.objs))
+		for k, o := range st.objs {
+			vals[k] = get(o)
+		}
+		rt.Emit(st.sym, vals...)
+	}
+	rt.Flush()
+	st := rt.Stats()
+	rt.Close()
+	return result{verdicts: verdicts, stats: st}
+}
+
+// TestFreeAsyncEquivalence: random traces with mid-trace deaths produce
+// the same per-slice verdict sequences and settled counters whether deaths
+// ride the synchronous Barrier-then-kill path or the pipelined FreeAsync
+// records, on the sequential engine and on 1/2/4/8 shards, under all three
+// GC policies.
+func TestFreeAsyncEquivalence(t *testing.T) {
+	gcs := []monitor.GCPolicy{monitor.GCNone, monitor.GCAllDead, monitor.GCCoenable}
+	propsUnder := []string{"HasNext", "UnsafeIter", "UnsafeMapIter"}
+	seeds := 3
+	if testing.Short() {
+		seeds = 1
+	}
+	for _, name := range propsUnder {
+		spec, err := props.Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := 0; seed < seeds; seed++ {
+			rng := rand.New(rand.NewSource(int64(100 + seed)))
+			steps := genTrace(rng, spec, 300)
+			for _, gc := range gcs {
+				oracle := execTrace(t, spec, gc, 0, 0, steps, false)
+				for _, n := range []int{0, 1, 2, 4, 8} {
+					got := execTraceFreeAsync(t, spec, gc, n, 4, steps)
+					compareResults(t, fmt.Sprintf("%s/seed%d/gc=%s/shards=%d/freeasync", name, seed, gc, n), oracle, got)
+				}
+			}
+		}
+	}
+}
+
+// TestFreeAsyncConcurrent drives concurrent producers that interleave
+// events and FreeAsync deaths on the same sharded runtime: the serialized
+// broadcast must never deadlock the worker rendezvous, and every die must
+// run. (The deadlock shape this guards: two records entering two mailboxes
+// in opposite orders, each worker waiting at the other's record.)
+func TestFreeAsyncConcurrent(t *testing.T) {
+	spec, err := props.Build("HasNext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := shard.New(spec, shard.Options{
+		Options: monitor.Options{GC: monitor.GCCoenable, Creation: monitor.CreateEnable},
+		Shards:  4, BatchSize: 2, MailboxDepth: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := heap.New()
+	hnT, _ := spec.Symbol("hasnexttrue")
+	nxt, _ := spec.Symbol("next")
+	const producers = 8
+	const rounds = 200
+	var died sync.WaitGroup
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				it := h.Alloc(fmt.Sprintf("p%d_%d", p, r))
+				rt.Emit(hnT, it)
+				rt.Emit(nxt, it)
+				died.Add(1)
+				rt.FreeAsync(func() { h.Free(it); died.Done() }, it)
+			}
+		}(p)
+	}
+	wg.Wait()
+	rt.Barrier()
+	waitDone := make(chan struct{})
+	go func() { died.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("not every FreeAsync die ran: rendezvous deadlock?")
+	}
+	rt.Flush()
+	st := rt.Stats()
+	rt.Close()
+	if want := uint64(producers * rounds * 2); st.Events != want {
+		t.Errorf("Events = %d, want %d", st.Events, want)
+	}
+	if live, _, frees := h.Stats(); live != 0 || frees != producers*rounds {
+		t.Errorf("heap: live=%d frees=%d, want 0/%d", live, frees, producers*rounds)
+	}
+}

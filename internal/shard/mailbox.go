@@ -2,6 +2,7 @@ package shard
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"rvgo/internal/monitor"
 	"rvgo/internal/param"
@@ -13,14 +14,38 @@ type event struct {
 	inst param.Instance
 }
 
-// message is one mailbox element: either a batch of events or a control
-// request executed by the worker between batches (stats snapshots, flushes,
-// barriers). Control requests ride the same FIFO as batches, so by the time
-// one executes, every event enqueued before it has been processed.
+// message is one mailbox element: a batch of events, a control request
+// executed by the worker between batches (stats snapshots, flushes,
+// barriers), or a free record (an asynchronous object death). All three
+// ride the same FIFO, so by the time one executes, every event enqueued
+// before it has been processed.
 type message struct {
 	batch []event
 	ctl   func(*monitor.Engine)
 	done  chan<- struct{}
+	free  *freeRec
+}
+
+// freeRec is one FreeAsync death, broadcast to every shard: the workers
+// rendezvous at their copy of the record, the last arrival runs die (the
+// death becomes visible), and only then does any worker proceed to the
+// events behind the record. Each shard's pre-record events are processed
+// before it arrives and its post-record events after the death — the same
+// stream position a Barrier-then-kill gives, without stalling producers.
+type freeRec struct {
+	die  func()
+	n    atomic.Int32 // workers still to arrive
+	done chan struct{}
+}
+
+// arrive is one worker reaching its copy of the record.
+func (rec *freeRec) arrive() {
+	if rec.n.Add(-1) == 0 {
+		rec.die()
+		close(rec.done)
+		return
+	}
+	<-rec.done
 }
 
 // batchPool recycles event batches between producers and workers without
@@ -62,6 +87,10 @@ func (w *worker) run(wg *sync.WaitGroup) {
 		if msg.ctl != nil {
 			msg.ctl(w.eng)
 			close(msg.done)
+			continue
+		}
+		if msg.free != nil {
+			msg.free.arrive()
 			continue
 		}
 		for _, ev := range msg.batch {
@@ -109,6 +138,19 @@ func (w *worker) flush() {
 		w.mailbox <- message{batch: w.pending}
 		w.pending = getBatch(w.batchSz)
 	}
+	w.mu.Unlock()
+}
+
+// sendFree flushes the open batch and enqueues a free record behind it.
+// The mailbox send may block (backpressure), but never on the record's
+// rendezvous — the worker completes that on its own.
+func (w *worker) sendFree(rec *freeRec) {
+	w.mu.Lock()
+	if len(w.pending) > 0 {
+		w.mailbox <- message{batch: w.pending}
+		w.pending = getBatch(w.batchSz)
+	}
+	w.mailbox <- message{free: rec}
 	w.mu.Unlock()
 }
 

@@ -71,6 +71,7 @@ type Runtime struct {
 	workers []*worker
 	events  atomic.Uint64 // Dispatch calls, the merged Stats.Events
 	vmu     sync.Mutex    // serializes OnVerdict across shards
+	fmu     sync.Mutex    // serializes FreeAsync broadcasts (see Free)
 	wg      sync.WaitGroup
 	closed  bool
 	final   []monitor.Stats // per-shard counters captured at Close
@@ -223,6 +224,39 @@ func (rt *Runtime) TryDispatch(sym int, theta param.Instance) bool {
 		rt.events.Add(1)
 	}
 	return ok
+}
+
+// Free implements monitor.Runtime's synchronous death positioning: a
+// barrier, so every event dispatched before the call is processed against
+// the old liveness before the caller marks the objects dead. This is what
+// the explicit-free drivers (trace replay, the simulated-heap free hook)
+// use; it stalls the producer for a full queue drain per death.
+func (rt *Runtime) Free(refs ...heap.Ref) {
+	rt.Barrier()
+}
+
+// FreeAsync implements monitor.Runtime's pipelined death positioning: a
+// free record is broadcast into every shard's event stream, the workers
+// rendezvous at it, and the last arrival runs die. Each shard processes
+// its pre-record events before the death becomes visible and its
+// post-record events after — the same positioning Free gives, but the
+// producer returns as soon as the record is enqueued instead of waiting
+// for the queues to drain. Broadcasts are serialized so concurrent frees
+// enter every mailbox in the same order; two workers waiting at
+// oppositely-ordered records would deadlock the rendezvous.
+func (rt *Runtime) FreeAsync(die func(), refs ...heap.Ref) {
+	rt.checkOpen()
+	if die == nil {
+		rt.Barrier()
+		return
+	}
+	rec := &freeRec{die: die, done: make(chan struct{})}
+	rec.n.Store(int32(len(rt.workers)))
+	rt.fmu.Lock()
+	for _, w := range rt.workers {
+		w.sendFree(rec)
+	}
+	rt.fmu.Unlock()
 }
 
 // checkOpen panics when the runtime has been closed. The check is

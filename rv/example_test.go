@@ -1,0 +1,96 @@
+package rv_test
+
+import (
+	"fmt"
+	"time"
+
+	"rvgo/internal/monitor"
+	"rvgo/internal/props"
+	"rvgo/rv"
+)
+
+// Cache and CacheIter play the monitored program: a collection type and
+// its iterator, instrumented by hand with rv.Attach calls. (Like any real
+// iterator, CacheIter points at its collection — which also keeps it off
+// the tiny-allocator path, so the GC can reclaim each iterator
+// individually; see the package comment.)
+type Cache struct{ entries []string }
+
+type CacheIter struct {
+	c   *Cache
+	pos int
+}
+
+// iterate walks the cache with a scoped iterator. noinline keeps the
+// iterator out of the caller's frame, so it is genuinely unreachable —
+// and collectable — when iterate returns.
+//
+//go:noinline
+func iterate(s *rv.Session, c *Cache) {
+	it := &CacheIter{c: c}
+	rv.Attach(s, "create", c, it)
+	for range c.entries {
+		rv.Attach(s, "next", it)
+	}
+}
+
+// Example monitors the UNSAFEITER property over live Go objects: mutating
+// a collection while iterating it is reported, and once the program drops
+// an iterator, the real Go garbage collector's collection of it reclaims
+// the iterator's monitors.
+func Example() {
+	spec, err := props.Build("UnsafeIter")
+	if err != nil {
+		panic(err)
+	}
+	eng, err := monitor.New(spec, monitor.Options{
+		GC:       monitor.GCCoenable,
+		Creation: monitor.CreateEnable,
+		OnVerdict: func(v monitor.Verdict) {
+			fmt.Printf("verdict: %s at %s\n", v.Cat, v.Inst.Format(v.Spec.Params))
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	s := rv.New(eng, rv.Options{Label: func(v any) string {
+		switch v.(type) {
+		case *Cache:
+			return "cache"
+		case *CacheIter:
+			return "iter"
+		}
+		return "?"
+	}})
+
+	cache := &Cache{entries: []string{"a", "b"}}
+
+	// A well-behaved iteration, inside its own scope: the iterator is
+	// unreachable once iterate returns.
+	iterate(s, cache)
+
+	// Let the Go GC collect the dropped iterator and deliver its death:
+	// the coenable-set analysis reclaims its monitors.
+	if _, ok := s.Collect(1, 10*time.Second); !ok {
+		panic("iterator was not collected")
+	}
+
+	// An unsafe iteration: the cache is updated mid-iteration.
+	it := &CacheIter{c: cache}
+	rv.Attach(s, "create", cache, it)
+	cache.entries = append(cache.entries, "c")
+	rv.Attach(s, "update", cache)
+	rv.Attach(s, "next", it)
+
+	s.Flush()
+	st := s.Stats()
+	// Two of the three monitors are gone: the first iterator's, reclaimed
+	// because the real GC collected its object, and the matched one,
+	// terminated after its verdict (no suffix can reach another goal).
+	fmt.Printf("monitors created: %d, collected: %d\n", st.Created, st.Collected)
+	s.Close()
+
+	// Output:
+	// verdict: match at <c=cache, i=iter>
+	// monitors created: 3, collected: 2
+}
