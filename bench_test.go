@@ -9,6 +9,7 @@
 package rvgo_test
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"rvgo/internal/shard"
 	"rvgo/internal/slicing"
 	"rvgo/internal/tracematches"
+	"rvgo/internal/wire"
 )
 
 const benchScale = 0.02
@@ -370,7 +372,10 @@ func BenchmarkShardScalingUnsafeIter(b *testing.B) {
 // --- micro-benchmarks of the hot paths ---
 
 // BenchmarkDispatchHasNext measures one single-parameter event dispatch.
+// The sequential hot path is allocation-free in steady state (run with
+// -benchmem; the allocs-regression CI gate pins this via eval.RunMicro).
 func BenchmarkDispatchHasNext(b *testing.B) {
+	b.ReportAllocs()
 	spec, err := props.Build("HasNext")
 	if err != nil {
 		b.Fatal(err)
@@ -395,8 +400,10 @@ func BenchmarkDispatchHasNext(b *testing.B) {
 }
 
 // BenchmarkDispatchUnsafeIterUpdate measures the fan-out path: an update
-// event hitting a collection with many iterators.
+// event hitting a collection with many iterators. Allocation-free in
+// steady state.
 func BenchmarkDispatchUnsafeIterUpdate(b *testing.B) {
+	b.ReportAllocs()
 	spec, err := props.Build("UnsafeIter")
 	if err != nil {
 		b.Fatal(err)
@@ -523,4 +530,116 @@ func BenchmarkReferenceAlgorithm(b *testing.B) {
 		mon.Process(slicing.Event{Sym: 0, Inst: param.Empty().Bind(0, c).Bind(1, it)})
 		mon.Process(slicing.Event{Sym: 2, Inst: param.Empty().Bind(1, it)})
 	}
+}
+
+// --- allocation micro-benchmarks (run with -benchmem) ---
+//
+// These pin the allocation-free hot path: interned parameter instances,
+// pooled monitors, preboxed monitor states, scratch-buffer leaf walks and
+// the reused wire decode buffers. The same scenarios run inside
+// eval.RunMicro, whose allocs/event section is what the CI -compare gate
+// enforces; the Benchmark forms exist for benchstat comparisons across
+// revisions.
+
+// BenchmarkDispatchChurnAllocs: generations of short-lived iterators —
+// create, step, die, collect, recycle. Steady state allocates only the
+// workload's own heap object and the two canonical instances of the fresh
+// bindings (the intern table's documented amortization boundary); the
+// monitor itself comes from the free list.
+func BenchmarkDispatchChurnAllocs(b *testing.B) {
+	b.ReportAllocs()
+	spec, err := props.Build("UnsafeIter")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := monitor.New(spec, monitor.Options{
+		GC: monitor.GCCoenable, Creation: monitor.CreateEnable, SweepInterval: 256,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := heap.New()
+	c := h.Alloc("c")
+	create, _ := spec.Symbol("create")
+	update, _ := spec.Symbol("update")
+	next, _ := spec.Symbol("next")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := h.Alloc("")
+		eng.Emit(create, c, it)
+		eng.Emit(next, it)
+		h.Free(it)
+		eng.Emit(update, c)
+	}
+}
+
+// BenchmarkShardDispatchAllocs: the producer-side cost of routing one
+// event into the sharded runtime (batch append; the batch pool recycles
+// its boxed batches). Dispatch with a bound instance is the production
+// path (the dacapo adapter's fast path builds instances directly); Emit
+// through the Runtime interface would additionally box its variadic slice.
+func BenchmarkShardDispatchAllocs(b *testing.B) {
+	b.ReportAllocs()
+	rt := newShardBenchBackend(b, "HasNext", 2)
+	defer rt.Close()
+	h := heap.New()
+	iters := make([]*heap.Object, 256)
+	for i := range iters {
+		iters[i] = h.Alloc("")
+	}
+	spec := rt.Spec()
+	hnT, _ := spec.Symbol("hasnexttrue")
+	nxt, _ := spec.Symbol("next")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := iters[i&255]
+		if i&1 == 0 {
+			rt.Dispatch(hnT, param.Empty().Bind(0, it))
+		} else {
+			rt.Dispatch(nxt, param.Empty().Bind(0, it))
+		}
+	}
+	rt.Barrier()
+}
+
+// BenchmarkWireDecodeAllocs: the server's per-frame decode loop; the
+// reader reuses its frame and ID buffers, so a pipelined event stream
+// decodes without allocating.
+func BenchmarkWireDecodeAllocs(b *testing.B) {
+	var buf bytes.Buffer
+	w := wire.NewWriter(&buf)
+	const burst = 4096
+	for i := 0; i < burst; i++ {
+		if err := w.WriteEvent(i&3, []uint64{uint64(i & 1023), uint64(i & 255)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var msg wire.Msg
+	r := wire.NewReader(&loopBytes{data: encoded})
+	for i := 0; i < b.N; i++ {
+		if err := r.Next(&msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// loopBytes replays a byte stream forever (frames align with the buffer).
+type loopBytes struct {
+	data []byte
+	off  int
+}
+
+func (l *loopBytes) Read(p []byte) (int, error) {
+	if l.off == len(l.data) {
+		l.off = 0
+	}
+	n := copy(p, l.data[l.off:])
+	l.off += n
+	return n, nil
 }

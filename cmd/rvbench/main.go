@@ -4,14 +4,21 @@
 //
 // Usage:
 //
-//	rvbench [-table fig9a|fig9b|fig10|all] [-scale 0.1] [-timeout 60s]
-//	        [-bench bloat,pmd,...] [-prop HasNext,...] [-shards N]
-//	        [-live] [-json] [-v]
+//	rvbench [-table fig9a|fig9b|fig10|retained|micro|all] [-scale 0.1]
+//	        [-timeout 60s] [-bench bloat,pmd,...] [-prop HasNext,...]
+//	        [-shards N] [-live] [-json] [-out run.json]
+//	        [-compare BENCH_X.json -tolerance T] [-v]
 //
 // -shards N > 1 runs the RV and MOP cells on the sharded concurrent
 // runtime (internal/shard) instead of the sequential engine. -json emits
 // the full result grid as machine-readable JSON instead of the tables, so
-// runs can be archived (BENCH_*.json) and compared across revisions.
+// runs can be archived (BENCH_*.json) and compared across revisions; -out
+// writes the same JSON to a file as well (CI uploads it as an artifact).
+// Every grid includes the hot-path micro section (ns/event and
+// allocs/event over fixed warmed loops); -compare gates on exact counter
+// equality, bounded runtime drift, and a tight allocs/event limit — the
+// allocation numbers are deterministic, so the allocation gate catches a
+// hot-path regression that CI timing noise would hide.
 // -live runs the live-object ingestion experiment instead of the DaCapo
 // grid: real Go objects monitored through the rv frontend, with monitor
 // reclamation driven by real, pinned garbage-collection cycles.
@@ -40,7 +47,7 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "which table to print: fig9a, fig9b, fig10, all")
+		table   = flag.String("table", "all", "which table to print: fig9a, fig9b, fig10, retained, micro, all")
 		scale   = flag.Float64("scale", 0.1, "workload scale (1.0 ≈ paper/50)")
 		timeout = flag.Duration("timeout", 60*time.Second, "per-cell time budget (exceeded = ∞)")
 		benchs  = flag.String("bench", "", "comma-separated benchmark subset (default: all 15)")
@@ -49,6 +56,7 @@ func main() {
 		remote  = flag.String("remote", "", "rvserve address: run the RV/MOP cells over the network")
 		live    = flag.Bool("live", false, "run the live-object ingestion experiment (rv frontend, real Go GC)")
 		jsonOut = flag.Bool("json", false, "emit the result grid as JSON instead of tables")
+		outPath = flag.String("out", "", "also write the current run's JSON to this file (works with -compare; CI uploads it as an artifact)")
 		compare = flag.String("compare", "", "baseline JSON (from -json): rerun its config and fail on regressions")
 		tol     = flag.Float64("tolerance", 1.0, "with -compare: allowed relative runtime regression (1.0 = 2x)")
 		verbose = flag.Bool("v", false, "print per-cell progress")
@@ -86,7 +94,7 @@ func main() {
 	}
 
 	if *compare != "" {
-		compareBaseline(*compare, *tol, cfg, progress)
+		compareBaseline(*compare, *tol, cfg, *outPath, progress)
 		return
 	}
 	if *live {
@@ -98,6 +106,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	writeOut(*outPath, res)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -115,13 +124,35 @@ func main() {
 		res.Fig10(os.Stdout)
 	case "retained":
 		res.Retained(os.Stdout)
+	case "micro":
+		res.MicroTable(os.Stdout)
 	case "all":
 		res.Fig9A(os.Stdout)
 		res.Fig9B(os.Stdout)
 		res.Fig10(os.Stdout)
 		res.Retained(os.Stdout)
+		res.MicroTable(os.Stdout)
 	default:
 		fatalf("unknown table %q", *table)
+	}
+}
+
+// writeOut archives a run's JSON for CI artifacts / new baselines.
+func writeOut(path string, res *eval.Results) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fatalf("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("%v", err)
 	}
 }
 
@@ -157,10 +188,11 @@ func runLive(cfg eval.LiveConfig, jsonOut bool) {
 }
 
 // compareBaseline reruns a baseline's configuration and fails (exit 1) on
-// counter divergence or runtime regression beyond the tolerance. The
-// baseline's grid shape (scale, benchmarks, properties, systems, shards)
-// is authoritative; the current -timeout and -remote still apply.
-func compareBaseline(path string, tol float64, cur eval.Config, progress io.Writer) {
+// counter divergence, micro allocs/event regression, or runtime regression
+// beyond the tolerance. The baseline's grid shape (scale, benchmarks,
+// properties, systems, shards) is authoritative; the current -timeout and
+// -remote still apply. With outPath the current run is archived either way.
+func compareBaseline(path string, tol float64, cur eval.Config, outPath string, progress io.Writer) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("%v", err)
@@ -176,6 +208,7 @@ func compareBaseline(path string, tol float64, cur eval.Config, progress io.Writ
 	if err != nil {
 		fatalf("%v", err)
 	}
+	writeOut(outPath, res)
 	bad := eval.Compare(&base, res, tol)
 	if len(bad) > 0 {
 		fmt.Fprintf(os.Stderr, "rvbench: %d regression(s) against %s:\n", len(bad), path)

@@ -19,6 +19,11 @@ import (
 //     scheduling noise on the sub-millisecond cells. Timing checks are
 //     advisory by nature (different hosts differ); counters are the
 //     ground truth.
+//   - Micro allocations (Results.Micro, when the baseline carries the
+//     section) may regress by at most 25% plus half an allocation of
+//     absolute slack: allocs/event is deterministic — warmed pools,
+//     paused collector — so unlike CI timing it gates tightly. Micro
+//     timing is never gated.
 //
 // Cells that timed out in either run are compared for timeout status
 // only: their counters reflect whatever was processed before the
@@ -70,7 +75,33 @@ func Compare(base, cur *Results, tol float64) []string {
 			cell(fmt.Sprintf("%s/ALL/RV", bench), b, c)
 		}
 	}
+
+	// The allocation gate: >25% allocs/event regression on any micro
+	// scenario fails, with +0.5 absolute slack so a zero-allocation
+	// baseline tolerates measurement jitter but not a real new
+	// allocation per event.
+	const allocTol, allocSlack = 0.25, 0.5
+	for _, bm := range base.Micro {
+		cm, ok := findMicro(cur.Micro, bm.Name)
+		if !ok {
+			bad = append(bad, fmt.Sprintf("micro/%s: scenario missing from current run", bm.Name))
+			continue
+		}
+		if cm.AllocsPerEvent > bm.AllocsPerEvent*(1+allocTol)+allocSlack {
+			bad = append(bad, fmt.Sprintf("micro/%s: allocs/event regressed %.3f -> %.3f (tolerance %.0f%% + %.1f)",
+				bm.Name, bm.AllocsPerEvent, cm.AllocsPerEvent, allocTol*100, allocSlack))
+		}
+	}
 	return bad
+}
+
+func findMicro(ms []MicroResult, name string) (MicroResult, bool) {
+	for _, m := range ms {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MicroResult{}, false
 }
 
 func lookup(r *Results, bench, prop string, sys System) (Cell, bool) {

@@ -82,6 +82,11 @@ type Results struct {
 	Base   map[string]Baseline                   // by benchmark
 	Cells  map[string]map[string]map[System]Cell // bench → prop → system
 	All    map[string]Cell                       // RV monitoring all properties at once
+	// Micro is the hot-path trajectory: per-event ns and allocation
+	// counts (see RunMicro). Allocations are deterministic, so Compare
+	// gates on them tightly; older archived baselines without the section
+	// are simply not gated.
+	Micro []MicroResult
 }
 
 // memSampler tracks peak heap usage on a fixed cadence.
@@ -383,6 +388,17 @@ func Run(cfg Config, progress io.Writer) (*Results, error) {
 		if progress != nil {
 			fmt.Fprintf(progress, "%-10s %-14s %-3s %7.2fs  ovh %8.1f%%  mem %7.1fMB%s\n",
 				bench, "ALL", "RV", all.RunSec, all.OverheadPct, all.PeakMemMB, timeoutMark(all))
+		}
+	}
+	micro, err := RunMicro()
+	if err != nil {
+		return nil, err
+	}
+	res.Micro = micro
+	if progress != nil {
+		for _, m := range micro {
+			fmt.Fprintf(progress, "%-28s %8.1f ns/ev  %6.3f allocs/ev  %7.1f B/ev\n",
+				"micro:"+m.Name, m.NsPerEvent, m.AllocsPerEvent, m.BytesPerEvent)
 		}
 	}
 	return res, nil

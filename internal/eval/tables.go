@@ -149,3 +149,17 @@ func human(n uint64) string {
 		return fmt.Sprintf("%d", n)
 	}
 }
+
+// MicroTable prints the hot-path micro measurements (allocs/event is the
+// CI-gated column; see Compare).
+func (r *Results) MicroTable(w io.Writer) {
+	if len(r.Micro) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "\nhot-path micro (fixed loops, warmed, GC paused; allocs/event is CI-gated)")
+	fmt.Fprintf(w, "%-28s %10s %12s %14s %10s\n", "scenario", "events", "ns/event", "allocs/event", "B/event")
+	for _, m := range r.Micro {
+		fmt.Fprintf(w, "%-28s %10d %12.1f %14.3f %10.1f\n",
+			m.Name, m.Events, m.NsPerEvent, m.AllocsPerEvent, m.BytesPerEvent)
+	}
+}

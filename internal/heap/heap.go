@@ -61,8 +61,13 @@ func New() *Heap { return &Heap{} }
 type Object struct {
 	id    uint64
 	label string
-	dead  atomic.Bool
-	h     *Heap
+	// rid is a remote-protocol object ID (AllocRemote); hasRID objects
+	// format their label lazily, so the server's per-object cost is free
+	// of string formatting on the ingest path.
+	rid    uint64
+	hasRID bool
+	dead   atomic.Bool
+	h      *Heap
 }
 
 // Alloc allocates a new live object with a diagnostic label.
@@ -74,6 +79,20 @@ func (h *Heap) Alloc(label string) *Object {
 	h.allocs++
 	h.mu.Unlock()
 	return &Object{id: id, label: label, h: h}
+}
+
+// AllocRemote allocates a live object standing in for a remote protocol
+// object. The label ("r<rid>") is formatted only when Label is called —
+// diagnostics pay for strings, the monitoring server's first-sight
+// allocation does not.
+func (h *Heap) AllocRemote(rid uint64) *Object {
+	h.mu.Lock()
+	h.nextID++
+	id := h.nextID
+	h.live++
+	h.allocs++
+	h.mu.Unlock()
+	return &Object{id: id, rid: rid, hasRID: true, h: h}
 }
 
 // Free marks the object as collected. Freeing an already-dead object is a
@@ -122,6 +141,9 @@ func (o *Object) Alive() bool { return !o.dead.Load() }
 func (o *Object) Label() string {
 	if o.label != "" {
 		return o.label
+	}
+	if o.hasRID {
+		return fmt.Sprintf("r%d", o.rid)
 	}
 	return fmt.Sprintf("obj#%d", o.id)
 }

@@ -13,6 +13,16 @@
 //     a single pass (Figure 8).
 //   - A monitor instance is "collected" once every container has dropped it
 //     (container refcounting plays the role of JVM reachability).
+//
+// The lookup path is allocation-free and monomorphic: entries hold their
+// child Map and leaf Set as concrete typed fields (exactly one non-nil), so
+// a tree walk is pointer chasing with no interface dispatch, and iteration
+// over a leaf goes through caller-owned scratch buffers (AppendLive) rather
+// than closures. The expunge quota is amortized across lookups: only every
+// expungeStride-th map operation scans buckets for dead keys, bounding
+// pruning overhead well below one bucket scan per event while keeping
+// reclamation latency proportional to operation count (the paper's "looks
+// through a subset of its entries", spread thinner).
 package index
 
 import (
@@ -37,25 +47,55 @@ type Monitor interface {
 }
 
 // Value is a node in an indexing tree: either a *Map (next level) or a
-// *Set (leaf).
+// *Set (leaf). It survives as the Put/Get currency; the internal tree walk
+// uses the typed entry fields directly.
 type Value interface {
 	// EachMonitor visits every monitor in the subtree.
 	EachMonitor(f func(Monitor))
 	// detach releases all monitors contained in the subtree; called when
 	// the subtree's mapping is removed from its parent.
 	detach()
+	// isEmpty reports an empty substructure (droppable, §5.1.1).
+	isEmpty() bool
 }
 
-// ExpungeQuota is the number of buckets examined for dead keys per map
-// operation; a full sweep happens on resize. The quota keeps pruning
-// overhead bounded per event (the paper's "looks through a subset of its
-// entries").
+// ExpungeQuota is the number of buckets examined for dead keys per
+// expunging map operation; a full sweep happens on resize.
 const ExpungeQuota = 2
 
+// expungeStride is the number of map operations between expunge scans: the
+// quota is spent once per stride, not once per operation.
+const expungeStride = 4
+
+// entry is one mapping. Exactly one of child/leaf is non-nil; keeping them
+// as concrete types (instead of a Value interface) makes the lookup walk
+// monomorphic — no interface method dispatch, no type assertions on the
+// per-event path.
 type entry struct {
-	key heap.Ref
-	id  uint64
-	val Value
+	key   heap.Ref
+	id    uint64
+	child *Map
+	leaf  *Set
+}
+
+func (e *entry) value() Value {
+	if e.child != nil {
+		return e.child
+	}
+	return e.leaf
+}
+
+func (e *entry) isEmpty() bool {
+	if e.child != nil {
+		return e.child.isEmpty()
+	}
+	return e.leaf.isEmpty()
+}
+
+func (e *entry) notifyAndDetach() {
+	v := e.value()
+	v.EachMonitor(func(mon Monitor) { mon.NotifyParamDeath() })
+	v.detach()
 }
 
 // Map is a weak-keyed hash map from parameter objects to Values (RVMap).
@@ -64,6 +104,7 @@ type Map struct {
 	buckets [][]entry
 	count   int
 	cursor  int // round-robin expunge position
+	ops     int // operations since the last expunge scan
 	quota   int
 }
 
@@ -76,38 +117,80 @@ func NewMap() *Map {
 // until they are discovered).
 func (m *Map) Len() int { return m.count }
 
+func (m *Map) isEmpty() bool { return m.count == 0 }
+
 func (m *Map) slot(id uint64) int {
 	// Fibonacci hashing spreads sequential IDs.
 	return int((id * 0x9E3779B97F4A7C15) >> 32 & uint64(len(m.buckets)-1))
 }
 
-// Get looks up the value for the key, expunging some dead entries as a side
-// effect (lazy notification, Figure 7A).
-func (m *Map) Get(k heap.Ref) (Value, bool) {
-	m.expunge(m.quota)
-	b := m.slot(k.ID())
-	for _, e := range m.buckets[b] {
-		if e.id == k.ID() {
-			return e.val, true
+// maybeExpunge charges one operation against the amortized expunge budget,
+// scanning quota buckets every expungeStride-th call.
+func (m *Map) maybeExpunge() {
+	m.ops++
+	if m.ops >= expungeStride {
+		m.ops = 0
+		m.expunge(m.quota)
+	}
+}
+
+// find returns the entry for the key, or nil. It does not expunge; the
+// callers that stand in for map operations charge the budget themselves.
+func (m *Map) find(id uint64) *entry {
+	b := m.buckets[m.slot(id)]
+	for i := range b {
+		if b[i].id == id {
+			return &b[i]
 		}
+	}
+	return nil
+}
+
+// Get looks up the value for the key, expunging some dead entries as an
+// amortized side effect (lazy notification, Figure 7A).
+func (m *Map) Get(k heap.Ref) (Value, bool) {
+	m.maybeExpunge()
+	if e := m.find(k.ID()); e != nil {
+		return e.value(), true
 	}
 	return nil, false
 }
 
 // Put inserts or replaces the value for the key.
 func (m *Map) Put(k heap.Ref, v Value) {
-	m.expunge(m.quota)
+	m.maybeExpunge()
+	if m.count >= len(m.buckets)*4 {
+		m.grow()
+	}
+	child, _ := v.(*Map)
+	leaf, _ := v.(*Set)
+	if e := m.find(k.ID()); e != nil {
+		e.child, e.leaf = child, leaf
+		return
+	}
+	b := m.slot(k.ID())
+	m.buckets[b] = append(m.buckets[b], entry{key: k, id: k.ID(), child: child, leaf: leaf})
+	m.count++
+}
+
+// putMap and putLeaf are the monomorphic Put fast paths used by the tree
+// builder; they skip the interface split and do not charge the expunge
+// budget (GetOrCreate already charged for the operation).
+func (m *Map) putMap(k heap.Ref, child *Map) {
 	if m.count >= len(m.buckets)*4 {
 		m.grow()
 	}
 	b := m.slot(k.ID())
-	for i, e := range m.buckets[b] {
-		if e.id == k.ID() {
-			m.buckets[b][i].val = v
-			return
-		}
+	m.buckets[b] = append(m.buckets[b], entry{key: k, id: k.ID(), child: child})
+	m.count++
+}
+
+func (m *Map) putLeaf(k heap.Ref, leaf *Set) {
+	if m.count >= len(m.buckets)*4 {
+		m.grow()
 	}
-	m.buckets[b] = append(m.buckets[b], entry{key: k, id: k.ID(), val: v})
+	b := m.slot(k.ID())
+	m.buckets[b] = append(m.buckets[b], entry{key: k, id: k.ID(), leaf: leaf})
 	m.count++
 }
 
@@ -120,13 +203,14 @@ func (m *Map) grow() {
 	m.count = 0
 	m.cursor = 0
 	for _, bucket := range old {
-		for _, e := range bucket {
+		for i := range bucket {
+			e := &bucket[i]
 			if !e.key.Alive() {
-				notifyAndDetach(e.val)
+				e.notifyAndDetach()
 				continue
 			}
 			b := m.slot(e.id)
-			m.buckets[b] = append(m.buckets[b], e)
+			m.buckets[b] = append(m.buckets[b], *e)
 			m.count++
 		}
 	}
@@ -140,19 +224,20 @@ func (m *Map) expunge(n int) {
 		m.cursor = (m.cursor + 1) % len(m.buckets)
 		bucket := m.buckets[b]
 		w := 0
-		for _, e := range bucket {
+		for j := range bucket {
+			e := &bucket[j]
 			if e.key.Alive() {
 				// Opportunistically drop empty substructures, as the paper
 				// does when checking values of live mappings (§5.1.1).
-				if isEmpty(e.val) {
+				if e.isEmpty() {
 					m.count--
 					continue
 				}
-				bucket[w] = e
+				bucket[w] = *e
 				w++
 				continue
 			}
-			notifyAndDetach(e.val)
+			e.notifyAndDetach()
 			m.count--
 		}
 		if w != len(bucket) {
@@ -171,47 +256,52 @@ func (m *Map) ExpungeAll() { m.expunge(len(m.buckets)) }
 // EachEntry visits live entries (no expunge side effects).
 func (m *Map) EachEntry(f func(k heap.Ref, v Value)) {
 	for _, bucket := range m.buckets {
-		for _, e := range bucket {
-			if e.key.Alive() {
-				f(e.key, e.val)
+		for i := range bucket {
+			if bucket[i].key.Alive() {
+				f(bucket[i].key, bucket[i].value())
 			}
 		}
 	}
 }
 
+// FlushAll expunges the whole subtree exhaustively and compacts every leaf
+// set: the end-of-session settling pass (used by the engine's Flush).
+func (m *Map) FlushAll() {
+	m.ExpungeAll()
+	for _, bucket := range m.buckets {
+		for i := range bucket {
+			e := &bucket[i]
+			if !e.key.Alive() {
+				continue
+			}
+			if e.child != nil {
+				e.child.FlushAll()
+			} else {
+				e.leaf.Compact()
+			}
+		}
+	}
+	m.ExpungeAll()
+}
+
 // EachMonitor implements Value.
 func (m *Map) EachMonitor(f func(Monitor)) {
 	for _, bucket := range m.buckets {
-		for _, e := range bucket {
-			e.val.EachMonitor(f)
+		for i := range bucket {
+			bucket[i].value().EachMonitor(f)
 		}
 	}
 }
 
 func (m *Map) detach() {
 	for _, bucket := range m.buckets {
-		for _, e := range bucket {
-			e.val.detach()
+		for i := range bucket {
+			bucket[i].value().detach()
 		}
 	}
 	m.buckets = make([][]entry, 1)
 	m.count = 0
 	m.cursor = 0
-}
-
-func notifyAndDetach(v Value) {
-	v.EachMonitor(func(mon Monitor) { mon.NotifyParamDeath() })
-	v.detach()
-}
-
-func isEmpty(v Value) bool {
-	switch n := v.(type) {
-	case *Set:
-		return n.Len() == 0
-	case *Map:
-		return n.Len() == 0
-	}
-	return false
 }
 
 // Set is a compacting slice of monitor instances (RVSet).
@@ -225,6 +315,8 @@ func NewSet() *Set { return &Set{} }
 // Len returns the current number of members (flagged-but-unremoved members
 // count until the next compaction).
 func (s *Set) Len() int { return len(s.items) }
+
+func (s *Set) isEmpty() bool { return len(s.items) == 0 }
 
 // Add appends a monitor and retains it.
 func (s *Set) Add(m Monitor) {
@@ -250,6 +342,32 @@ func (s *Set) ForEach(f func(Monitor)) {
 		s.items[j] = nil
 	}
 	s.items = s.items[:w]
+}
+
+// AppendLive compacts the set exactly like ForEach — collectable members
+// are released and removed — and appends the surviving members to buf,
+// returning the extended slice. It is the closure-free iteration used on
+// the dispatch hot path: the engine reuses one scratch buffer across
+// events, so visiting a leaf allocates nothing once the buffer has grown to
+// the high-water mark. The returned members were all live at snapshot time;
+// a member flagged while the caller walks the buffer must be re-checked by
+// the caller (exactly as ForEach re-checks at visit time).
+func (s *Set) AppendLive(buf []Monitor) []Monitor {
+	w := 0
+	for _, m := range s.items {
+		if m.Collectable() {
+			m.Release()
+			continue
+		}
+		s.items[w] = m
+		w++
+		buf = append(buf, m)
+	}
+	for j := w; j < len(s.items); j++ {
+		s.items[j] = nil
+	}
+	s.items = s.items[:w]
+	return buf
 }
 
 // Compact removes collectable members without visiting.
@@ -306,50 +424,53 @@ func NewTree(params param.Set) *Tree {
 func (t *Tree) Params() []int { return t.params }
 
 // Lookup returns the leaf set for θ restricted to the tree's parameters, or
-// nil if no such mapping exists. θ must bind every tree parameter.
-func (t *Tree) Lookup(inst param.Instance) *Set {
-	node := Value(t.root)
-	for _, p := range t.params {
-		m, ok := node.(*Map)
-		if !ok {
+// nil if no such mapping exists. θ must bind every tree parameter. The
+// pointer parameter keeps the per-event walk copy-free (instances are
+// interned by the engine).
+func (t *Tree) Lookup(inst *param.Instance) *Set {
+	m := t.root
+	last := len(t.params) - 1
+	for i, p := range t.params {
+		m.maybeExpunge()
+		e := m.find(inst.Value(p).ID())
+		if e == nil {
 			return nil
 		}
-		v, ok := m.Get(inst.Value(p))
-		if !ok {
-			return nil
+		if i == last {
+			return e.leaf
 		}
-		node = v
+		m = e.child
 	}
-	leaf, _ := node.(*Set)
-	return leaf
+	return nil
 }
 
 // GetOrCreate returns the leaf set for θ, creating intermediate levels as
 // needed.
-func (t *Tree) GetOrCreate(inst param.Instance) *Set {
+func (t *Tree) GetOrCreate(inst *param.Instance) *Set {
 	if len(t.params) == 0 {
 		panic("index: tree with no parameters")
 	}
-	node := t.root
+	m := t.root
+	last := len(t.params) - 1
 	for i, p := range t.params {
 		k := inst.Value(p)
-		last := i == len(t.params)-1
-		v, ok := node.Get(k)
-		if !ok {
-			if last {
+		m.maybeExpunge()
+		e := m.find(k.ID())
+		if e == nil {
+			if i == last {
 				leaf := NewSet()
-				node.Put(k, leaf)
+				m.putLeaf(k, leaf)
 				return leaf
 			}
 			next := NewMap()
-			node.Put(k, next)
-			node = next
+			m.putMap(k, next)
+			m = next
 			continue
 		}
-		if last {
-			return v.(*Set)
+		if i == last {
+			return e.leaf
 		}
-		node = v.(*Map)
+		m = e.child
 	}
 	panic("unreachable")
 }

@@ -161,8 +161,9 @@ func TestTreeLookup(t *testing.T) {
 	tree := index.NewTree(param.SetOf(0, 1))
 	c1, i1, i2 := h.Alloc("c1"), h.Alloc("i1"), h.Alloc("i2")
 
-	inst1 := param.Empty().Bind(0, c1).Bind(1, i1)
-	inst2 := param.Empty().Bind(0, c1).Bind(1, i2)
+	v1 := param.Empty().Bind(0, c1).Bind(1, i1)
+	v2 := param.Empty().Bind(0, c1).Bind(1, i2)
+	inst1, inst2 := &v1, &v2
 
 	if tree.Lookup(inst1) != nil {
 		t.Fatal("lookup before insert must be nil")
@@ -233,5 +234,139 @@ func TestEachMonitorWalksSubtrees(t *testing.T) {
 	outer.EachMonitor(func(index.Monitor) { count++ })
 	if count != 2 {
 		t.Fatalf("EachMonitor visited %d", count)
+	}
+}
+
+// TestExpungeQuotaFinalBucket: a dead key whose bucket is the last one the
+// round-robin cursor reaches is still discovered — quota exhaustion per
+// operation postpones, never loses, the notification. The amortized stride
+// means an operation may charge no scan at all; the test bounds the number
+// of operations needed by the table size times the stride.
+func TestExpungeQuotaFinalBucket(t *testing.T) {
+	h := heap.New()
+	m := index.NewMap()
+	var keys []*heap.Object
+	for i := 0; i < 64; i++ { // spread over all buckets, no resize after
+		k := h.Alloc("")
+		keys = append(keys, k)
+		set := index.NewSet()
+		set.Add(&fakeMon{})
+		m.Put(k, set)
+	}
+	probe := h.Alloc("probe")
+	mon := &fakeMon{}
+	set := index.NewSet()
+	set.Add(mon)
+	m.Put(probe, set)
+	h.Free(probe)
+
+	// Worst case: the cursor has just passed the probe's bucket, so a full
+	// round-robin revolution is needed. Each operation scans at most
+	// ExpungeQuota buckets and only every strideth operation scans at all;
+	// 4*64 live-key Gets overshoot any table size this test can have.
+	alive := keys[0]
+	for i := 0; i < 4*64 && mon.notified == 0; i++ {
+		m.Get(alive)
+	}
+	if mon.notified == 0 {
+		t.Fatal("dead key in the cursor's last bucket never expunged")
+	}
+	if _, ok := m.Get(probe); ok {
+		t.Fatal("dead mapping still reachable after expunge")
+	}
+	if !mon.collected {
+		t.Fatal("monitor under the dead key not released")
+	}
+}
+
+// TestResizeFullSweep: growing the table expunges exhaustively — every dead
+// key is discovered by the resize itself, with no expunge quota involved.
+func TestResizeFullSweep(t *testing.T) {
+	h := heap.New()
+	m := index.NewMap()
+	var dead []*fakeMon
+	// NewMap starts with 8 buckets and grows at 32 entries; insert the dead
+	// cohort first, kill it, then push past the resize threshold.
+	for i := 0; i < 16; i++ {
+		k := h.Alloc("")
+		mon := &fakeMon{}
+		set := index.NewSet()
+		set.Add(mon)
+		m.Put(k, set)
+		dead = append(dead, mon)
+		h.Free(k)
+	}
+	for i := 0; i < 40; i++ { // crosses the 32-entry growth threshold
+		set := index.NewSet()
+		set.Add(&fakeMon{})
+		m.Put(h.Alloc(""), set)
+	}
+	for i, mon := range dead {
+		if mon.notified == 0 {
+			t.Fatalf("dead key %d not notified by the resize sweep", i)
+		}
+		if !mon.collected {
+			t.Fatalf("dead key %d's monitor not released by the resize sweep", i)
+		}
+	}
+	if m.Len() != 40 {
+		t.Fatalf("len = %d after resize, want 40 live", m.Len())
+	}
+}
+
+// TestSetCompactionAllFlagged: when every member is flagged, one iteration
+// releases everything and visits nothing.
+func TestSetCompactionAllFlagged(t *testing.T) {
+	s := index.NewSet()
+	var mons []*fakeMon
+	for i := 0; i < 8; i++ {
+		m := &fakeMon{flagged: true}
+		mons = append(mons, m)
+		s.Add(m)
+	}
+	visited := 0
+	s.ForEach(func(index.Monitor) { visited++ })
+	if visited != 0 {
+		t.Fatalf("visited %d flagged members", visited)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len = %d after all-flagged compaction", s.Len())
+	}
+	for i, m := range mons {
+		if !m.collected || m.refs != 0 {
+			t.Fatalf("member %d not released", i)
+		}
+	}
+}
+
+// TestAppendLiveMatchesForEach: AppendLive is the closure-free ForEach —
+// same compaction, same survivors, appended to the caller's buffer.
+func TestAppendLiveMatchesForEach(t *testing.T) {
+	mk := func() (*index.Set, []*fakeMon) {
+		s := index.NewSet()
+		var mons []*fakeMon
+		for i := 0; i < 10; i++ {
+			m := &fakeMon{flagged: i%3 == 0}
+			mons = append(mons, m)
+			s.Add(m)
+		}
+		return s, mons
+	}
+	s1, _ := mk()
+	s2, _ := mk()
+	var viaForEach []index.Monitor
+	s1.ForEach(func(m index.Monitor) { viaForEach = append(viaForEach, m) })
+	buf := make([]index.Monitor, 0, 4)
+	buf = s2.AppendLive(buf)
+	if len(buf) != len(viaForEach) {
+		t.Fatalf("AppendLive returned %d members, ForEach visited %d", len(buf), len(viaForEach))
+	}
+	if s1.Len() != s2.Len() {
+		t.Fatalf("post-compaction lengths diverge: %d vs %d", s1.Len(), s2.Len())
+	}
+	// Appending must extend, not overwrite.
+	buf2 := s2.AppendLive(buf)
+	if len(buf2) != 2*len(buf) {
+		t.Fatalf("AppendLive did not append: %d, want %d", len(buf2), 2*len(buf))
 	}
 }

@@ -52,6 +52,37 @@ type Graph struct {
 	Alphabet []string
 	Next     [][]int
 	Cat      []Category
+
+	// boxed holds one pre-converted State interface value per graph state
+	// (see Box). When present, GraphState.Step returns boxed successors, so
+	// a monitor step never allocates; without it every Step boxes a fresh
+	// 16-byte GraphState into the State interface — the single largest
+	// allocation source on the dispatch hot path.
+	boxed []State
+}
+
+// Box precomputes the boxed State value for every graph state. It is not
+// safe to call concurrently with Step; the spec compiler calls it once
+// before any engine runs (engines sharing one Graph across shard workers
+// then only read boxed). Box is idempotent and tolerates later growth of
+// Next (states added after Box simply fall back to per-step boxing).
+func (g *Graph) Box() {
+	if len(g.boxed) == len(g.Next) {
+		return
+	}
+	boxed := make([]State, len(g.Next))
+	for i := range boxed {
+		boxed[i] = GraphState{G: g, S: i}
+	}
+	g.boxed = boxed
+}
+
+// state returns the State for index i, preboxed when available.
+func (g *Graph) state(i int) State {
+	if i < len(g.boxed) {
+		return g.boxed[i]
+	}
+	return GraphState{G: g, S: i}
 }
 
 // NumStates returns the number of states in the graph.
@@ -94,7 +125,7 @@ type GraphState struct {
 }
 
 // Step implements State.
-func (gs GraphState) Step(sym int) State { return GraphState{G: gs.G, S: gs.G.Next[gs.S][sym]} }
+func (gs GraphState) Step(sym int) State { return gs.G.state(gs.G.Next[gs.S][sym]) }
 
 // Category implements State.
 func (gs GraphState) Category() Category { return gs.G.Cat[gs.S] }
@@ -106,7 +137,7 @@ type GraphBlueprint struct{ G *Graph }
 func (b GraphBlueprint) Alphabet() []string { return b.G.Alphabet }
 
 // Start implements Blueprint.
-func (b GraphBlueprint) Start() State { return GraphState{G: b.G, S: 0} }
+func (b GraphBlueprint) Start() State { return b.G.state(0) }
 
 // Categories implements Blueprint.
 func (b GraphBlueprint) Categories() []Category {

@@ -82,26 +82,39 @@ type Stats struct {
 	PeakLive     int64  // maximum of Live
 }
 
-// Mon is one monitor instance: a parameter instance θ, the state of its
+// maxPool bounds the monitor free list; beyond it, collected monitors are
+// left to the Go GC (the pool only needs to cover the live working set).
+const maxPool = 1 << 16
+
+// Mon is one monitor instance: a parameter instance θ (an interned
+// canonical pointer — see the engine's intern table), the state of its
 // trace slice, and GC bookkeeping.
 type Mon struct {
 	eng        *Engine
-	inst       param.Instance
+	inst       *param.Instance
 	state      logic.State
 	lastSym    int32
 	paramsSeen param.Set
 	flagged    bool
 	collected  bool
-	refs       int32
+	// inExact reports that the engine's Δ map still references the
+	// monitor; a monitor is recycled only once it is both collected (no
+	// container holds it) and out of Δ.
+	inExact bool
+	pooled  bool
+	refs    int32
 }
 
 // Inst returns the monitor's parameter instance.
-func (m *Mon) Inst() param.Instance { return m.inst }
+func (m *Mon) Inst() param.Instance { return *m.inst }
 
 // NotifyParamDeath implements index.Monitor: re-evaluate ALIVENESS under
 // the engine's GC policy (Figure 7A: monitors below a dead mapping are
 // notified and decide for themselves).
 func (m *Mon) NotifyParamDeath() {
+	if poolCheck && m.pooled {
+		panic("monitor: pooled monitor notified")
+	}
 	if m.flagged {
 		return
 	}
@@ -129,6 +142,9 @@ func (m *Mon) Release() {
 		m.collected = true
 		m.eng.stats.Collected++
 		m.eng.stats.Live--
+		if !m.inExact {
+			m.eng.recycle(m)
+		}
 	}
 }
 
@@ -159,12 +175,19 @@ type Engine struct {
 	// state for instances created from ⊥.
 	botState logic.State
 
+	// intern canonicalizes parameter instances: every θ the engine touches
+	// resolves to one *param.Instance, so instance identity is pointer
+	// identity and the per-event maps below key on 8 bytes. Entries are
+	// swept with the tombstones (retaining anything Δ still maps).
+	intern *param.Interner
+
 	// trees are the dispatch indexing trees, one per event parameter set
 	// (Figure 6).
 	trees map[param.Set]*index.Tree
-	// exact is Δ's domain: instance key → monitor (kept while flagged so a
-	// terminated instance is never re-materialized with a wrong slice).
-	exact map[param.Key]*Mon
+	// exact is Δ's domain: interned instance → monitor (kept while flagged
+	// so a terminated instance is never re-materialized with a wrong
+	// slice).
+	exact map[*param.Instance]*Mon
 	// regs are the per-domain join indexes (CreateEnable).
 	regs map[param.Set]*domainReg
 	// domains is every instance domain, descending popcount.
@@ -177,7 +200,7 @@ type Engine struct {
 	// parameter-domains it appeared under; seenInst records the exact
 	// instances of multi-parameter events. Both are swept periodically and
 	// back the fresh-object creation guard.
-	seen      map[uint64]*seenRec
+	seen      map[uint64]seenRec
 	seenInst  map[param.Key]param.Instance
 	evDomains []param.Set // distinct event parameter sets, for seenRec bits
 	domBit    []uint16    // per symbol, bit for its domain in seenRec.doms
@@ -185,9 +208,20 @@ type Engine struct {
 
 	stats Stats
 
-	// scratch, reused across events.
-	processed map[param.Key]bool
+	// pool is the monitor free list: instances reclaimed by the coenable
+	// GC (collected and out of Δ) are recycled into the next creations —
+	// the collected garbage literally becomes the allocator.
+	pool     []*Mon
+	recycled uint64 // monitors pushed into the pool
+	reused   uint64 // creations served from the pool
+
+	// scratch, reused across events: the per-event processed set, the
+	// pending insertions, and the leaf-visit buffers for the closure-free
+	// dispatch loops.
+	processed map[*param.Instance]bool
 	pendAdd   []*Mon
+	visitBuf  []index.Monitor
+	monBuf    []*Mon
 }
 
 type joinPlan struct {
@@ -196,7 +230,8 @@ type joinPlan struct {
 }
 
 // seenRec tracks one object's event history shape: which event domains it
-// has been bound under.
+// has been bound under. Stored by value: the seen map never allocates per
+// record.
 type seenRec struct {
 	ref  heap.Ref
 	doms uint16
@@ -216,12 +251,13 @@ func New(spec *Spec, opts Options) (*Engine, error) {
 		an:        an,
 		opts:      opts,
 		bp:        spec.RuntimeBlueprint(),
+		intern:    param.NewInterner(),
 		trees:     map[param.Set]*index.Tree{},
-		exact:     map[param.Key]*Mon{},
+		exact:     map[*param.Instance]*Mon{},
 		regs:      map[param.Set]*domainReg{},
-		seen:      map[uint64]*seenRec{},
+		seen:      map[uint64]seenRec{},
 		seenInst:  map[param.Key]param.Instance{},
-		processed: map[param.Key]bool{},
+		processed: map[*param.Instance]bool{},
 	}
 	e.domBit = make([]uint16, len(spec.Events))
 	for sym, ev := range spec.Events {
@@ -320,6 +356,14 @@ func (e *Engine) Spec() *Spec { return e.spec }
 // Stats returns a copy of the counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// PoolStats returns the monitor free-list counters: how many collected
+// monitors were recycled into the pool and how many creations were served
+// from it (tests, diagnostics).
+func (e *Engine) PoolStats() (recycled, reused uint64) { return e.recycled, e.reused }
+
+// InternedInstances returns the intern-table size (tests, diagnostics).
+func (e *Engine) InternedInstances() int { return e.intern.Len() }
+
 // EmitNamed dispatches an event by name; vals bind D(e)'s parameters in
 // ascending parameter-index order. Unknown names and arity mismatches are
 // reported as errors (Emit, the index-based hot path, panics instead).
@@ -358,7 +402,7 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 		// and the monitor is skipped only if that flags it. Δ keeps
 		// unflagged monitors even after a parameter death (see sweep), so
 		// membership here never depends on sweep timing.
-		ms := make([]*Mon, 0, len(e.exact))
+		ms := e.monBuf[:0]
 		for _, m := range e.exact {
 			if !m.flagged {
 				ms = append(ms, m)
@@ -370,20 +414,31 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 				continue
 			}
 			e.step(m, sym)
-			e.processed[m.inst.Key()] = true
+			e.processed[m.inst] = true
 		}
+		e.monBuf = ms[:0]
 		e.botState = e.botState.Step(sym)
 		return
 	}
-	if leaf := e.trees[evParams].Lookup(theta); leaf != nil {
-		leaf.ForEach(func(im index.Monitor) {
+
+	// Canonicalize θ: one intern lookup replaces every per-event Key
+	// computation; from here instance identity is pointer identity.
+	tp := e.intern.Intern(theta)
+
+	if leaf := e.trees[evParams].Lookup(tp); leaf != nil {
+		// Closure-free leaf walk: AppendLive compacts exactly like
+		// ForEach and fills the reused scratch buffer; the flagged
+		// re-check below mirrors ForEach's visit-time Collectable check.
+		buf := leaf.AppendLive(e.visitBuf[:0])
+		for _, im := range buf {
 			m := im.(*Mon)
-			if !e.observeDeaths(m) {
-				return
+			if m.flagged || !e.observeDeaths(m) {
+				continue
 			}
 			e.step(m, sym)
-			e.processed[m.inst.Key()] = true
-		})
+			e.processed[m.inst] = true
+		}
+		e.visitBuf = buf[:0]
 	}
 
 	// 2. Creation joins: combine θ with compatible existing instances of
@@ -398,44 +453,45 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 		// the un-stepped ones. Candidates are visited most informative
 		// first: because Θ is lub-closed under CreateFull, the first
 		// candidate producing a given lub is max{θ'' ∈ Θ | θ'' ⊑ θ'}.
-		var cands []*Mon
+		cands := e.monBuf[:0]
 		for _, m := range e.exact {
-			if m.flagged || e.processed[m.inst.Key()] {
+			if m.flagged || e.processed[m.inst] {
 				continue
 			}
-			if m.inst.Compatible(theta) {
+			if m.inst.Compatible(*tp) {
 				cands = append(cands, m)
 			}
 		}
 		sortMonsByInformativeness(cands)
 		for _, m := range cands {
-			e.tryCreate(sym, theta, m)
+			e.tryCreate(sym, tp, m)
 		}
+		e.monBuf = cands[:0]
 	case CreateEnable:
 		for _, jp := range e.joins[sym] {
 			reg := e.regs[jp.R]
+			var leaf *index.Set
 			if jp.O.Empty() {
-				reg.all.ForEach(func(im index.Monitor) {
-					e.tryCreate(sym, theta, im.(*Mon))
-				})
+				leaf = reg.all
+			} else if leaf = reg.projections[jp.O].Lookup(tp); leaf == nil {
 				continue
 			}
-			if leaf := reg.projections[jp.O].Lookup(theta); leaf != nil {
-				leaf.ForEach(func(im index.Monitor) {
-					e.tryCreate(sym, theta, im.(*Mon))
-				})
+			buf := leaf.AppendLive(e.visitBuf[:0])
+			for _, im := range buf {
+				e.tryCreate(sym, tp, im.(*Mon))
 			}
+			e.visitBuf = buf[:0]
 		}
 	}
 
 	// 3. θ itself, from ⊥, if nothing else materialized it.
-	if !e.processed[theta.Key()] {
-		if _, exists := e.exact[theta.Key()]; !exists {
+	if !e.processed[tp] {
+		if _, exists := e.exact[tp]; !exists {
 			switch {
 			case e.opts.Creation == CreateFull:
-				e.create(sym, theta, e.botState, 0)
-			case e.an.Creation[sym] && e.priorEventsOK(theta, 0):
-				e.create(sym, theta, e.botState, 0)
+				e.create(sym, tp, e.botState, 0)
+			case e.an.Creation[sym] && e.priorEventsOK(tp, 0):
+				e.create(sym, tp, e.botState, 0)
 			}
 		}
 	}
@@ -446,17 +502,17 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 	}
 
 	// 5. Mark θ's objects as seen and sweep tombstones periodically.
-	for _, p := range evParams.Members() {
-		v := theta.Value(p)
+	for pm := evParams; pm != 0; pm = pm.Rest() {
+		v := tp.Value(pm.First())
 		rec, ok := e.seen[v.ID()]
 		if !ok {
-			rec = &seenRec{ref: v}
-			e.seen[v.ID()] = rec
+			rec.ref = v
 		}
 		rec.doms |= e.domBit[sym]
+		e.seen[v.ID()] = rec
 	}
 	if evParams.Count() > 1 {
-		e.seenInst[theta.Key()] = theta
+		e.seenInst[tp.Key()] = *tp
 	}
 	e.sinceSwep++
 	if e.sinceSwep >= e.opts.SweepInterval {
@@ -480,7 +536,7 @@ func (e *Engine) observeDeaths(m *Mon) bool {
 	if m.flagged {
 		return false
 	}
-	if m.inst.AliveMask() != m.inst.Mask() {
+	if !m.inst.AllAlive() {
 		m.NotifyParamDeath()
 		return !m.flagged
 	}
@@ -488,11 +544,11 @@ func (e *Engine) observeDeaths(m *Mon) bool {
 }
 
 // tryCreate materializes θ' = progenitor ⊔ θ if permitted.
-func (e *Engine) tryCreate(sym int, theta param.Instance, prog *Mon) {
+func (e *Engine) tryCreate(sym int, theta *param.Instance, prog *Mon) {
 	if prog.flagged {
 		return
 	}
-	if e.opts.Creation == CreateEnable && prog.inst.AliveMask() != prog.inst.Mask() {
+	if e.opts.Creation == CreateEnable && !prog.inst.AllAlive() {
 		// The death of any bound object ends the progenitor role: in
 		// JavaMOP/RV a progenitor is only reachable through weak-keyed
 		// trees (see sweep). Observing the death here, instead of at the
@@ -502,19 +558,25 @@ func (e *Engine) tryCreate(sym int, theta param.Instance, prog *Mon) {
 		prog.NotifyParamDeath()
 		return
 	}
-	lub, ok := prog.inst.Lub(theta)
+	lub, ok := prog.inst.Lub(*theta)
 	if !ok {
 		return
 	}
-	k := lub.Key()
-	if e.processed[k] {
-		return
-	}
-	if _, exists := e.exact[k]; exists {
-		// Already materialized (it was in the dispatch set, possibly
-		// flagged); never rebuild from a less informative slice.
-		e.processed[k] = true
-		return
+	// Membership checks go through Get, not Intern: a lub the guards
+	// below reject must leave no intern-table entry behind (its objects
+	// may live arbitrarily long), so canonicalization happens only once
+	// creation is certain.
+	lp, known := e.intern.Get(lub.Key())
+	if known {
+		if e.processed[lp] {
+			return
+		}
+		if _, exists := e.exact[lp]; exists {
+			// Already materialized (it was in the dispatch set, possibly
+			// flagged); never rebuild from a less informative slice.
+			e.processed[lp] = true
+			return
+		}
 	}
 	if e.opts.Creation == CreateEnable {
 		// Enable check: the progenitor's slice (the candidate's prefix)
@@ -522,11 +584,14 @@ func (e *Engine) tryCreate(sym int, theta param.Instance, prog *Mon) {
 		if !e.an.EnableParams[sym][prog.paramsSeen] {
 			return
 		}
-		if !e.priorEventsOK(lub, prog.inst.Mask()) {
+		if !e.priorEventsOK(&lub, prog.inst.Mask()) {
 			return
 		}
 	}
-	e.create(sym, lub, prog.state, prog.paramsSeen)
+	if !known {
+		lp = e.intern.Intern(lub)
+	}
+	e.create(sym, lp, prog.state, prog.paramsSeen)
 }
 
 // priorEventsOK is the fresh-object creation guard of CreateEnable: θ' may
@@ -543,9 +608,10 @@ func (e *Engine) tryCreate(sym int, theta param.Instance, prog *Mon) {
 // slice unviable. The price is completeness on object-recombination
 // interleavings, which JavaMOP's timestamp scheme trades away as well (see
 // DESIGN.md).
-func (e *Engine) priorEventsOK(lub param.Instance, progDom param.Set) bool {
+func (e *Engine) priorEventsOK(lub *param.Instance, progDom param.Set) bool {
 	target := lub.Mask()
-	for _, x := range target.Diff(progDom).Members() {
+	for xm := target.Diff(progDom); xm != 0; xm = xm.Rest() {
+		x := xm.First()
 		rec, ok := e.seen[lub.Value(x).ID()]
 		if !ok {
 			continue
@@ -566,23 +632,59 @@ func (e *Engine) priorEventsOK(lub param.Instance, progDom param.Set) bool {
 }
 
 // create builds a monitor for θ' from a progenitor state, steps it with the
-// current event, and queues it for insertion.
-func (e *Engine) create(sym int, inst param.Instance, base logic.State, seen param.Set) {
-	m := &Mon{eng: e, inst: inst, state: base, paramsSeen: seen}
+// current event, and queues it for insertion. Monitors come from the free
+// list when the coenable GC has recycled any.
+func (e *Engine) create(sym int, inst *param.Instance, base logic.State, seen param.Set) {
+	var m *Mon
+	if n := len(e.pool); n > 0 {
+		m = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		e.reused++
+		if poolCheck {
+			checkPooled(m)
+		}
+		*m = Mon{}
+	} else {
+		m = &Mon{}
+	}
+	m.eng, m.inst, m.state, m.paramsSeen = e, inst, base, seen
 	e.stats.Created++
 	e.stats.Live++
 	if e.stats.Live > e.stats.PeakLive {
 		e.stats.PeakLive = e.stats.Live
 	}
-	e.exact[inst.Key()] = m
-	e.processed[inst.Key()] = true
+	e.exact[inst] = m
+	m.inExact = true
+	e.processed[inst] = true
 	e.step(m, sym)
 	e.pendAdd = append(e.pendAdd, m)
+}
+
+// recycle pushes a fully dead monitor — collected (no container reference)
+// and out of Δ — onto the free list. Under race/testing builds the monitor
+// is poisoned first, so any straggling reference that steps or notifies it
+// fails loudly instead of corrupting a future reuse.
+func (e *Engine) recycle(m *Mon) {
+	if m.refs > 0 || !m.collected || m.inExact || m.pooled {
+		panic("monitor: recycling a monitor that is still referenced")
+	}
+	m.pooled = true
+	if poolCheck {
+		poison(m)
+	}
+	if len(e.pool) < maxPool {
+		e.pool = append(e.pool, m)
+		e.recycled++
+	}
 }
 
 // step advances one monitor with an event, reports goal verdicts and
 // applies monitor termination.
 func (e *Engine) step(m *Mon, sym int) {
+	if poolCheck && m.pooled {
+		panic("monitor: pooled monitor stepped")
+	}
 	m.state = m.state.Step(sym)
 	m.lastSym = int32(sym)
 	m.paramsSeen = m.paramsSeen.Union(e.spec.Events[sym].Params)
@@ -591,7 +693,7 @@ func (e *Engine) step(m *Mon, sym int) {
 	if e.spec.goalSet[cat] {
 		e.stats.GoalVerdicts++
 		if e.opts.OnVerdict != nil {
-			e.opts.OnVerdict(Verdict{Spec: e.spec, Sym: sym, Cat: cat, Inst: m.inst})
+			e.opts.OnVerdict(Verdict{Spec: e.spec, Sym: sym, Cat: cat, Inst: *m.inst})
 		}
 	}
 	if e.opts.GC == GCCoenable {
@@ -618,7 +720,7 @@ func (e *Engine) checkAliveness(m *Mon) {
 		return
 	}
 	disjuncts := e.an.CoenParams[m.lastSym]
-	if !alive(disjuncts, m.inst) {
+	if !alive(disjuncts, *m.inst) {
 		m.flag()
 	}
 }
@@ -667,9 +769,13 @@ func (e *Engine) insert(m *Mon) {
 //     JavaMOP/RV a progenitor is only reachable through weak-keyed trees,
 //     so the death of any of its objects ends its progenitor role.
 //   - Fresh-object guard records for dead objects go as well.
+//   - Intern-table entries for dead instances go once Δ no longer maps
+//     them (Δ membership pins the canonical pointer; see param.Interner).
+//   - A monitor that is now both collected and out of Δ is recycled into
+//     the free list.
 func (e *Engine) sweep() {
-	for k, m := range e.exact {
-		if m.inst.AliveMask() != m.inst.Mask() {
+	for p, m := range e.exact {
+		if !m.inst.AllAlive() {
 			if !m.flagged {
 				// An object died without the trees noticing yet; give the
 				// monitor its notification now (equivalent to the paper's
@@ -677,7 +783,11 @@ func (e *Engine) sweep() {
 				m.NotifyParamDeath()
 			}
 			if m.flagged {
-				delete(e.exact, k)
+				delete(e.exact, p)
+				m.inExact = false
+				if m.collected {
+					e.recycle(m)
+				}
 			}
 		}
 	}
@@ -687,18 +797,26 @@ func (e *Engine) sweep() {
 		}
 	}
 	for k, inst := range e.seenInst {
-		if inst.AliveMask() != inst.Mask() {
+		if !inst.AllAlive() {
 			delete(e.seenInst, k)
 		}
 	}
 	for _, reg := range e.regs {
 		reg.all.CompactWith(deadParam)
 	}
+	e.intern.Sweep(e.internRetain)
+}
+
+// internRetain pins intern-table entries that Δ still maps: their
+// canonical pointers are monitor identities and must survive until the
+// monitor leaves Δ.
+func (e *Engine) internRetain(p *param.Instance) bool {
+	_, ok := e.exact[p]
+	return ok
 }
 
 func deadParam(im index.Monitor) bool {
-	m := im.(*Mon)
-	return m.inst.AliveMask() != m.inst.Mask()
+	return !im.(*Mon).inst.AllAlive()
 }
 
 // Flush performs a full expunge/compaction pass over every structure; used
@@ -714,29 +832,16 @@ func deadParam(im index.Monitor) bool {
 func (e *Engine) Flush() {
 	for pass := 0; pass < 2; pass++ {
 		for _, t := range e.trees {
-			flushTree(t.Root())
+			t.Root().FlushAll()
 		}
 		for _, reg := range e.regs {
 			reg.all.Compact()
 			for _, t := range reg.projections {
-				flushTree(t.Root())
+				t.Root().FlushAll()
 			}
 		}
 		e.sweep()
 	}
-}
-
-func flushTree(m *index.Map) {
-	m.ExpungeAll()
-	m.EachEntry(func(_ heap.Ref, v index.Value) {
-		switch n := v.(type) {
-		case *index.Map:
-			flushTree(n)
-		case *index.Set:
-			n.Compact()
-		}
-	})
-	m.ExpungeAll()
 }
 
 // Monitors returns the live (unflagged, uncollected) monitor instances,
@@ -754,7 +859,11 @@ func (e *Engine) Monitors() []*Mon {
 
 // State returns the current base state for θ, or nil if no monitor exists.
 func (e *Engine) State(inst param.Instance) logic.State {
-	if m, ok := e.exact[inst.Key()]; ok && !m.flagged {
+	p, ok := e.intern.Get(inst.Key())
+	if !ok {
+		return nil
+	}
+	if m, ok := e.exact[p]; ok && !m.flagged {
 		return m.state
 	}
 	return nil

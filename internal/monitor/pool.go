@@ -1,0 +1,28 @@
+package monitor
+
+// Pool poisoning: under race builds (the -race test suite) a monitor
+// entering the free list is poisoned and a monitor leaving it is verified,
+// so a straggling container reference that steps, notifies or re-releases
+// a recycled monitor fails loudly at the point of misuse instead of
+// silently corrupting the slice state of whatever creation reuses the
+// allocation. poolCheck is a build-tag constant (see pool_race.go /
+// pool_norace.go), so in normal builds every check below compiles away.
+
+// poison scrambles a pooled monitor so any use before reuse crashes:
+// Step on a nil state dereferences, and the sentinel symbol makes the
+// wreckage attributable in the panic.
+func poison(m *Mon) {
+	m.state = nil
+	m.lastSym = -0x7001 // "pooled" sentinel
+	m.eng = nil
+}
+
+// checkPooled verifies the invariants of a monitor leaving the free list.
+func checkPooled(m *Mon) {
+	if !m.pooled || m.refs != 0 || !m.collected || m.inExact {
+		panic("monitor: free-list monitor in impossible state")
+	}
+	if m.state != nil || m.lastSym != -0x7001 {
+		panic("monitor: free-list monitor was mutated while pooled")
+	}
+}

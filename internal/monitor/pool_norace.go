@@ -1,0 +1,7 @@
+//go:build !race
+
+package monitor
+
+// poolCheck disables monitor free-list poisoning outside race builds; the
+// guarded checks compile away entirely.
+const poolCheck = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package monitor
+
+// poolCheck enables monitor free-list poisoning under race builds.
+const poolCheck = true

@@ -163,6 +163,10 @@ func (s *Spec) Analyze() error {
 		a.CoenEvents = coenable.FromGraph(g, goal)
 		a.EnableEvents = coenable.EnableFromGraph(g, goal)
 		a.HasCoenable = true
+		// Prebox the graph's states before any engine steps a monitor:
+		// every Step then returns a preallocated interface value (see
+		// logic.Graph.Box), keeping the dispatch hot path allocation-free.
+		g.Box()
 		s.runBP = logic.GraphBlueprint{G: g}
 		a.dead = deadFromGraph(g, goal)
 	case cfgBlueprint:

@@ -1,0 +1,56 @@
+package param
+
+// Interner canonicalizes parameter instances: identical bindings map to one
+// *Instance, so the engine's per-event bookkeeping (the processed set, the
+// Δ domain, monitor identity) can key on an 8-byte pointer instead of the
+// 72-byte Key, and instance equality becomes pointer equality.
+//
+// Steady state is allocation-free: an instance allocates once, the first
+// time its bindings are seen, and every later event carrying the same
+// bindings resolves to the same pointer through one map lookup. Interned
+// instances hold heap.Refs, so the table never keeps parameter objects
+// alive; entries whose objects died are dropped by Sweep under the caller's
+// retention rule.
+//
+// An Interner is not safe for concurrent use. Each engine owns one, matching
+// the engine's single-threaded dispatch discipline.
+type Interner struct {
+	m map[Key]*Instance
+}
+
+// NewInterner returns an empty intern table.
+func NewInterner() *Interner { return &Interner{m: make(map[Key]*Instance)} }
+
+// Intern returns the canonical pointer for t, allocating it on first sight.
+func (in *Interner) Intern(t Instance) *Instance {
+	k := t.Key()
+	if p, ok := in.m[k]; ok {
+		return p
+	}
+	p := new(Instance)
+	*p = t
+	in.m[k] = p
+	return p
+}
+
+// Get returns the canonical pointer for an identity without creating one.
+func (in *Interner) Get(k Key) (*Instance, bool) {
+	p, ok := in.m[k]
+	return p, ok
+}
+
+// Len returns the number of interned instances.
+func (in *Interner) Len() int { return len(in.m) }
+
+// Sweep drops entries with a dead bound object, except those retain keeps.
+// Canonical pointers must outlive every holder: the caller's retain must
+// return true for any instance still referenced outside the table (the
+// engine retains instances its Δ domain still maps), or a recurrence of the
+// same bindings would intern a second, distinct pointer.
+func (in *Interner) Sweep(retain func(*Instance) bool) {
+	for k, p := range in.m {
+		if !p.AllAlive() && (retain == nil || !retain(p)) {
+			delete(in.m, k)
+		}
+	}
+}

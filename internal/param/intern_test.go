@@ -1,0 +1,95 @@
+package param
+
+import (
+	"testing"
+
+	"rvgo/internal/heap"
+)
+
+func TestInternerCanonicalizes(t *testing.T) {
+	h := heap.New()
+	a, b := h.Alloc("a"), h.Alloc("b")
+	in := NewInterner()
+
+	p1 := in.Intern(Of(SetOf(0, 1), a, b))
+	p2 := in.Intern(Of(SetOf(0, 1), a, b))
+	if p1 != p2 {
+		t.Fatalf("identical bindings interned to distinct pointers %p %p", p1, p2)
+	}
+	p3 := in.Intern(Of(SetOf(0), a))
+	if p3 == p1 {
+		t.Fatalf("distinct bindings interned to one pointer")
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", in.Len())
+	}
+	if got, ok := in.Get(p1.Key()); !ok || got != p1 {
+		t.Fatalf("Get(%v) = %v, %v", p1.Key(), got, ok)
+	}
+	if _, ok := in.Get(Of(SetOf(1), b).Key()); ok {
+		t.Fatalf("Get invented an entry")
+	}
+}
+
+func TestInternerSweep(t *testing.T) {
+	h := heap.New()
+	a, b, c := h.Alloc("a"), h.Alloc("b"), h.Alloc("c")
+	in := NewInterner()
+	pa := in.Intern(Of(SetOf(0), a))
+	pb := in.Intern(Of(SetOf(0), b))
+	pc := in.Intern(Of(SetOf(0), c))
+
+	h.Free(b)
+	h.Free(c)
+	in.Sweep(func(p *Instance) bool { return p == pc }) // pc pinned by caller
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d after sweep, want 2", in.Len())
+	}
+	if got, ok := in.Get(pa.Key()); !ok || got != pa {
+		t.Fatalf("live entry swept")
+	}
+	if got, ok := in.Get(pc.Key()); !ok || got != pc {
+		t.Fatalf("retained entry swept")
+	}
+	if _, ok := in.Get(pb.Key()); ok {
+		t.Fatalf("dead unretained entry kept")
+	}
+
+	// A recurrence of swept bindings gets a fresh canonical pointer; the
+	// pinned one keeps its identity.
+	if in.Intern(*pc) != pc {
+		t.Fatalf("pinned instance lost its canonical pointer")
+	}
+}
+
+func TestAllAliveAndBitIteration(t *testing.T) {
+	h := heap.New()
+	a, b := h.Alloc("a"), h.Alloc("b")
+	inst := Of(SetOf(1, 3), a, b)
+	if !inst.AllAlive() {
+		t.Fatalf("AllAlive = false on live instance")
+	}
+	h.Free(b)
+	if inst.AllAlive() {
+		t.Fatalf("AllAlive = true with dead binding")
+	}
+	if inst.AliveMask() != SetOf(1) {
+		t.Fatalf("AliveMask = %v, want {1}", inst.AliveMask())
+	}
+
+	// First/Rest enumerate exactly Members, in order.
+	s := SetOf(0, 2, 5, 7)
+	var got []int
+	for m := s; m != 0; m = m.Rest() {
+		got = append(got, m.First())
+	}
+	want := s.Members()
+	if len(got) != len(want) {
+		t.Fatalf("bit iteration yielded %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("bit iteration yielded %v, want %v", got, want)
+		}
+	}
+}

@@ -56,7 +56,8 @@ func (s Set) Empty() bool { return s == 0 }
 // Count returns the number of parameters in the set.
 func (s Set) Count() int { return bits.OnesCount16(uint16(s)) }
 
-// Members returns the parameter indices in increasing order.
+// Members returns the parameter indices in increasing order. It allocates;
+// hot paths iterate the mask directly (see the bit loops below) instead.
 func (s Set) Members() []int {
 	m := make([]int, 0, s.Count())
 	for i := 0; i < MaxParams; i++ {
@@ -66,6 +67,23 @@ func (s Set) Members() []int {
 	}
 	return m
 }
+
+// The hot-path iteration idiom: peel the lowest set bit until empty.
+//
+//	for m := s; m != 0; m = m.Rest() {
+//		i := m.First()
+//		...
+//	}
+//
+// First/Rest compile to two instructions each and never allocate, unlike
+// Members. Every per-event path below uses this form.
+
+// First returns the smallest parameter index in the set. Undefined on the
+// empty set.
+func (s Set) First() int { return bits.TrailingZeros16(uint16(s)) }
+
+// Rest returns the set without its smallest member.
+func (s Set) Rest() Set { return s & (s - 1) }
 
 // Format renders the set using the given parameter names, e.g. "{c, i}".
 func (s Set) Format(names []string) string {
@@ -118,8 +136,10 @@ func Of(mask Set, vals ...heap.Ref) Instance {
 		panic("param: Of arity mismatch")
 	}
 	t := Instance{}
-	for k, i := range mask.Members() {
-		t = t.Bind(i, vals[k])
+	k := 0
+	for m := mask; m != 0; m = m.Rest() {
+		t = t.Bind(m.First(), vals[k])
+		k++
 	}
 	return t
 }
@@ -137,8 +157,8 @@ func (t Instance) Value(i int) heap.Ref {
 
 // Compatible reports whether θ and u agree on dom(θ) ∩ dom(u) (Def. 5).
 func (t Instance) Compatible(u Instance) bool {
-	common := t.mask & u.mask
-	for _, i := range common.Members() {
+	for m := t.mask & u.mask; m != 0; m = m.Rest() {
+		i := m.First()
 		if t.vals[i].ID() != u.vals[i].ID() {
 			return false
 		}
@@ -151,7 +171,8 @@ func (t Instance) LessInformative(u Instance) bool {
 	if !t.mask.SubsetOf(u.mask) {
 		return false
 	}
-	for _, i := range t.mask.Members() {
+	for m := t.mask; m != 0; m = m.Rest() {
+		i := m.First()
 		if t.vals[i].ID() != u.vals[i].ID() {
 			return false
 		}
@@ -166,7 +187,8 @@ func (t Instance) Lub(u Instance) (Instance, bool) {
 		return Instance{}, false
 	}
 	r := t
-	for _, i := range u.mask.Members() {
+	for m := u.mask; m != 0; m = m.Rest() {
+		i := m.First()
 		r = r.Bind(i, u.vals[i])
 	}
 	return r, true
@@ -175,7 +197,8 @@ func (t Instance) Lub(u Instance) (Instance, bool) {
 // Restrict returns θ restricted to the parameters in s.
 func (t Instance) Restrict(s Set) Instance {
 	r := Instance{}
-	for _, i := range (t.mask & s).Members() {
+	for m := t.mask & s; m != 0; m = m.Rest() {
+		i := m.First()
 		r = r.Bind(i, t.vals[i])
 	}
 	return r
@@ -184,12 +207,24 @@ func (t Instance) Restrict(s Set) Instance {
 // AliveMask returns the set of bound parameters whose objects are alive.
 func (t Instance) AliveMask() Set {
 	var s Set
-	for _, i := range t.mask.Members() {
+	for m := t.mask; m != 0; m = m.Rest() {
+		i := m.First()
 		if t.vals[i].Alive() {
 			s |= 1 << uint(i)
 		}
 	}
 	return s
+}
+
+// AllAlive reports whether every bound parameter object is alive — the
+// per-event death check, with an early exit the full AliveMask lacks.
+func (t Instance) AllAlive() bool {
+	for m := t.mask; m != 0; m = m.Rest() {
+		if !t.vals[m.First()].Alive() {
+			return false
+		}
+	}
+	return true
 }
 
 // Key is a comparable identity for an instance, suitable as a map key.
@@ -201,7 +236,8 @@ type Key struct {
 // Key returns the instance's identity.
 func (t Instance) Key() Key {
 	k := Key{Mask: t.mask}
-	for _, i := range t.mask.Members() {
+	for m := t.mask; m != 0; m = m.Rest() {
+		i := m.First()
 		k.IDs[i] = t.vals[i].ID()
 	}
 	return k

@@ -18,9 +18,11 @@ type event struct {
 // executed by the worker between batches (stats snapshots, flushes,
 // barriers), or a free record (an asynchronous object death). All three
 // ride the same FIFO, so by the time one executes, every event enqueued
-// before it has been processed.
+// before it has been processed. Batches travel as *[]event so the pool
+// round-trip reuses one boxed header instead of re-boxing the slice into
+// an interface on every Get/Put.
 type message struct {
-	batch []event
+	batch *[]event
 	ctl   func(*monitor.Engine)
 	done  chan<- struct{}
 	free  *freeRec
@@ -51,19 +53,21 @@ func (rec *freeRec) arrive() {
 // batchPool recycles event batches between producers and workers without
 // taking any worker lock (a worker must never need a producer-side lock to
 // make progress, or a blocking Dispatch holding that lock would deadlock).
-var batchPool = sync.Pool{New: func() any { return []event(nil) }}
+var batchPool = sync.Pool{New: func() any { return new([]event) }}
 
-func getBatch(capHint int) []event {
-	b := batchPool.Get().([]event)
-	if cap(b) < capHint {
-		b = make([]event, 0, capHint)
+func getBatch(capHint int) *[]event {
+	p := batchPool.Get().(*[]event)
+	if cap(*p) < capHint {
+		*p = make([]event, 0, capHint)
 	}
-	return b[:0]
+	*p = (*p)[:0]
+	return p
 }
 
-func putBatch(b []event) {
-	clear(b)
-	batchPool.Put(b[:0])
+func putBatch(p *[]event) {
+	clear(*p)
+	*p = (*p)[:0]
+	batchPool.Put(p)
 }
 
 // worker is one shard: a single-threaded monitor.Engine behind a bounded
@@ -74,7 +78,7 @@ type worker struct {
 	idx     int
 	eng     *monitor.Engine
 	mu      sync.Mutex
-	pending []event // open batch, always len < batchSize outside mu
+	pending *[]event // open batch, always len < batchSize outside mu
 	mailbox chan message
 	batchSz int
 }
@@ -93,7 +97,7 @@ func (w *worker) run(wg *sync.WaitGroup) {
 			msg.free.arrive()
 			continue
 		}
-		for _, ev := range msg.batch {
+		for _, ev := range *msg.batch {
 			w.eng.Dispatch(ev.sym, ev.inst)
 		}
 		putBatch(msg.batch)
@@ -106,8 +110,8 @@ func (w *worker) run(wg *sync.WaitGroup) {
 // drains a batch.
 func (w *worker) enqueue(ev event) {
 	w.mu.Lock()
-	w.pending = append(w.pending, ev)
-	if len(w.pending) >= w.batchSz {
+	*w.pending = append(*w.pending, ev)
+	if len(*w.pending) >= w.batchSz {
 		w.mailbox <- message{batch: w.pending}
 		w.pending = getBatch(w.batchSz)
 	}
@@ -118,14 +122,23 @@ func (w *worker) enqueue(ev event) {
 // the open batch has room to spare, or the mailbox can take the filled
 // batch. Callers must hold mu.
 func (w *worker) canAccept() bool {
-	return len(w.pending)+1 < w.batchSz || len(w.mailbox) < cap(w.mailbox)
+	return len(*w.pending)+1 < w.batchSz || len(w.mailbox) < cap(w.mailbox)
 }
 
 // enqueueLocked is enqueue for callers already holding mu after a positive
 // canAccept: the mailbox send is guaranteed not to block.
 func (w *worker) enqueueLocked(ev event) {
-	w.pending = append(w.pending, ev)
-	if len(w.pending) >= w.batchSz {
+	*w.pending = append(*w.pending, ev)
+	if len(*w.pending) >= w.batchSz {
+		w.mailbox <- message{batch: w.pending}
+		w.pending = getBatch(w.batchSz)
+	}
+}
+
+// flushLocked ships the open batch even if partially filled; callers hold
+// mu.
+func (w *worker) flushLocked() {
+	if len(*w.pending) > 0 {
 		w.mailbox <- message{batch: w.pending}
 		w.pending = getBatch(w.batchSz)
 	}
@@ -134,10 +147,7 @@ func (w *worker) enqueueLocked(ev event) {
 // flush ships the open batch even if partially filled.
 func (w *worker) flush() {
 	w.mu.Lock()
-	if len(w.pending) > 0 {
-		w.mailbox <- message{batch: w.pending}
-		w.pending = getBatch(w.batchSz)
-	}
+	w.flushLocked()
 	w.mu.Unlock()
 }
 
@@ -146,10 +156,7 @@ func (w *worker) flush() {
 // rendezvous — the worker completes that on its own.
 func (w *worker) sendFree(rec *freeRec) {
 	w.mu.Lock()
-	if len(w.pending) > 0 {
-		w.mailbox <- message{batch: w.pending}
-		w.pending = getBatch(w.batchSz)
-	}
+	w.flushLocked()
 	w.mailbox <- message{free: rec}
 	w.mu.Unlock()
 }
@@ -159,10 +166,7 @@ func (w *worker) sendFree(rec *freeRec) {
 func (w *worker) control(ctl func(*monitor.Engine)) <-chan struct{} {
 	done := make(chan struct{})
 	w.mu.Lock()
-	if len(w.pending) > 0 {
-		w.mailbox <- message{batch: w.pending}
-		w.pending = getBatch(w.batchSz)
-	}
+	w.flushLocked()
 	w.mailbox <- message{ctl: ctl, done: done}
 	w.mu.Unlock()
 	return done

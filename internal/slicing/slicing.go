@@ -54,15 +54,28 @@ type Monitor struct {
 	delta map[param.Key]logic.State
 	insts map[param.Key]param.Instance
 	gamma map[param.Key]logic.Category
+
+	// scratch, reused across Process calls. The oracle stays naive in
+	// structure (full Θ scans, no indexing); reusing the per-event
+	// buffers just keeps property tests over long random traces from
+	// spending their time in the allocator.
+	targets map[param.Key]param.Instance
+	commits []pending
+}
+
+type pending struct {
+	inst  param.Instance
+	state logic.State
 }
 
 // New creates the abstract monitor with Δ(⊥) = ı and Θ = {⊥}.
 func New(bp logic.Blueprint) *Monitor {
 	m := &Monitor{
-		bp:    bp,
-		delta: map[param.Key]logic.State{},
-		insts: map[param.Key]param.Instance{},
-		gamma: map[param.Key]logic.Category{},
+		bp:      bp,
+		delta:   map[param.Key]logic.State{},
+		insts:   map[param.Key]param.Instance{},
+		gamma:   map[param.Key]logic.Category{},
+		targets: map[param.Key]param.Instance{},
 	}
 	bot := param.Empty()
 	m.delta[bot.Key()] = bp.Start()
@@ -84,7 +97,8 @@ func (m *Monitor) Process(e Event) []Update {
 
 	// {θ} ⊔ Θ: lubs of θ with every compatible known instance. ⊥ ∈ Θ, so
 	// θ itself always appears.
-	targets := map[param.Key]param.Instance{}
+	targets := m.targets
+	clear(targets)
 	for _, known := range m.insts {
 		if lub, ok := known.Lub(theta); ok {
 			targets[lub.Key()] = lub
@@ -94,15 +108,12 @@ func (m *Monitor) Process(e Event) []Update {
 	// Compute all new states against the *old* tables, then commit: line 4
 	// of Figure 5 reads Δ(max{θ'' ∈ Θ | θ'' ⊑ θ'}) from the pre-event
 	// state even when θ' itself is being updated in the same iteration.
-	type pending struct {
-		inst  param.Instance
-		state logic.State
-	}
-	var commits []pending
+	commits := m.commits[:0]
 	for _, tgt := range targets {
 		base := m.maxBelow(tgt)
 		commits = append(commits, pending{inst: tgt, state: m.delta[base.Key()].Step(e.Sym)})
 	}
+	m.commits = commits[:0]
 	var ups []Update
 	for _, c := range commits {
 		k := c.inst.Key()

@@ -160,6 +160,10 @@ func New(spec *monitor.Spec, opts Options) (*Engine, error) {
 // Stats returns a copy of the counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// Spec returns the engine's specification (it also lets the dacapo adapter
+// take its symbol-resolved fast path).
+func (e *Engine) Spec() *monitor.Spec { return e.spec }
+
 // EmitNamed dispatches an event by name.
 func (e *Engine) EmitNamed(name string, vals ...heap.Ref) error {
 	sym, ok := e.spec.Symbol(name)

@@ -374,6 +374,36 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{br: bufio.NewReaderSize(r, 32*1024)}
 }
 
+// FrameBuffered reports whether a complete frame is already sitting in the
+// read buffer, so the next Next call will return without blocking on the
+// connection. The server's ingest loop uses it to batch-process pipelined
+// event frames — decode and dispatch while data is buffered, flush credit
+// only when the stream would block — so a burst of N events costs one
+// credit write instead of N. A corrupt length prefix reports true: Next
+// will surface the error without blocking.
+func (r *Reader) FrameBuffered() bool {
+	n := r.br.Buffered()
+	if n == 0 {
+		return false
+	}
+	k := n
+	if k > binary.MaxVarintLen64 {
+		k = binary.MaxVarintLen64
+	}
+	peek, err := r.br.Peek(k)
+	if err != nil {
+		return false
+	}
+	flen, vn := binary.Uvarint(peek)
+	if vn == 0 {
+		return false // length varint incomplete
+	}
+	if vn < 0 {
+		return true // overlong varint: let Next report the corruption
+	}
+	return uint64(n-vn) >= flen
+}
+
 // ErrFrameTooLarge reports a frame exceeding MaxFrame.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
 

@@ -228,3 +228,124 @@ func FuzzEventRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzWire is the CI smoke fuzz target: arbitrary bytes through the frame
+// decoder must never panic, must terminate, and every frame that decodes as
+// an Event, Free or Verdict must re-encode and decode back to itself
+// (decode → encode → decode is the identity on the decoder's image).
+func FuzzWire(f *testing.F) {
+	stream, _ := encodeAll(f)
+	f.Add(stream)
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{2, TFree, 0})
+	f.Add([]byte{5, TEvent, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var msg Msg
+		for i := 0; i < 1000; i++ {
+			if err := r.Next(&msg); err != nil {
+				return
+			}
+			var buf bytes.Buffer
+			w := NewWriter(&buf)
+			var werr error
+			switch msg.Type {
+			case TEvent:
+				werr = w.WriteEvent(msg.Event.Sym, msg.Event.IDs)
+			case TFree:
+				werr = w.WriteFree(msg.Free.IDs)
+			case TVerdict:
+				werr = w.WriteVerdict(msg.Verdict)
+			default:
+				continue
+			}
+			if werr != nil {
+				t.Fatalf("re-encoding decoded frame: %v", werr)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			// Snapshot before the second decode reuses the reader state.
+			want := Msg{Type: msg.Type}
+			switch msg.Type {
+			case TEvent:
+				want.Event = Event{Sym: msg.Event.Sym, IDs: append([]uint64{}, msg.Event.IDs...)}
+			case TFree:
+				want.Free = Free{IDs: append([]uint64{}, msg.Free.IDs...)}
+			case TVerdict:
+				want.Verdict = Verdict{Sym: msg.Verdict.Sym, Cat: msg.Verdict.Cat,
+					Mask: msg.Verdict.Mask, IDs: append([]uint64{}, msg.Verdict.IDs...)}
+			}
+			r2 := NewReader(&buf)
+			var msg2 Msg
+			if err := r2.Next(&msg2); err != nil {
+				t.Fatalf("decoding re-encoded frame: %v", err)
+			}
+			if msg2.Type != want.Type {
+				t.Fatalf("round trip type %d != %d", msg2.Type, want.Type)
+			}
+			switch want.Type {
+			case TEvent:
+				if msg2.Event.Sym != want.Event.Sym || !reflect.DeepEqual(append([]uint64{}, msg2.Event.IDs...), want.Event.IDs) {
+					t.Fatalf("event round trip: %+v != %+v", msg2.Event, want.Event)
+				}
+			case TFree:
+				if !reflect.DeepEqual(append([]uint64{}, msg2.Free.IDs...), want.Free.IDs) {
+					t.Fatalf("free round trip: %+v != %+v", msg2.Free, want.Free)
+				}
+			case TVerdict:
+				if msg2.Verdict.Sym != want.Verdict.Sym || msg2.Verdict.Cat != want.Verdict.Cat ||
+					msg2.Verdict.Mask != want.Verdict.Mask ||
+					!reflect.DeepEqual(append([]uint64{}, msg2.Verdict.IDs...), want.Verdict.IDs) {
+					t.Fatalf("verdict round trip: %+v != %+v", msg2.Verdict, want.Verdict)
+				}
+			}
+		}
+	})
+}
+
+// TestFrameBuffered: a complete buffered frame reports true, a partial one
+// false, and consuming the stream drains it back to false.
+func TestFrameBuffered(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteEvent(3, []uint64{7, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteCredit(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	r := NewReader(bytes.NewReader(full))
+	if r.FrameBuffered() {
+		t.Fatal("nothing read yet: bufio buffer is empty")
+	}
+	var msg Msg
+	if err := r.Next(&msg); err != nil || msg.Type != TEvent {
+		t.Fatalf("Next: %v type %d", err, msg.Type)
+	}
+	// The second frame was pulled into the buffer by the first read.
+	if !r.FrameBuffered() {
+		t.Fatal("complete second frame buffered but not reported")
+	}
+	if err := r.Next(&msg); err != nil || msg.Type != TCredit {
+		t.Fatalf("Next: %v type %d", err, msg.Type)
+	}
+	if r.FrameBuffered() {
+		t.Fatal("stream drained but FrameBuffered still true")
+	}
+
+	// A truncated frame must not report complete.
+	r2 := NewReader(bytes.NewReader(full[:len(full)-1]))
+	if err := r2.Next(&msg); err != nil {
+		t.Fatal(err)
+	}
+	if r2.FrameBuffered() {
+		t.Fatal("truncated frame reported as buffered")
+	}
+}
