@@ -5,46 +5,45 @@ import (
 	"net"
 	"time"
 
+	"rvgo"
 	"rvgo/client"
-	"rvgo/internal/heap"
-	"rvgo/internal/monitor"
-	"rvgo/internal/server"
 )
 
 // Example monitors the UNSAFEITER property over a TCP session: the
-// monitored program names its objects with heap.Refs, streams events to
+// monitored program names its objects with rvgo.Refs, streams events to
 // an rvserve-style server, and reports object deaths with Free — the
 // protocol-level replacement for the weak-reference death signal the
-// in-process backends consume.
+// in-process backends consume. Dial is sugar for
+// rvgo.New(spec, rvgo.WithRemote(addr), ...); the session it returns is
+// an ordinary *rvgo.Monitor.
 func Example() {
 	// An in-process server stands in for `rvserve -listen ...`.
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic(err)
 	}
-	srv := server.New(server.Options{})
+	srv := rvgo.NewServer(rvgo.ServerOptions{})
 	go srv.Serve(l)
 	defer srv.Shutdown(5 * time.Second)
 
 	verdicts := make(chan string, 1)
 	c, err := client.Dial(l.Addr().String(), client.Options{
-		Prop:     "UnsafeIter",
-		GC:       monitor.GCCoenable,
-		Creation: monitor.CreateEnable,
-		OnVerdict: func(v monitor.Verdict) {
-			verdicts <- fmt.Sprintf("verdict: %s at %s", v.Cat, v.Inst.Format(v.Spec.Params))
+		Prop: "UnsafeIter",
+		GC:   rvgo.GCCoenable,
+		OnVerdict: func(v rvgo.Verdict) {
+			verdicts <- fmt.Sprintf("verdict: %s at %s", v.Cat, v.Inst.Format([]string{"c", "i"}))
 		},
 	})
 	if err != nil {
 		panic(err)
 	}
 
-	h := heap.New()
+	h := rvgo.NewHeap()
 	coll, iter := h.Alloc("coll"), h.Alloc("iter")
-	c.Emit(0, coll, iter) // create
-	c.Emit(1, coll)       // update: the collection changes mid-iteration
-	c.Emit(2, iter)       // next: the stale iterator is used — a match
-	c.Barrier()           // every verdict those events produced is in
+	c.MustEvent("create").Emit(coll, iter)
+	c.MustEvent("update").Emit(coll) // the collection changes mid-iteration
+	c.MustEvent("next").Emit(iter)   // the stale iterator is used — a match
+	c.Barrier()                      // every verdict those events produced is in
 	fmt.Println(<-verdicts)
 
 	// The iterator goes out of scope in the monitored program: its death

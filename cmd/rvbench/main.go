@@ -6,11 +6,15 @@
 //
 //	rvbench [-table fig9a|fig9b|fig10|retained|micro|all] [-scale 0.1]
 //	        [-timeout 60s] [-bench bloat,pmd,...] [-prop HasNext,...]
-//	        [-shards N] [-live] [-json] [-out run.json]
+//	        [-backend seq|shard|remote] [-shards N] [-remote addr]
+//	        [-live] [-json] [-out run.json]
 //	        [-compare BENCH_X.json -tolerance T] [-v]
 //
-// -shards N > 1 runs the RV and MOP cells on the sharded concurrent
-// runtime (internal/shard) instead of the sequential engine. -json emits
+// -backend selects where the RV and MOP cells run: the sequential engine
+// (seq, the default), the sharded concurrent runtime (shard, sized by
+// -shards), or sessions against an rvserve monitoring server (remote,
+// addressed by -remote). Left unset it is inferred from the modifier
+// flags. -json emits
 // the full result grid as machine-readable JSON instead of the tables, so
 // runs can be archived (BENCH_*.json) and compared across revisions; -out
 // writes the same JSON to a file as well (CI uploads it as an artifact).
@@ -40,9 +44,7 @@ import (
 	"time"
 
 	"rvgo/internal/cliutil"
-	"rvgo/internal/dacapo"
 	"rvgo/internal/eval"
-	"rvgo/internal/props"
 )
 
 func main() {
@@ -52,8 +54,9 @@ func main() {
 		timeout = flag.Duration("timeout", 60*time.Second, "per-cell time budget (exceeded = ∞)")
 		benchs  = flag.String("bench", "", "comma-separated benchmark subset (default: all 15)")
 		prs     = flag.String("prop", "", "comma-separated property subset (default: the paper's five)")
-		shards  = flag.Int("shards", 1, "RV/MOP backend: 1 = sequential engine, >1 = sharded runtime")
-		remote  = flag.String("remote", "", "rvserve address: run the RV/MOP cells over the network")
+		backend = flag.String("backend", "", "RV/MOP backend: seq, shard, remote (default: inferred from -shards/-remote)")
+		shards  = flag.Int("shards", 1, "shard count for -backend shard")
+		remote  = flag.String("remote", "", "rvserve address for -backend remote")
 		live    = flag.Bool("live", false, "run the live-object ingestion experiment (rv frontend, real Go GC)")
 		jsonOut = flag.Bool("json", false, "emit the result grid as JSON instead of tables")
 		outPath = flag.String("out", "", "also write the current run's JSON to this file (works with -compare; CI uploads it as an artifact)")
@@ -63,7 +66,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := cliutil.ValidateShards(*shards); err != nil {
+	if _, err := cliutil.ParseBackend(*backend, *shards, *remote); err != nil {
 		fatalf("%v", err)
 	}
 	cfg := eval.DefaultConfig()
@@ -74,16 +77,16 @@ func main() {
 	if *benchs != "" {
 		cfg.Benchmarks = splitList(*benchs)
 		for _, b := range cfg.Benchmarks {
-			if _, ok := dacapo.Get(b); !ok {
-				fatalf("unknown benchmark %q (have: %s)", b, strings.Join(dacapo.Benchmarks(), ", "))
+			if err := cliutil.ValidateBench(b); err != nil {
+				fatalf("%v", err)
 			}
 		}
 	}
 	if *prs != "" {
 		cfg.Properties = splitList(*prs)
 		for _, p := range cfg.Properties {
-			if _, err := props.Build(p); err != nil {
-				fatalf("%v (have: %s)", err, strings.Join(props.Names(), ", "))
+			if err := cliutil.ValidateProp(p); err != nil {
+				fatalf("%v", err)
 			}
 		}
 	}

@@ -17,10 +17,7 @@ import (
 	"os"
 	"strings"
 
-	"rvgo/internal/coenable"
-	"rvgo/internal/monitor"
-	"rvgo/internal/props"
-	"rvgo/internal/spec"
+	"rvgo/spec"
 )
 
 func main() {
@@ -31,36 +28,30 @@ func main() {
 	)
 	flag.Parse()
 	if *list {
-		fmt.Println(strings.Join(props.Names(), "\n"))
+		fmt.Println(strings.Join(spec.BuiltinNames(), "\n"))
 		return
 	}
 
-	var specs []*monitor.Spec
+	var specs []*spec.Spec
 	switch {
 	case *specPath != "":
 		src, err := os.ReadFile(*specPath)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		prop, err := spec.Parse(string(src))
+		parsed, err := spec.Parse(string(src))
 		if err != nil {
 			fatalf("%v", err)
 		}
-		compiled, err := prop.Compile()
-		if err != nil {
-			fatalf("%v", err)
-		}
-		for _, c := range compiled {
-			specs = append(specs, c.Spec)
-		}
+		specs = parsed
 	case *propName != "":
-		s, err := props.Build(*propName)
+		s, err := spec.Builtin(*propName)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		specs = append(specs, s)
 	default:
-		s, err := props.Build("UnsafeIter")
+		s, err := spec.Builtin("UnsafeIter")
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -68,65 +59,10 @@ func main() {
 	}
 
 	for _, s := range specs {
-		printAnalysis(s)
-	}
-}
-
-func printAnalysis(s *monitor.Spec) {
-	an, err := s.Analysis()
-	if err != nil {
-		fatalf("%v", err)
-	}
-	alphabet := make([]string, len(s.Events))
-	for i, e := range s.Events {
-		alphabet[i] = e.Name
-	}
-	goalNames := make([]string, len(s.Goal))
-	for i, g := range s.Goal {
-		goalNames[i] = string(g)
-	}
-	fmt.Printf("property %s(%s), goal G = {%s}\n",
-		s.Name, strings.Join(s.Params, ", "), strings.Join(goalNames, ", "))
-	if !an.HasCoenable {
-		fmt.Printf("  (no coenable analysis for this goal/formalism: monitors fall back to\n")
-		fmt.Printf("   all-parameters-dead collection plus sink termination)\n\n")
-		return
-	}
-	fmt.Println("  coenable sets (events occurring after e in goal traces):")
-	for sym, e := range s.Events {
-		fmt.Printf("    COENABLE(%s)%s= %s\n", e.Name, pad(e.Name, alphabet),
-			coenable.FormatEventSets(an.CoenEvents[sym], alphabet))
-	}
-	fmt.Println("  parameter coenable sets (Definition 11):")
-	for sym, e := range s.Events {
-		fmt.Printf("    COENABLE^X(%s)%s= %s\n", e.Name, pad(e.Name, alphabet),
-			coenable.FormatParamSets(an.CoenParams[sym], s.Params))
-	}
-	fmt.Println("  ALIVENESS formulas (§4.2.2, minimized):")
-	for sym, e := range s.Events {
-		fmt.Printf("    ALIVENESS(%s)%s= %s\n", e.Name, pad(e.Name, alphabet),
-			coenable.AlivenessFormula(an.CoenParams[sym], s.Params))
-	}
-	fmt.Println("  enable sets (events occurring before e; ∅ ⇒ creation event):")
-	for sym, e := range s.Events {
-		marker := ""
-		if an.Creation[sym] {
-			marker = "   [creation event]"
-		}
-		fmt.Printf("    ENABLE(%s)%s= %s%s\n", e.Name, pad(e.Name, alphabet),
-			coenable.FormatEventSets(an.EnableEvents[sym], alphabet), marker)
-	}
-	fmt.Println()
-}
-
-func pad(name string, alphabet []string) string {
-	max := 0
-	for _, a := range alphabet {
-		if len(a) > max {
-			max = len(a)
+		if err := s.WriteAnalysis(os.Stdout); err != nil {
+			fatalf("%v", err)
 		}
 	}
-	return strings.Repeat(" ", max-len(name)+1)
 }
 
 func fatalf(format string, args ...any) {

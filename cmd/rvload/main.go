@@ -7,7 +7,13 @@
 //
 //	rvload [-addr localhost:7472] [-conns 8] [-bench avrora]
 //	       [-prop UnsafeIter] [-scale 0.05] [-repeat 1] [-gc coenable]
-//	       [-shards 1] [-probe 4096] [-min-rate 0] [-json]
+//	       [-backend seq|shard] [-shards 1] [-probe 4096] [-min-rate 0]
+//	       [-json]
+//
+// -backend selects each session's per-session backend on the server
+// (rvload itself always monitors remotely, against -addr): seq is the
+// sequential engine, shard the sharded runtime sized by -shards. Left
+// unset it is inferred from -shards.
 //
 // Every connection is an independent session (its own spec registry
 // entry, backend, and remote-object table on the server); object deaths
@@ -28,12 +34,10 @@ import (
 	"sync"
 	"time"
 
-	"rvgo/client"
+	"rvgo"
 	"rvgo/internal/cliutil"
 	"rvgo/internal/dacapo"
-	"rvgo/internal/heap"
-	"rvgo/internal/monitor"
-	"rvgo/internal/props"
+	"rvgo/spec"
 )
 
 func main() {
@@ -45,7 +49,8 @@ func main() {
 		scale   = flag.Float64("scale", 0.05, "workload scale for the recorded trace")
 		repeat  = flag.Int("repeat", 1, "trace replays per connection")
 		gcMode  = flag.String("gc", "coenable", "monitor GC policy: coenable, alldead, none")
-		shards  = flag.Int("shards", 1, "per-session server backend: 1 = sequential, >1 = sharded")
+		backend = flag.String("backend", "", "per-session server backend: seq or shard (default: inferred from -shards)")
+		shards  = flag.Int("shards", 1, "shard count for -backend shard")
 		probe   = flag.Int("probe", 4096, "events between latency probes (Barrier round trips)")
 		minRate = flag.Int("min-rate", 0, "fail unless aggregate events/s reaches this (0 = report only)")
 		jsonOut = flag.Bool("json", false, "emit the report as JSON")
@@ -55,13 +60,18 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if err := cliutil.ValidateShards(*shards); err != nil {
+	srvBackend, err := cliutil.ParseBackend(*backend, *shards, "")
+	if err != nil {
 		fatalf("%v", err)
+	}
+	if srvBackend == cliutil.BackendRemote {
+		fatalf("-backend remote is implied; rvload sessions always run against -addr")
 	}
 	if *conns < 1 {
 		fatalf("-conns must be >= 1, got %d", *conns)
 	}
-	if _, err := props.Build(*prop); err != nil {
+	sp, err := spec.Builtin(*prop)
+	if err != nil {
 		fatalf("%v", err)
 	}
 	p, ok := dacapo.Get(*bench)
@@ -74,7 +84,7 @@ func main() {
 	}
 
 	type connResult struct {
-		stats    monitor.Stats
+		stats    rvgo.Stats
 		probes   []time.Duration
 		verdicts uint64
 		err      error
@@ -88,13 +98,12 @@ func main() {
 			defer wg.Done()
 			res := &results[g]
 			var verdicts uint64
-			cl, err := client.Dial(*addr, client.Options{
-				Prop:      *prop,
-				GC:        gc,
-				Creation:  monitor.CreateEnable,
-				Shards:    *shards,
-				OnVerdict: func(monitor.Verdict) { verdicts++ },
-			})
+			cl, err := rvgo.New(sp,
+				rvgo.WithRemote(*addr),
+				rvgo.WithGC(gc),
+				rvgo.WithShards(*shards),
+				rvgo.WithVerdictHandler(func(rvgo.Verdict) { verdicts++ }),
+			)
 			if err != nil {
 				res.err = err
 				return
@@ -121,8 +130,8 @@ func main() {
 			// heap IDs, and a session must never reuse an ID after its
 			// free (each replay allocates fresh objects, so a shared heap
 			// keeps IDs unique; a fresh heap would restart them at 1).
-			h := heap.New()
-			h.SetFreeHook(func(o *heap.Object) { cl.Free(o) })
+			h := rvgo.NewHeap()
+			h.SetFreeHook(func(o *rvgo.Object) { cl.Free(o) })
 			for it := 0; it < *repeat; it++ {
 				tr.Replay(h, probed, nil)
 			}
@@ -135,7 +144,7 @@ func main() {
 	wg.Wait()
 	wall := time.Since(start)
 
-	var total monitor.Stats
+	var total rvgo.Stats
 	var probes []time.Duration
 	var verdicts uint64
 	for g, res := range results {

@@ -4,12 +4,17 @@
 // Usage:
 //
 //	rvmon -spec hasnext.rv [-trace trace.txt] [-gc coenable|alldead|none]
-//	      [-shards N] [-stats]
+//	      [-backend seq|shard|remote] [-shards N] [-remote addr] [-stats]
 //
-// -shards N > 1 monitors on the sharded concurrent runtime
-// (internal/shard); trace semantics are unchanged — the runtime is
-// barriered before every "free" line so deaths land at their trace
-// positions, exactly as the sequential engine observes them.
+// -backend selects the monitoring backend: the in-process sequential
+// engine (seq, the default), the sharded concurrent runtime (shard, sized
+// by -shards), or a session against an rvserve monitoring server (remote,
+// addressed by -remote; the spec must define a single property, which
+// both ends compile and verify in the handshake). Left unset, the backend
+// is inferred from the modifier flags. Trace semantics are identical on
+// every backend — the runtime is barriered before every "free" line so
+// deaths land at their trace positions, exactly as the sequential engine
+// observes them.
 //
 // The trace is read from the file or stdin, one step per line:
 //
@@ -29,18 +34,39 @@ import (
 	"os"
 	"strings"
 
+	"rvgo"
 	"rvgo/internal/cliutil"
-	"rvgo/internal/heap"
-	"rvgo/internal/monitor"
-	"rvgo/internal/spec"
+	"rvgo/spec"
 )
+
+// engine is one monitor plus its per-event emitter cache: every trace
+// line after the first with a given event name dispatches through a
+// pre-resolved emitter (the façade's hot path), not a name lookup.
+type engine struct {
+	m        *rvgo.Monitor
+	name     string
+	emitters map[string]*rvgo.Emitter // nil entry: event unknown to this spec
+}
+
+func (e *engine) emitter(event string) *rvgo.Emitter {
+	em, ok := e.emitters[event]
+	if !ok {
+		if resolved, err := e.m.Event(event); err == nil {
+			em = &resolved
+		}
+		e.emitters[event] = em
+	}
+	return em
+}
 
 func main() {
 	var (
 		specPath  = flag.String("spec", "", "path to the .rv specification (required)")
 		tracePath = flag.String("trace", "", "path to the trace file (default: stdin)")
 		gcMode    = flag.String("gc", "coenable", "monitor GC policy: coenable, alldead, none")
-		shards    = flag.Int("shards", 1, "1 = sequential engine, >1 = sharded runtime")
+		backendFl = flag.String("backend", "", "monitoring backend: seq, shard, remote (default: inferred from -shards/-remote)")
+		shards    = flag.Int("shards", 1, "shard count for -backend shard")
+		remoteFl  = flag.String("remote", "", "rvserve address for -backend remote")
 		stats     = flag.Bool("stats", false, "print monitoring statistics at the end")
 	)
 	flag.Parse()
@@ -51,41 +77,35 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	prop, err := spec.Parse(string(src))
+	specs, err := spec.Parse(string(src))
 	if err != nil {
 		fatalf("%v", err)
 	}
-	compiled, err := prop.Compile()
-	if err != nil {
-		fatalf("%v", err)
-	}
-
 	gc, err := cliutil.ParseGC(*gcMode)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if err := cliutil.ValidateShards(*shards); err != nil {
+	backend, err := cliutil.ParseBackend(*backendFl, *shards, *remoteFl)
+	if err != nil {
 		fatalf("%v", err)
 	}
 
-	var engines []monitor.Runtime
-	for _, c := range compiled {
-		c := c
-		opts := monitor.Options{
-			GC:       gc,
-			Creation: monitor.CreateEnable,
-			OnVerdict: func(v monitor.Verdict) {
-				fmt.Printf("%s: %s at %s\n", c.Spec.Name, v.Cat, v.Inst.Format(c.Spec.Params))
-				if body, ok := c.Handlers[v.Cat]; ok {
+	var engines []*engine
+	for _, sp := range specs {
+		sp := sp
+		handlers := sp.Handlers()
+		m, err := cliutil.NewMonitor(sp, backend, *shards, *remoteFl,
+			rvgo.WithGC(gc),
+			rvgo.WithVerdictHandler(func(v rvgo.Verdict) {
+				fmt.Printf("%s: %s at %s\n", sp.Name(), v.Cat, v.Inst.Format(sp.Params()))
+				if body, ok := handlers[string(v.Cat)]; ok {
 					spec.RunHandler(body, func(line string) { fmt.Println("  " + line) })
 				}
-			},
-		}
-		eng, err := cliutil.NewRuntime(c.Spec, opts, *shards)
+			}))
 		if err != nil {
 			fatalf("%v", err)
 		}
-		engines = append(engines, eng)
+		engines = append(engines, &engine{m: m, name: sp.Name(), emitters: map[string]*rvgo.Emitter{}})
 	}
 
 	var in io.Reader = os.Stdin
@@ -98,9 +118,9 @@ func main() {
 		in = f
 	}
 
-	h := heap.New()
-	objects := map[string]*heap.Object{}
-	obj := func(name string) *heap.Object {
+	h := rvgo.NewHeap()
+	objects := map[string]*rvgo.Object{}
+	obj := func(name string) *rvgo.Object {
 		if o, ok := objects[name]; ok {
 			return o
 		}
@@ -118,11 +138,11 @@ func main() {
 			continue
 		}
 		if fields[0] == "free" {
-			// The runtimes position the deaths behind everything
+			// The backends position the deaths behind everything
 			// dispatched so far (one barrier per line for asynchronous
 			// backends), then the heap applies them.
-			var refs []heap.Ref
-			var objs []*heap.Object
+			var refs []rvgo.Ref
+			var objs []*rvgo.Object
 			for _, name := range fields[1:] {
 				if o, ok := objects[name]; ok {
 					refs = append(refs, o)
@@ -130,8 +150,8 @@ func main() {
 				}
 			}
 			if len(refs) > 0 {
-				for _, eng := range engines {
-					eng.Free(refs...)
+				for _, e := range engines {
+					e.m.Free(refs...)
 				}
 				for _, o := range objs {
 					h.Free(o)
@@ -141,17 +161,16 @@ func main() {
 		}
 		event := fields[0]
 		dispatched := false
-		for _, eng := range engines {
-			sym, ok := eng.Spec().Symbol(event)
-			if !ok {
+		for _, e := range engines {
+			em := e.emitter(event)
+			if em == nil {
 				continue
 			}
 			dispatched = true
-			want := eng.Spec().Events[sym].Params.Count()
-			if len(fields)-1 != want {
+			if want := em.Arity(); len(fields)-1 != want {
 				fatalf("line %d: event %q takes %d objects, got %d", lineNo, event, want, len(fields)-1)
 			}
-			vals := make([]heap.Ref, 0, want)
+			vals := make([]rvgo.Ref, 0, len(fields)-1)
 			for _, name := range fields[1:] {
 				o := obj(name)
 				if !o.Alive() {
@@ -159,7 +178,7 @@ func main() {
 				}
 				vals = append(vals, o)
 			}
-			eng.Emit(sym, vals...)
+			em.Emit(vals...)
 		}
 		if !dispatched {
 			fatalf("line %d: unknown event %q", lineNo, event)
@@ -170,15 +189,18 @@ func main() {
 	}
 
 	if *stats {
-		for _, eng := range engines {
-			eng.Flush()
-			st := eng.Stats()
+		for _, e := range engines {
+			e.m.Flush()
+			st := e.m.Stats()
 			fmt.Printf("%s: events=%d created=%d flagged=%d collected=%d verdicts=%d\n",
-				eng.Spec().Name, st.Events, st.Created, st.Flagged, st.Collected, st.GoalVerdicts)
+				e.name, st.Events, st.Created, st.Flagged, st.Collected, st.GoalVerdicts)
 		}
 	}
-	for _, eng := range engines {
-		eng.Close()
+	for _, e := range engines {
+		if err := e.m.Err(); err != nil {
+			fatalf("%v", err)
+		}
+		e.m.Close()
 	}
 }
 

@@ -1,5 +1,5 @@
 // Command rvserve runs the multi-tenant monitoring server: it accepts
-// wire-protocol sessions over TCP (package client is the Go client) and
+// wire-protocol sessions over TCP (rvgo.WithRemote is the Go client) and
 // monitors each session's event stream with its own engine — the paper's
 // runtime, deployed as a service, with protocol-level object deaths
 // driving the coenable-set monitor GC in place of weak references.
@@ -26,8 +26,8 @@ import (
 	"syscall"
 	"time"
 
+	"rvgo"
 	"rvgo/internal/cliutil"
-	"rvgo/internal/server"
 )
 
 func main() {
@@ -48,7 +48,7 @@ func main() {
 		fatalf("-max-shards: %v", err)
 	}
 
-	opts := server.Options{
+	opts := rvgo.ServerOptions{
 		Window:        *window,
 		MaxShards:     *maxShards,
 		DefaultShards: *defaultShards,
@@ -56,7 +56,7 @@ func main() {
 	if *verbose {
 		opts.Logf = log.Printf
 	}
-	srv := server.New(opts)
+	srv := rvgo.NewServer(opts)
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

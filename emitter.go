@@ -1,0 +1,64 @@
+package rvgo
+
+import (
+	"fmt"
+
+	"rvgo/internal/monitor"
+	"rvgo/internal/param"
+)
+
+// Emitter is a pre-resolved parametric event: the symbol and parameter
+// binding of one event of one Monitor, resolved once by Event. Its Emit
+// is the hot path of the façade — no per-event name lookup, no
+// allocation: on the sequential backend Emit is 0 allocs/op (enforced by
+// benchmark and by the rvbench micro gate).
+//
+// An Emitter is a small value; copy it freely. It is valid for the
+// lifetime of the Monitor that resolved it and is as safe for concurrent
+// use as that Monitor's backend.
+type Emitter struct {
+	rt     monitor.Runtime
+	params param.Set
+	sym    int32
+	arity  int32
+	name   string
+}
+
+// Event resolves an event name to an Emitter. The error contract is
+// EmitNamed's: unknown names are reported, nothing is dispatched.
+func (m *Monitor) Event(name string) (Emitter, error) {
+	ms := m.rt.Spec()
+	sym, ok := ms.Symbol(name)
+	if !ok {
+		return Emitter{}, fmt.Errorf("rvgo: property %q has no event %q", ms.Name, name)
+	}
+	ps := ms.Events[sym].Params
+	return Emitter{rt: m.rt, params: ps, sym: int32(sym), arity: int32(ps.Count()), name: name}, nil
+}
+
+// MustEvent is Event, panicking on unknown names: for the common case
+// where the event list is spelled next to the spec that declares it.
+func (m *Monitor) MustEvent(name string) Emitter {
+	em, err := m.Event(name)
+	if err != nil {
+		panic(err)
+	}
+	return em
+}
+
+// Name returns the event name the Emitter was resolved from.
+func (e Emitter) Name() string { return e.name }
+
+// Arity returns the number of parameter objects Emit expects.
+func (e Emitter) Arity() int { return int(e.arity) }
+
+// Emit dispatches the event over vals, which bind the event's parameters
+// in binding order and must all be alive. Arity mismatches panic — an
+// Emitter is resolved against the spec, so a mismatch is a programming
+// error at the call site, not input to validate per event.
+func (e Emitter) Emit(vals ...Ref) {
+	if len(vals) != int(e.arity) {
+		panic(fmt.Sprintf("rvgo: event %q takes %d values, got %d", e.name, e.arity, len(vals)))
+	}
+	e.rt.Dispatch(int(e.sym), param.Of(e.params, vals...))
+}

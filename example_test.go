@@ -1,0 +1,160 @@
+package rvgo_test
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"rvgo"
+	"rvgo/rv"
+	"rvgo/spec"
+)
+
+// Example is the five-minute tour: a built-in property, the default
+// backend (sequential engine, coenable-set GC, enable-set creation),
+// typed emitters, one violation, settled counters.
+func Example() {
+	property, err := spec.Builtin("HasNext")
+	if err != nil {
+		panic(err)
+	}
+	m, err := rvgo.New(property, rvgo.WithVerdictHandler(func(v rvgo.Verdict) {
+		fmt.Printf("violation at %s\n", v.Inst.Format(property.Params()))
+	}))
+	if err != nil {
+		panic(err)
+	}
+	hasNextTrue := m.MustEvent("hasnexttrue")
+	next := m.MustEvent("next")
+
+	h := rvgo.NewHeap()
+	it := h.Alloc("iter")
+	hasNextTrue.Emit(it)
+	next.Emit(it)
+	next.Emit(it) // next() without a preceding hasNext(): the verdict
+	h.Free(it)
+
+	m.Flush()
+	st := m.Stats()
+	fmt.Printf("events=%d created=%d collected=%d verdicts=%d\n",
+		st.Events, st.Created, st.Collected, st.GoalVerdicts)
+	m.Close()
+	// Output:
+	// violation at <i=iter>
+	// events=3 created=1 collected=1 verdicts=1
+}
+
+// Example_sharded runs the same property on the sharded concurrent
+// runtime: WithShards is the only change, and the settled counters equal
+// a sequential run of the same trace (the suite in internal/conformance
+// holds every backend to that).
+func Example_sharded() {
+	property, err := spec.Builtin("UnsafeIter")
+	if err != nil {
+		panic(err)
+	}
+	m, err := rvgo.New(property, rvgo.WithShards(4))
+	if err != nil {
+		panic(err)
+	}
+	create := m.MustEvent("create")
+	next := m.MustEvent("next")
+
+	h := rvgo.NewHeap()
+	coll := h.Alloc("coll")
+	for k := 0; k < 1000; k++ {
+		it := h.Alloc(fmt.Sprintf("it%d", k))
+		create.Emit(coll, it)
+		next.Emit(it)
+		m.Free(it) // position the death behind the events above
+		h.Free(it)
+	}
+	m.Flush()
+	st := m.Stats()
+	fmt.Printf("created=%d collected=%d live=%d\n", st.Created, st.Collected, st.Live)
+	m.Close()
+	// Output:
+	// created=1000 collected=1000 live=0
+}
+
+// Example_remote monitors over the network: an in-process server stands
+// in for `rvserve` on another machine, and WithRemote turns the Monitor
+// into a wire session. Object death becomes an explicit Free message —
+// the protocol-level stand-in for a weak reference clearing.
+func Example_remote() {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	srv := rvgo.NewServer(rvgo.ServerOptions{})
+	go srv.Serve(l)
+	defer srv.Shutdown(5 * time.Second)
+
+	property, err := spec.Builtin("HasNext")
+	if err != nil {
+		panic(err)
+	}
+	m, err := rvgo.New(property,
+		rvgo.WithRemote(l.Addr().String()),
+		rvgo.WithVerdictHandler(func(v rvgo.Verdict) {
+			fmt.Printf("violation at %s\n", v.Inst.Format(property.Params()))
+		}))
+	if err != nil {
+		panic(err)
+	}
+	h := rvgo.NewHeap()
+	it := h.Alloc("iter")
+	next := m.MustEvent("next")
+	next.Emit(it) // pipelines to the server; the verdict rides back
+	h.Free(it)
+	m.Free(it)
+
+	m.Flush()
+	fmt.Printf("verdicts=%d\n", m.Stats().GoalVerdicts)
+	m.Close()
+	if err := m.Err(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// violation at <i=iter>
+	// verdicts=1
+}
+
+// Example_liveObjects monitors real Go objects through the rv frontend:
+// no simulated heap, no explicit frees — the weak-keyed registry assigns
+// identities and the Go garbage collector's cleanups become the death
+// signals that drive monitor reclamation.
+func Example_liveObjects() {
+	property, err := spec.Builtin("UnsafeIter")
+	if err != nil {
+		panic(err)
+	}
+	m, err := rvgo.New(property, rvgo.WithVerdictHandler(func(v rvgo.Verdict) {
+		fmt.Printf("caught %s at %s\n", v.Cat, v.Inst.Format(property.Params()))
+	}))
+	if err != nil {
+		panic(err)
+	}
+	session := rv.New(m, rv.Options{Label: func(v any) string {
+		if _, ok := v.(map[string]int); ok {
+			return "scores"
+		}
+		return "cursor"
+	}})
+
+	scores := map[string]int{"ada": 3}
+	cursor := &struct{ pos int }{}
+	rv.Attach(session, "create", scores, cursor)
+	scores["bob"] = 1
+	rv.Attach(session, "update", scores)
+	rv.Attach(session, "next", cursor) // iterating after an update: caught
+
+	session.Flush()
+	// Two monitors: the matched ⟨scores, cursor⟩ slice and the ⟨scores⟩
+	// progenitor the update event materialized.
+	fmt.Printf("monitors created=%d\n", session.Stats().Created)
+	session.Close()
+	// Output:
+	// caught match at <c=scores, i=cursor>
+	// monitors created=2
+}

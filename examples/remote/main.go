@@ -1,10 +1,9 @@
 // Remote quickstart: the same HASNEXT monitoring as examples/quickstart,
-// but over the network — a monitoring server on localhost, a client
-// session implementing monitor.Runtime over the wire protocol, and
-// explicit protocol-level object deaths standing in for garbage
-// collection. The trace, verdicts and settled statistics are identical to
-// the in-process run; only the death signal changes, from weak references
-// to Free messages.
+// but over the network — a monitoring server on localhost, a session
+// opened with rvgo.WithRemote, and explicit protocol-level object deaths
+// standing in for garbage collection. The trace, verdicts and settled
+// statistics are identical to the in-process run; only the death signal
+// changes, from weak references to Free messages.
 package main
 
 import (
@@ -13,10 +12,8 @@ import (
 	"net"
 	"time"
 
-	"rvgo/client"
-	"rvgo/internal/heap"
-	"rvgo/internal/monitor"
-	"rvgo/internal/server"
+	"rvgo"
+	"rvgo/spec"
 )
 
 func main() {
@@ -27,36 +24,37 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := server.New(server.Options{})
+	srv := rvgo.NewServer(rvgo.ServerOptions{})
 	go srv.Serve(l)
 	defer srv.Shutdown(time.Second)
 
-	// 2. Dial a session. The property is compiled on both sides from the
-	//    same reference and the event lists are verified against each
-	//    other in the handshake; the GC policy and backend shape
-	//    (sequential here; Shards: 4 for a sharded session) are per
-	//    session. The Client implements monitor.Runtime, so everything
-	//    that monitors through an Engine monitors through it unchanged.
-	cl, err := client.Dial(l.Addr().String(), client.Options{
-		Prop:     "HasNext",
-		GC:       monitor.GCCoenable,
-		Creation: monitor.CreateEnable,
-		Shards:   1,
-		OnVerdict: func(v monitor.Verdict) {
-			fmt.Printf("improper Iterator use found! (%s)\n", v.Inst.Format(v.Spec.Params))
-		},
-	})
+	// 2. Open a session. The property must come from the built-in
+	//    library or .rv source, because both ends compile it and verify
+	//    the event lists against each other in the handshake; the GC
+	//    policy and backend shape (sequential here; WithShards(4) for a
+	//    sharded session) are per session. The returned Monitor is the
+	//    same type as an in-process one, so everything that monitors
+	//    locally monitors remotely unchanged.
+	property, err := spec.Builtin("HasNext")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := rvgo.New(property,
+		rvgo.WithRemote(l.Addr().String()),
+		rvgo.WithVerdictHandler(func(v rvgo.Verdict) {
+			fmt.Printf("improper Iterator use found! (%s)\n", v.Inst.Format(property.Params()))
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 3. Run the little "program". Events pipeline to the server; the
 	//    verdict arrives on a background reader.
-	h := heap.New()
+	h := rvgo.NewHeap()
 	iter1 := h.Alloc("iter1")
-	must(cl.EmitNamed("hasnexttrue", iter1))
-	must(cl.EmitNamed("next", iter1))
-	must(cl.EmitNamed("next", iter1)) // second next without hasNext: verdict
+	must(m.EmitNamed("hasnexttrue", iter1))
+	must(m.EmitNamed("next", iter1))
+	must(m.EmitNamed("next", iter1)) // second next without hasNext: verdict
 
 	// 4. The network has no weak references, so garbage is an explicit
 	//    trace event: Free tells the server iter1 died. The server
@@ -64,15 +62,15 @@ func main() {
 	//    observed iter1 alive — then the coenable-set GC reclaims the
 	//    monitor, exactly as if a weak reference had been cleared.
 	h.Free(iter1)
-	cl.Free(iter1)
+	m.Free(iter1)
 
 	// 5. Settle and read the Figure 10 counters over the wire.
-	cl.Flush()
-	st := cl.Stats()
+	m.Flush()
+	st := m.Stats()
 	fmt.Printf("events=%d created=%d flagged=%d collected=%d verdicts=%d\n",
 		st.Events, st.Created, st.Flagged, st.Collected, st.GoalVerdicts)
-	cl.Close()
-	if err := cl.Err(); err != nil {
+	m.Close()
+	if err := m.Err(); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -10,74 +10,71 @@ import (
 	"fmt"
 	"log"
 
-	"rvgo/internal/coenable"
-	"rvgo/internal/heap"
-	"rvgo/internal/monitor"
-	"rvgo/internal/props"
+	"rvgo"
+	"rvgo/spec"
 )
 
 func main() {
-	spec, err := props.Build("SafeLock")
+	property, err := spec.Builtin("SafeLock")
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := monitor.New(spec, monitor.Options{
-		GC:       monitor.GCCoenable,
-		Creation: monitor.CreateEnable,
-		OnVerdict: func(v monitor.Verdict) {
-			fmt.Printf("improper Lock use found! (%s)\n", v.Inst.Format(spec.Params))
-		},
-	})
+	m, err := rvgo.New(property, rvgo.WithVerdictHandler(func(v rvgo.Verdict) {
+		fmt.Printf("improper Lock use found! (%s)\n", v.Inst.Format(property.Params()))
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	h := heap.New()
+	h := rvgo.NewHeap()
 	lock := h.Alloc("lock")
 	t1 := h.Alloc("thread-1")
 	t2 := h.Alloc("thread-2")
 
-	acquire, _ := spec.Symbol("acquire")
-	release, _ := spec.Symbol("release")
-	begin, _ := spec.Symbol("begin")
-	end, _ := spec.Symbol("end")
+	acquire := m.MustEvent("acquire")
+	release := m.MustEvent("release")
+	begin := m.MustEvent("begin")
+	end := m.MustEvent("end")
 
 	// Thread 1: disciplined — balanced, properly nested.
-	eng.Emit(begin, t1)
-	eng.Emit(acquire, lock, t1)
-	eng.Emit(begin, t1)
-	eng.Emit(acquire, lock, t1)
-	eng.Emit(release, lock, t1)
-	eng.Emit(end, t1)
-	eng.Emit(release, lock, t1)
-	eng.Emit(end, t1)
+	begin.Emit(t1)
+	acquire.Emit(lock, t1)
+	begin.Emit(t1)
+	acquire.Emit(lock, t1)
+	release.Emit(lock, t1)
+	end.Emit(t1)
+	release.Emit(lock, t1)
+	end.Emit(t1)
 
 	// Thread 2: releases a lock it released already — the slice leaves the
 	// language's prefix closure and the @fail handler fires.
-	eng.Emit(begin, t2)
-	eng.Emit(acquire, lock, t2)
-	eng.Emit(release, lock, t2)
-	eng.Emit(release, lock, t2) // violation
-	eng.Emit(end, t2)
+	begin.Emit(t2)
+	acquire.Emit(lock, t2)
+	release.Emit(lock, t2)
+	release.Emit(lock, t2) // violation
+	end.Emit(t2)
 
-	eng.Flush()
-	st := eng.Stats()
+	m.Flush()
+	st := m.Stats()
 	fmt.Printf("\nevents=%d monitors=%d verdicts=%d\n", st.Events, st.Created, st.GoalVerdicts)
+	m.Close()
 
 	// The match-goal variant admits the paper's CFG coenable analysis;
 	// show the grammar-level sets (cf. §3 "CFG Example").
-	ms, err := props.Build("SafeLockMatch")
-	if err != nil {
-		log.Fatal(err)
-	}
-	an, err := ms.Analysis()
+	ms, err := spec.Builtin("SafeLockMatch")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nCFG coenable analysis for goal {match} (grammar fixpoint of §3):")
-	for sym, ev := range ms.Events {
-		fmt.Printf("  COENABLE^X(%-8s) = %s   ⇒ keep iff %s\n", ev.Name,
-			coenable.FormatParamSets(an.CoenParams[sym], ms.Params),
-			coenable.AlivenessFormula(an.CoenParams[sym], ms.Params))
+	for _, ev := range ms.Events() {
+		sets, err := ms.CoenableSets(ev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		formula, err := ms.AlivenessFormula(ev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  COENABLE^X(%-8s) = %s   ⇒ keep iff %s\n", ev, sets, formula)
 	}
 }

@@ -1,22 +1,21 @@
 // Specfile shows the .rv specification language end to end: the HASNEXT
 // property of Figure 2 written with both its formalisms (FSM and past-time
-// LTL), parsed, compiled to two monitors, and run over the same trace —
-// both handlers fire at the same violation.
+// LTL), parsed into two monitors, and run over the same trace — both
+// handlers fire at the same violation.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"rvgo/internal/heap"
-	"rvgo/internal/monitor"
-	"rvgo/internal/spec"
+	"rvgo"
+	"rvgo/spec"
 )
 
 const hasNextRV = `
 // HASNEXT, as in Figure 2 of the paper, minus the AspectJ pointcuts:
 // events are declared over the property parameters and emitted through
-// the engine API.
+// the façade API.
 HasNext(Iterator i) {
     event hasnexttrue(i)
     event hasnextfalse(i)
@@ -47,40 +46,36 @@ HasNext(Iterator i) {
 `
 
 func main() {
-	prop, err := spec.Parse(hasNextRV)
+	specs, err := spec.Parse(hasNextRV)
 	if err != nil {
 		log.Fatal(err)
 	}
-	compiled, err := prop.Compile()
-	if err != nil {
-		log.Fatal(err)
+	fmt.Printf("parsed %d logic blocks:", len(specs))
+	for _, s := range specs {
+		fmt.Printf(" %s(%s)", s.Name(), s.Kind())
 	}
-	fmt.Printf("parsed %s with %d logic blocks (%s parameters: %v)\n\n",
-		prop.Name, len(prop.Logics), prop.Params[0].Type, prop.Params[0].Name)
+	fmt.Print("\n\n")
 
-	h := heap.New()
-	var engines []*monitor.Engine
-	for _, c := range compiled {
-		c := c
-		eng, err := monitor.New(c.Spec, monitor.Options{
-			GC:       monitor.GCCoenable,
-			Creation: monitor.CreateEnable,
-			OnVerdict: func(v monitor.Verdict) {
-				if body, ok := c.Handlers[v.Cat]; ok {
-					spec.RunHandler(body, func(line string) {
-						fmt.Printf("%s %s: %s\n", v.Inst.Format(c.Spec.Params), v.Cat, line)
-					})
-				}
-			},
-		})
+	h := rvgo.NewHeap()
+	var monitors []*rvgo.Monitor
+	for _, s := range specs {
+		s := s
+		handlers := s.Handlers()
+		m, err := rvgo.New(s, rvgo.WithVerdictHandler(func(v rvgo.Verdict) {
+			if body, ok := handlers[string(v.Cat)]; ok {
+				spec.RunHandler(body, func(line string) {
+					fmt.Printf("%s %s: %s\n", v.Inst.Format(s.Params()), v.Cat, line)
+				})
+			}
+		}))
 		if err != nil {
 			log.Fatal(err)
 		}
-		engines = append(engines, eng)
+		monitors = append(monitors, m)
 	}
-	emit := func(event string, vals ...heap.Ref) {
-		for _, eng := range engines {
-			if err := eng.EmitNamed(event, vals...); err != nil {
+	emit := func(event string, vals ...rvgo.Ref) {
+		for _, m := range monitors {
+			if err := m.EmitNamed(event, vals...); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -91,4 +86,7 @@ func main() {
 	emit("next", it)
 	emit("next", it) // both formalisms flag this second, unchecked next()
 	h.Free(it)
+	for _, m := range monitors {
+		m.Close()
+	}
 }

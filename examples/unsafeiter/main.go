@@ -13,59 +13,58 @@ import (
 	"fmt"
 	"log"
 
-	"rvgo/internal/coenable"
-	"rvgo/internal/heap"
-	"rvgo/internal/monitor"
-	"rvgo/internal/props"
+	"rvgo"
+	"rvgo/spec"
 )
 
 const iterators = 10000
 
-func run(gc monitor.GCPolicy) monitor.Stats {
-	spec, err := props.Build("UnsafeIter")
+func run(gc rvgo.GCPolicy) rvgo.Stats {
+	property, err := spec.Builtin("UnsafeIter")
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := monitor.New(spec, monitor.Options{GC: gc, Creation: monitor.CreateEnable})
+	m, err := rvgo.New(property, rvgo.WithGC(gc))
 	if err != nil {
 		log.Fatal(err)
 	}
-	create, _ := spec.Symbol("create")
-	update, _ := spec.Symbol("update")
-	next, _ := spec.Symbol("next")
+	create := m.MustEvent("create")
+	update := m.MustEvent("update")
+	next := m.MustEvent("next")
 
-	h := heap.New()
+	h := rvgo.NewHeap()
 	coll := h.Alloc("collection") // lives for the whole program
 	for k := 0; k < iterators; k++ {
 		it := h.Alloc(fmt.Sprintf("iter%d", k))
-		eng.Emit(create, coll, it)
-		eng.Emit(next, it)
-		eng.Emit(next, it)
-		h.Free(it)             // the iterator goes out of scope immediately...
-		eng.Emit(update, coll) // ...and the collection keeps being updated
+		create.Emit(coll, it)
+		next.Emit(it)
+		next.Emit(it)
+		h.Free(it)        // the iterator goes out of scope immediately...
+		update.Emit(coll) // ...and the collection keeps being updated
 	}
-	eng.Flush()
-	return eng.Stats()
+	m.Flush()
+	st := m.Stats()
+	m.Close()
+	return st
 }
 
 func main() {
-	spec, err := props.Build("UnsafeIter")
-	if err != nil {
-		log.Fatal(err)
-	}
-	an, err := spec.Analysis()
+	property, err := spec.Builtin("UnsafeIter")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("UNSAFEITER: one immortal Collection,", iterators, "short-lived Iterators")
 	fmt.Println("ALIVENESS formulas driving RV's collection decisions:")
-	for sym, ev := range spec.Events {
-		fmt.Printf("  after %-6s → keep iff %s\n", ev.Name,
-			coenable.AlivenessFormula(an.CoenParams[sym], spec.Params))
+	for _, ev := range property.Events() {
+		formula, err := property.AlivenessFormula(ev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  after %-6s → keep iff %s\n", ev, formula)
 	}
 	fmt.Println()
 	fmt.Printf("%-22s %10s %10s %10s %10s %10s\n", "GC policy", "events", "created", "flagged", "collected", "retained")
-	for _, p := range []monitor.GCPolicy{monitor.GCNone, monitor.GCAllDead, monitor.GCCoenable} {
+	for _, p := range []rvgo.GCPolicy{rvgo.GCNone, rvgo.GCAllDead, rvgo.GCCoenable} {
 		st := run(p)
 		fmt.Printf("%-22s %10d %10d %10d %10d %10d\n",
 			label(p), st.Events, st.Created, st.Flagged, st.Collected, st.Live)
@@ -75,13 +74,13 @@ func main() {
 	fmt.Println("as long as the collection lives; RV flags and collects them lazily.")
 }
 
-func label(p monitor.GCPolicy) string {
+func label(p rvgo.GCPolicy) string {
 	switch p {
-	case monitor.GCNone:
+	case rvgo.GCNone:
 		return "none (leak)"
-	case monitor.GCAllDead:
+	case rvgo.GCAllDead:
 		return "all-dead (JavaMOP)"
-	case monitor.GCCoenable:
+	case rvgo.GCCoenable:
 		return "coenable (RV)"
 	}
 	return "?"

@@ -24,9 +24,9 @@ import (
 	"runtime"
 	"time"
 
-	"rvgo/internal/monitor"
-	"rvgo/internal/props"
+	"rvgo"
 	"rvgo/rv"
+	"rvgo/spec"
 )
 
 // MapIter is a java.util.Iterator-style cursor over a map snapshot — the
@@ -81,24 +81,23 @@ func drainIterators(s *rv.Session, m map[string]int, n int) {
 	}
 }
 
-func run(gc monitor.GCPolicy, report bool) monitor.Stats {
-	spec, err := props.Build("UnsafeIter")
+func run(gc rvgo.GCPolicy, report bool) rvgo.Stats {
+	property, err := spec.Builtin("UnsafeIter")
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := monitor.New(spec, monitor.Options{
-		GC: gc, Creation: monitor.CreateEnable,
-		OnVerdict: func(v monitor.Verdict) {
+	m, err := rvgo.New(property,
+		rvgo.WithGC(gc),
+		rvgo.WithVerdictHandler(func(v rvgo.Verdict) {
 			if report {
 				fmt.Printf("  caught: %s over %s — map mutated during iteration\n",
-					v.Cat, v.Inst.Format(v.Spec.Params))
+					v.Cat, v.Inst.Format(property.Params()))
 			}
-		},
-	})
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := rv.New(eng, rv.Options{Label: func(v any) string {
+	s := rv.New(m, rv.Options{Label: func(v any) string {
 		if _, ok := v.(map[string]int); ok {
 			return "scores"
 		}
@@ -136,12 +135,12 @@ func run(gc monitor.GCPolicy, report bool) monitor.Stats {
 
 func main() {
 	fmt.Println("UNSAFEITER over a live map[string]int (real objects, real GC):")
-	st := run(monitor.GCCoenable, true)
+	st := run(rvgo.GCCoenable, true)
 	fmt.Printf("  coenable: %d monitors created, %d collected, %d still live\n",
 		st.Created, st.Collected, st.Live)
 
 	fmt.Println("\nsame workload under the other policies:")
-	for _, gc := range []monitor.GCPolicy{monitor.GCNone, monitor.GCAllDead} {
+	for _, gc := range []rvgo.GCPolicy{rvgo.GCNone, rvgo.GCAllDead} {
 		st := run(gc, false)
 		fmt.Printf("  %-8s: %d created, %d collected, %d still live (dead iterators pinned by the live map)\n",
 			gc, st.Created, st.Collected, st.Live)

@@ -1,14 +1,20 @@
 // Package cliutil holds the flag-parsing and backend-construction helpers
 // shared by the command-line tools (cmd/rvmon, cmd/rvbench, cmd/rvserve,
-// cmd/rvload) and the evaluation harness, so every tool validates -shards
-// and -gc the same way and builds the same backend for the same flags.
+// cmd/rvload) and the evaluation harness, so every tool validates
+// -backend, -shards and -gc the same way and builds the same backend for
+// the same flags.
 package cliutil
 
 import (
 	"fmt"
+	"strings"
 
+	"rvgo"
+	"rvgo/internal/dacapo"
 	"rvgo/internal/monitor"
+	"rvgo/internal/props"
 	"rvgo/internal/shard"
+	"rvgo/spec"
 )
 
 // ParseGC maps the -gc flag values to monitor GC policies.
@@ -33,9 +39,113 @@ func ValidateShards(n int) error {
 	return nil
 }
 
-// NewRuntime builds the monitoring backend the -shards flag selects: the
-// sequential engine for 1, the sharded runtime for >1. Invalid shard
-// counts are rejected with the ValidateShards error.
+// ValidateProp rejects property names outside the built-in library,
+// listing the valid ones.
+func ValidateProp(name string) error {
+	if _, err := props.Build(name); err != nil {
+		return fmt.Errorf("%v (have: %s)", err, strings.Join(props.Names(), ", "))
+	}
+	return nil
+}
+
+// ValidateBench rejects unknown DaCapo benchmark profiles, listing the
+// valid ones.
+func ValidateBench(name string) error {
+	if _, ok := dacapo.Get(name); !ok {
+		return fmt.Errorf("unknown benchmark %q (have: %s)", name, strings.Join(dacapo.Benchmarks(), ", "))
+	}
+	return nil
+}
+
+// Backend is the monitoring backend a tool's -backend flag selects.
+type Backend int
+
+const (
+	// BackendSeq is the in-process sequential engine.
+	BackendSeq Backend = iota
+	// BackendShard is the in-process sharded concurrent runtime.
+	BackendShard
+	// BackendRemote is a session against an rvserve monitoring server.
+	BackendRemote
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendSeq:
+		return "seq"
+	case BackendShard:
+		return "shard"
+	case BackendRemote:
+		return "remote"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// ParseBackend resolves the unified -backend flag against its modifier
+// flags: -shards sizes the sharded backend (or a remote session's
+// server-side backend), -remote addresses the monitoring server. The
+// empty name infers the backend from the modifiers, keeping the historic
+// flag spellings working: -remote selects remote, -shards N>1 selects
+// shard, otherwise seq. An explicit name must agree with its modifiers —
+// a -backend seq run with -shards 4, or a -backend remote run without
+// -remote, is rejected rather than silently reinterpreted.
+func ParseBackend(name string, shards int, remote string) (Backend, error) {
+	if err := ValidateShards(shards); err != nil {
+		return 0, err
+	}
+	switch name {
+	case "":
+		if remote != "" {
+			return BackendRemote, nil
+		}
+		if shards > 1 {
+			return BackendShard, nil
+		}
+		return BackendSeq, nil
+	case "seq":
+		if shards > 1 {
+			return 0, fmt.Errorf("-backend seq is the sequential engine; it cannot take -shards %d (use -backend shard)", shards)
+		}
+		if remote != "" {
+			return 0, fmt.Errorf("-backend seq is in-process; it cannot take -remote %q (use -backend remote)", remote)
+		}
+		return BackendSeq, nil
+	case "shard":
+		if shards < 2 {
+			return 0, fmt.Errorf("-backend shard needs -shards >= 2, got %d", shards)
+		}
+		if remote != "" {
+			return 0, fmt.Errorf("-backend shard is in-process; it cannot take -remote %q (use -backend remote)", remote)
+		}
+		return BackendShard, nil
+	case "remote":
+		if remote == "" {
+			return 0, fmt.Errorf("-backend remote needs -remote with the rvserve address")
+		}
+		return BackendRemote, nil
+	}
+	return 0, fmt.Errorf("unknown -backend %q (want seq, shard or remote)", name)
+}
+
+// NewMonitor builds the façade monitor a tool's flags select. The shards
+// modifier sizes the sharded backend, or — for a remote backend — the
+// per-session backend on the server.
+func NewMonitor(s *spec.Spec, backend Backend, shards int, remote string, extra ...rvgo.Option) (*rvgo.Monitor, error) {
+	opts := extra
+	switch backend {
+	case BackendShard:
+		opts = append(opts, rvgo.WithShards(shards))
+	case BackendRemote:
+		opts = append(opts, rvgo.WithRemote(remote), rvgo.WithShards(shards))
+	}
+	return rvgo.New(s, opts...)
+}
+
+// NewRuntime builds the internal monitoring backend the -shards flag
+// selects: the sequential engine for 1, the sharded runtime for >1.
+// Invalid shard counts are rejected with the ValidateShards error. The
+// evaluation harness uses this for its in-process cells; the tools build
+// façade monitors with NewMonitor instead.
 func NewRuntime(spec *monitor.Spec, opts monitor.Options, shards int) (monitor.Runtime, error) {
 	if err := ValidateShards(shards); err != nil {
 		return nil, err

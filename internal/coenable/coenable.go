@@ -137,11 +137,25 @@ func EnableFromGraph(g *logic.Graph, goal Goal) Sets {
 		pre[s] = map[EventSet]bool{}
 	}
 	pre[0][0] = true
+	canReach := canReachGoal(g, goal)
 	for changed := true; changed; {
 		changed = false
 		for s := 0; s < n; s++ {
 			for a := 0; a < na; a++ {
 				s2 := g.Next[s][a]
+				if !canReach[s2] {
+					// Prefix sets only ever surface below (the family
+					// collection) through transitions into goal-reaching
+					// states, and goal-reachability is closed under
+					// predecessors — so a set propagated into a dead
+					// state can never resurface. Skipping the
+					// propagation is semantics-preserving and essential:
+					// a dead sink self-looping on the whole alphabet
+					// (every FSM's implicit reject state) would
+					// otherwise close its family under all events and
+					// enumerate 2^|E| subsets.
+					continue
+				}
 				for t := range pre[s] {
 					nt := t.With(a)
 					if !pre[s2][nt] {
@@ -152,7 +166,6 @@ func EnableFromGraph(g *logic.Graph, goal Goal) Sets {
 			}
 		}
 	}
-	canReach := canReachGoal(g, goal)
 	out := make(Sets, na)
 	for a := 0; a < na; a++ {
 		family := map[EventSet]bool{}

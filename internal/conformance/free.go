@@ -46,11 +46,21 @@ func freeDriver(t *testing.T, rt monitor.Runtime, async bool) (stats monitor.Sta
 }
 
 // RunFree exercises the death-positioning contract (Free and FreeAsync)
-// on a backend and requires its observable outcome — per-slice verdicts
-// and settled counters — to equal a sequential-engine reference run of
-// the same trace. PeakLive is compared only against an upper bound (a
-// sharded backend sums per-shard peaks).
+// on a backend built with coenable GC; see RunFreePolicy.
 func RunFree(t *testing.T, build Factory) {
+	RunFreePolicy(t, build, monitor.GCCoenable)
+}
+
+// RunFreePolicy exercises the death-positioning contract (Free and
+// FreeAsync) on a backend and requires its observable outcome — per-slice
+// verdicts and settled counters — to equal a sequential-engine reference
+// run of the same trace under the same GC policy. The factory must build
+// its backend with gc; PeakLive is compared only against an upper bound
+// (a sharded backend sums per-shard peaks), and the reclamation check —
+// the freed iterator's monitor must actually be collected — applies only
+// under GCCoenable, the one policy whose analysis can prove the monitor
+// unnecessary while the collection object lives.
+func RunFreePolicy(t *testing.T, build Factory, gc monitor.GCPolicy) {
 	reference := func(t *testing.T, async bool) ([]string, monitor.Stats) {
 		t.Helper()
 		var verdicts []string
@@ -59,7 +69,7 @@ func RunFree(t *testing.T, build Factory) {
 			t.Fatal(err)
 		}
 		eng, err := monitor.New(spec, monitor.Options{
-			GC: monitor.GCCoenable, Creation: monitor.CreateEnable,
+			GC: gc, Creation: monitor.CreateEnable,
 			OnVerdict: func(v monitor.Verdict) {
 				verdicts = append(verdicts, string(v.Cat)+"@"+v.Inst.Format(v.Spec.Params))
 			},
@@ -99,7 +109,7 @@ func RunFree(t *testing.T, build Factory) {
 			}
 			// The freed iterator's monitor must actually be reclaimed
 			// under coenable GC — that is what the death signal is for.
-			if got.Collected == 0 {
+			if gc == monitor.GCCoenable && got.Collected == 0 {
 				t.Error("no monitor collected after the iterator's death")
 			}
 		})

@@ -10,12 +10,12 @@ import (
 	"runtime"
 	"time"
 
-	"rvgo/client"
 	"rvgo/internal/cliutil"
 	"rvgo/internal/dacapo"
 	"rvgo/internal/heap"
 	"rvgo/internal/monitor"
 	"rvgo/internal/props"
+	"rvgo/internal/remote"
 	"rvgo/internal/tracematches"
 )
 
@@ -180,7 +180,7 @@ func newEngine(spec *monitor.Spec, prop string, gc monitor.GCPolicy, cfg Config)
 		shards = 1
 	}
 	if cfg.Remote != "" {
-		return client.Dial(cfg.Remote, client.Options{
+		return remote.Dial(cfg.Remote, remote.Options{
 			Prop:     prop,
 			GC:       gc,
 			Creation: monitor.CreateEnable,

@@ -15,10 +15,10 @@ import (
 	"fmt"
 	"time"
 
-	"rvgo/internal/cliutil"
+	"rvgo"
 	"rvgo/internal/monitor"
-	"rvgo/internal/props"
 	"rvgo/rv"
+	"rvgo/spec"
 )
 
 // LiveConfig controls the live-object run.
@@ -91,19 +91,19 @@ func liveRound(s *rv.Session, colls []*liveColl, perColl int) (iters, events int
 // RunLivePolicy runs the live-object workload under one GC policy.
 func RunLivePolicy(gc monitor.GCPolicy, cfg LiveConfig) (LiveResult, error) {
 	res := LiveResult{Policy: gc, Settled: true}
-	spec, err := props.Build("UnsafeIter")
+	sp, err := spec.Builtin("UnsafeIter")
 	if err != nil {
 		return res, err
 	}
-	shards := cfg.Shards
-	if shards == 0 {
-		shards = 1
+	opts := []rvgo.Option{rvgo.WithGC(gc)}
+	if cfg.Shards > 1 {
+		opts = append(opts, rvgo.WithShards(cfg.Shards))
 	}
-	rt, err := cliutil.NewRuntime(spec, monitor.Options{GC: gc, Creation: monitor.CreateEnable}, shards)
+	m, err := rvgo.New(sp, opts...)
 	if err != nil {
 		return res, err
 	}
-	s := rv.New(rt, rv.Options{ManualPoll: true})
+	s := rv.New(m, rv.Options{ManualPoll: true})
 
 	scale := cfg.Scale
 	if scale <= 0 {

@@ -64,6 +64,15 @@ type Options struct {
 	GC       GCPolicy
 	Creation CreationStrategy
 	// OnVerdict is the specification handler; nil counts verdicts only.
+	//
+	// Concurrency contract (it differs per backend, and the façade's
+	// WithVerdictHandler documents the same rules for users): on the
+	// sequential Engine the handler runs synchronously on the goroutine
+	// calling Emit/Dispatch; on the sharded runtime it runs on worker
+	// goroutines, serialized (never two invocations at once), with
+	// handler-written state readable by other goroutines only after a
+	// Barrier, Flush or Close; on the remote client it runs on the
+	// session's reader goroutine and must not call back into the client.
 	OnVerdict func(Verdict)
 	// SweepInterval is the number of events between tombstone sweeps
 	// (0 = default).

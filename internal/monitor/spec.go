@@ -36,6 +36,10 @@ type Spec struct {
 	analysis *Analysis
 	runBP    logic.Blueprint // blueprint actually used at runtime
 	goalSet  map[logic.Category]bool
+	// symIdx is the name→symbol map backing Symbol. It is written once,
+	// inside Analyze (strictly before any backend worker can exist), and
+	// read-only afterwards, so concurrent EmitNamed calls need no lock.
+	symIdx map[string]int
 }
 
 // Analysis holds the products of the static analyses of §3: coenable and
@@ -92,8 +96,17 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
-// Symbol returns the symbol index for an event name.
+// Symbol returns the symbol index for an event name. After Analyze has
+// run (every runtime backend requires it, and the rvgo façade runs it at
+// spec-build time) lookups go through the name→symbol map, so EmitNamed
+// and emitter resolution cost one map read regardless of alphabet size.
+// Before Analyze — spec construction is single-threaded — it falls back
+// to a scan rather than racing to build the map.
 func (s *Spec) Symbol(name string) (int, bool) {
+	if s.symIdx != nil {
+		sym, ok := s.symIdx[name]
+		return sym, ok
+	}
 	for i, e := range s.Events {
 		if e.Name == name {
 			return i, true
@@ -149,6 +162,10 @@ func (s *Spec) Analyze() error {
 	s.goalSet = map[logic.Category]bool{}
 	for _, c := range s.Goal {
 		s.goalSet[c] = true
+	}
+	s.symIdx = make(map[string]int, len(s.Events))
+	for i, e := range s.Events {
+		s.symIdx[e.Name] = i
 	}
 	goal := func(c logic.Category) bool { return s.goalSet[c] }
 	a := &Analysis{}

@@ -1,0 +1,562 @@
+// Package remote implements monitor.Runtime over the wire protocol: a
+// monitored program embeds a Client instead of an in-process engine, and
+// its events are monitored by a remote rvserve (internal/server) session.
+//
+// The Client pipelines event writes (they buffer until a sync operation or
+// a full buffer drains them), reads verdicts and flow-control credit on a
+// background goroutine, and — because the network has no weak references —
+// reports parameter-object deaths explicitly with Free. On the server a
+// Free kills the session's counterpart objects, which is the death signal
+// the paper's coenable-set monitor GC consumes; the server barriers its
+// runtime first, so every event sent before the Free observes the objects
+// alive and per-slice verdicts and counters match an in-process replay of
+// the same stream exactly (see the oracle tests in this package).
+//
+// Concurrency: all Runtime methods are safe for concurrent use. The
+// OnVerdict handler runs on the reader goroutine and must not call back
+// into the Client. Dispatch blocks when the server's credit window is
+// exhausted — that is the protocol-level backpressure of a backend that
+// cannot keep up.
+//
+// Memory: the Client keeps one table entry per distinct object it has
+// sent, including dead ones, so that late verdicts mentioning a dead
+// object (possible under the alldead/none GC policies, whose monitors
+// outlive their objects) can be reconstructed with the original refs —
+// the same lifetime a dead heap.Ref's identity has in process.
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"rvgo/internal/heap"
+	"rvgo/internal/logic"
+	"rvgo/internal/monitor"
+	"rvgo/internal/param"
+	"rvgo/internal/props"
+	"rvgo/internal/spec"
+	"rvgo/internal/wire"
+)
+
+// Options configures a session.
+type Options struct {
+	// Prop names a property from the server's built-in library. Exactly
+	// one of Prop and SpecSource must be set.
+	Prop string
+	// SpecSource is .rv specification source compiled by both sides; it
+	// must define exactly one property.
+	SpecSource string
+	// GC is the monitor GC policy for the session's backend.
+	GC monitor.GCPolicy
+	// Creation is the monitor creation strategy (CreateEnable unless the
+	// session is a single-shard semantic oracle).
+	Creation monitor.CreationStrategy
+	// Shards selects the server-side backend: 1 = sequential engine,
+	// >1 = sharded runtime, 0 = server default.
+	Shards int
+	// Window caps the event-credit window (0 = accept the server's).
+	Window int
+	// OnVerdict receives goal verdicts, serialized, in per-slice order. It
+	// runs on the reader goroutine and must not call back into the Client.
+	OnVerdict func(monitor.Verdict)
+}
+
+// Client is a remote monitoring session. It implements monitor.Runtime.
+type Client struct {
+	conn net.Conn
+	spec *monitor.Spec
+	opts Options
+
+	// wmu serializes frame writes and flushes. The reader goroutine never
+	// takes it, so a write stalled on TCP backpressure cannot wedge the
+	// inbound stream (which is what feeds credit back to unblock writes).
+	wmu sync.Mutex
+	w   *wire.Writer
+
+	// cmu guards the credit window; credit arrivals signal cond.
+	cmu     sync.Mutex
+	cond    *sync.Cond
+	credits int64
+
+	// tmu guards the remote-ID table used to reconstruct verdict
+	// instances.
+	tmu   sync.Mutex
+	table map[uint64]heap.Ref
+
+	// pmu guards the pending sync-operation map and the sticky error.
+	pmu     sync.Mutex
+	pending map[uint64]chan wire.Msg
+	token   uint64
+	err     error
+	closed  bool
+
+	final      monitor.Stats // settled counters from ByeAck
+	readerDone chan struct{}
+}
+
+var _ monitor.Runtime = (*Client)(nil)
+
+// Dial opens a monitoring session. The local spec is compiled from the
+// same reference the server receives (library name or source), and the
+// server's compiled event list is verified against it before Dial returns.
+func Dial(addr string, opts Options) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewSession(conn, opts)
+}
+
+// NewSession runs the session handshake over an established connection
+// (Dial with a dialed TCP conn; tests may pass an in-process pipe).
+func NewSession(conn net.Conn, opts Options) (*Client, error) {
+	local, kind, ref, err := resolveSpec(opts)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &Client{
+		conn:       conn,
+		spec:       local,
+		opts:       opts,
+		w:          wire.NewWriter(conn),
+		table:      map[uint64]heap.Ref{},
+		pending:    map[uint64]chan wire.Msg{},
+		readerDone: make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.cmu)
+
+	hello := wire.Hello{
+		Version:  wire.Version,
+		SpecKind: kind,
+		Spec:     ref,
+		GC:       byte(opts.GC),
+		Creation: byte(opts.Creation),
+		Shards:   uint64(opts.Shards),
+		Window:   uint64(opts.Window),
+	}
+	if err := c.w.WriteHello(hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	r := wire.NewReader(conn)
+	var msg wire.Msg
+	if err := r.Next(&msg); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("remote: reading HelloAck: %w", err)
+	}
+	switch msg.Type {
+	case wire.THelloAck:
+	case wire.TError:
+		conn.Close()
+		return nil, fmt.Errorf("remote: server refused session: %s", msg.Error.Msg)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("remote: expected HelloAck, got message type %d", msg.Type)
+	}
+	if err := c.verifyAck(msg.HelloAck); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.credits = int64(msg.HelloAck.Window)
+	go c.readLoop(r)
+	return c, nil
+}
+
+// resolveSpec compiles the client-side copy of the spec.
+func resolveSpec(opts Options) (*monitor.Spec, byte, string, error) {
+	switch {
+	case opts.Prop != "" && opts.SpecSource != "":
+		return nil, 0, "", fmt.Errorf("remote: set exactly one of Prop and SpecSource")
+	case opts.Prop != "":
+		s, err := props.Build(opts.Prop)
+		if err != nil {
+			return nil, 0, "", err
+		}
+		return s, wire.SpecProp, opts.Prop, nil
+	case opts.SpecSource != "":
+		s, err := spec.CompileOne(opts.SpecSource)
+		if err != nil {
+			return nil, 0, "", err
+		}
+		return s, wire.SpecSource, opts.SpecSource, nil
+	}
+	return nil, 0, "", fmt.Errorf("remote: set one of Prop and SpecSource")
+}
+
+// verifyAck checks that the server compiled the same spec we did: the
+// negotiation half of the protocol. Divergence (library version skew, a
+// different .rv compilation) would silently misroute symbols, so it is a
+// hard error.
+func (c *Client) verifyAck(a wire.HelloAck) error {
+	if a.SpecName != c.spec.Name {
+		return fmt.Errorf("remote: spec negotiation: server compiled %q, client %q", a.SpecName, c.spec.Name)
+	}
+	if len(a.Params) != len(c.spec.Params) {
+		return fmt.Errorf("remote: spec negotiation: server has %d parameters, client %d", len(a.Params), len(c.spec.Params))
+	}
+	if len(a.Events) != len(c.spec.Events) {
+		return fmt.Errorf("remote: spec negotiation: server has %d events, client %d", len(a.Events), len(c.spec.Events))
+	}
+	for i, ev := range c.spec.Events {
+		if a.Events[i].Name != ev.Name || param.Set(a.Events[i].Params) != ev.Params {
+			return fmt.Errorf("remote: spec negotiation: event %d is %s%v on the server, %s%v locally",
+				i, a.Events[i].Name, param.Set(a.Events[i].Params).Members(), ev.Name, ev.Params.Members())
+		}
+	}
+	return nil
+}
+
+// readLoop drains the inbound stream: verdicts to the handler, credit to
+// the window, acks to their waiters. On any exit every still-pending
+// waiter is released (a sync op racing Close can land after the Bye and
+// never be answered; its caller gets the zero result, not a hang).
+func (c *Client) readLoop(r *wire.Reader) {
+	defer close(c.readerDone)
+	defer c.drainPending()
+	var msg wire.Msg
+	for {
+		if err := r.Next(&msg); err != nil {
+			c.fatal(fmt.Errorf("remote: connection lost: %w", err))
+			return
+		}
+		switch msg.Type {
+		case wire.TVerdict:
+			c.deliverVerdict(msg.Verdict)
+		case wire.TCredit:
+			c.cmu.Lock()
+			c.credits += int64(msg.Credit.N)
+			c.cmu.Unlock()
+			c.cond.Broadcast()
+		case wire.TBarrierAck, wire.TFlushAck:
+			c.complete(msg.Sync.Token, msg)
+		case wire.TStats:
+			c.complete(msg.Stats.Token, msg)
+		case wire.TByeAck:
+			// ByeAck carries no token; it completes the pending Close.
+			c.complete(byeToken, msg)
+			return
+		case wire.TError:
+			c.fatal(fmt.Errorf("remote: server error: %s", msg.Error.Msg))
+			return
+		default:
+			c.fatal(fmt.Errorf("remote: unexpected message type %d", msg.Type))
+			return
+		}
+	}
+}
+
+// byeToken is the reserved pending-map key for the ByeAck (tokens handed
+// to sync ops start at 1).
+const byeToken = 0
+
+// deliverVerdict reconstructs the instance from the client's own refs and
+// invokes the handler.
+func (c *Client) deliverVerdict(v wire.Verdict) {
+	if c.opts.OnVerdict == nil {
+		return
+	}
+	inst := param.Empty()
+	mask := param.Set(v.Mask)
+	c.tmu.Lock()
+	for k, p := range mask.Members() {
+		ref, ok := c.table[v.IDs[k]]
+		if !ok {
+			ref = ghostRef(v.IDs[k])
+		}
+		inst = inst.Bind(p, ref)
+	}
+	c.tmu.Unlock()
+	var sym int
+	if v.Sym >= 0 && v.Sym < len(c.spec.Events) {
+		sym = v.Sym
+	}
+	c.opts.OnVerdict(monitor.Verdict{
+		Spec: c.spec,
+		Sym:  sym,
+		Cat:  logic.Category(v.Cat),
+		Inst: inst,
+	})
+}
+
+// complete hands an ack to its waiter.
+func (c *Client) complete(token uint64, msg wire.Msg) {
+	c.pmu.Lock()
+	ch := c.pending[token]
+	delete(c.pending, token)
+	c.pmu.Unlock()
+	if ch != nil {
+		ch <- msg
+	}
+}
+
+// fatal records the sticky error and releases every waiter.
+func (c *Client) fatal(err error) {
+	c.pmu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.pmu.Unlock()
+	c.drainPending()
+	// Unblock producers waiting for credit.
+	c.cmu.Lock()
+	c.credits = 1 << 40
+	c.cmu.Unlock()
+	c.cond.Broadcast()
+}
+
+// drainPending closes every pending waiter channel (each sees ok=false).
+func (c *Client) drainPending() {
+	c.pmu.Lock()
+	chans := make([]chan wire.Msg, 0, len(c.pending))
+	for tok, ch := range c.pending {
+		chans = append(chans, ch)
+		delete(c.pending, tok)
+	}
+	c.pmu.Unlock()
+	for _, ch := range chans {
+		close(ch)
+	}
+}
+
+// Err returns the sticky session error, if any: connection loss, a server
+// Error frame, or a protocol violation. Runtime methods degrade to no-ops
+// once it is set.
+func (c *Client) Err() error {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.err
+}
+
+// Spec implements monitor.Runtime.
+func (c *Client) Spec() *monitor.Spec { return c.spec }
+
+// Emit implements monitor.Runtime.
+func (c *Client) Emit(sym int, vals ...heap.Ref) {
+	c.Dispatch(sym, param.Of(c.spec.Events[sym].Params, vals...))
+}
+
+// EmitNamed implements monitor.Runtime.
+func (c *Client) EmitNamed(name string, vals ...heap.Ref) error {
+	sym, ok := c.spec.Symbol(name)
+	if !ok {
+		return fmt.Errorf("remote: spec %q has no event %q", c.spec.Name, name)
+	}
+	if want := c.spec.Events[sym].Params.Count(); len(vals) != want {
+		return fmt.Errorf("remote: event %q takes %d values, got %d", name, want, len(vals))
+	}
+	c.Emit(sym, vals...)
+	return nil
+}
+
+// Dispatch implements monitor.Runtime: the event is written to the
+// pipeline (no round trip). It blocks while the server's credit window is
+// exhausted.
+func (c *Client) Dispatch(sym int, theta param.Instance) {
+	ps := c.spec.Events[sym].Params.Members()
+	ids := make([]uint64, len(ps))
+	c.tmu.Lock()
+	for k, p := range ps {
+		ref := theta.Value(p)
+		id := ref.ID()
+		ids[k] = id
+		if _, ok := c.table[id]; !ok {
+			c.table[id] = ref
+		}
+	}
+	c.tmu.Unlock()
+
+	c.spendCredit()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.w.WriteEvent(sym, ids); err != nil {
+		c.fatal(err)
+	}
+}
+
+// spendCredit takes one event credit, flushing the write pipeline and
+// blocking while the window is empty (the events in the buffer are what
+// will earn the refill).
+func (c *Client) spendCredit() {
+	c.cmu.Lock()
+	for c.credits <= 0 {
+		c.cmu.Unlock()
+		c.wmu.Lock()
+		err := c.w.Flush()
+		c.wmu.Unlock()
+		if err != nil {
+			c.fatal(err)
+		}
+		c.cmu.Lock()
+		if c.credits > 0 {
+			break
+		}
+		c.cond.Wait()
+	}
+	c.credits--
+	c.cmu.Unlock()
+}
+
+// Free reports parameter-object deaths to the server, in call order
+// relative to Dispatch: every event already dispatched observes the
+// objects alive, every later event must not mention them. This is the
+// explicit, protocol-level replacement for the weak-reference death signal
+// the in-process backends get from the heap. It implements
+// monitor.Runtime's synchronous death positioning: the server barriers the
+// session's backend before applying the free.
+func (c *Client) Free(refs ...heap.Ref) {
+	if len(refs) == 0 {
+		return
+	}
+	ids := make([]uint64, len(refs))
+	for k, ref := range refs {
+		ids[k] = ref.ID()
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.w.WriteFree(ids); err != nil {
+		c.fatal(err)
+		return
+	}
+	// Deaths drive monitor GC on the server; flush so they are timely
+	// even when the event pipeline is idle.
+	if err := c.w.Flush(); err != nil {
+		c.fatal(err)
+	}
+}
+
+// FreeAsync implements monitor.Runtime's pipelined death positioning. For
+// a remote session the positioned point is the free frame's place in the
+// write pipeline — the server barriers its backend when the frame arrives —
+// so the local die runs as soon as the frame is written: the local refs
+// only feed verdict reconstruction, where dead identities are expected
+// (that is the whole point of monitor GC).
+func (c *Client) FreeAsync(die func(), refs ...heap.Ref) {
+	c.Free(refs...)
+	if die != nil {
+		die()
+	}
+}
+
+// roundTrip issues a token frame and waits for its ack. Returns the zero
+// Msg when the session is dead.
+func (c *Client) roundTrip(t byte) (wire.Msg, bool) {
+	c.pmu.Lock()
+	if c.err != nil || c.closed {
+		c.pmu.Unlock()
+		return wire.Msg{}, false
+	}
+	c.token++
+	tok := c.token
+	ch := make(chan wire.Msg, 1)
+	c.pending[tok] = ch
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
+	err := c.w.WriteSync(t, tok)
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.fatal(err)
+		return wire.Msg{}, false
+	}
+	msg, ok := <-ch
+	return msg, ok
+}
+
+// Barrier implements monitor.Runtime: it returns once the server has
+// processed every event dispatched before the call (and delivered every
+// verdict those events produced — the ack is ordered behind the verdicts
+// on the stream).
+func (c *Client) Barrier() {
+	c.roundTrip(wire.TBarrier)
+}
+
+// Flush implements monitor.Runtime: a remote full expunge/compaction pass,
+// settling the Figure 10 counters.
+func (c *Client) Flush() {
+	c.roundTrip(wire.TFlush)
+}
+
+// Stats implements monitor.Runtime: a remote counter snapshot. After Close
+// it returns the final settled counters.
+func (c *Client) Stats() monitor.Stats {
+	c.pmu.Lock()
+	if c.closed {
+		st := c.final
+		c.pmu.Unlock()
+		return st
+	}
+	c.pmu.Unlock()
+	msg, ok := c.roundTrip(wire.TStatsReq)
+	if !ok {
+		return monitor.Stats{}
+	}
+	return fromWireStats(msg.Stats)
+}
+
+// Close implements monitor.Runtime: orderly shutdown. The server flushes
+// the session's backend and returns the final counters, which remain
+// available through Stats. Close is idempotent.
+func (c *Client) Close() {
+	c.pmu.Lock()
+	if c.closed {
+		c.pmu.Unlock()
+		return
+	}
+	c.closed = true
+	dead := c.err != nil
+	var ch chan wire.Msg
+	if !dead {
+		ch = make(chan wire.Msg, 1)
+		c.pending[byeToken] = ch
+	}
+	c.pmu.Unlock()
+
+	if !dead {
+		c.wmu.Lock()
+		err := c.w.WriteBye()
+		if err == nil {
+			err = c.w.Flush()
+		}
+		c.wmu.Unlock()
+		if err == nil {
+			if msg, ok := <-ch; ok {
+				c.pmu.Lock()
+				c.final = fromWireStats(msg.Stats)
+				c.pmu.Unlock()
+			}
+		}
+	}
+	c.conn.Close()
+	<-c.readerDone
+}
+
+// ghostRef stands in for a table miss during verdict reconstruction (a
+// verdict naming an object this client never sent — possible only with a
+// misbehaving server).
+type ghostRef uint64
+
+func (g ghostRef) ID() uint64    { return uint64(g) }
+func (g ghostRef) Alive() bool   { return false }
+func (g ghostRef) Label() string { return fmt.Sprintf("r%d", uint64(g)) }
+
+func fromWireStats(s wire.Stats) monitor.Stats {
+	return monitor.Stats{
+		Events:       s.Events,
+		Created:      s.Created,
+		Flagged:      s.Flagged,
+		Collected:    s.Collected,
+		GoalVerdicts: s.GoalVerdicts,
+		Steps:        s.Steps,
+		Live:         s.Live,
+		PeakLive:     s.PeakLive,
+	}
+}

@@ -1,4 +1,4 @@
-package client_test
+package remote_test
 
 import (
 	"fmt"
@@ -10,12 +10,12 @@ import (
 	"testing"
 	"time"
 
-	"rvgo/client"
 	"rvgo/internal/conformance"
 	"rvgo/internal/dacapo"
 	"rvgo/internal/heap"
 	"rvgo/internal/monitor"
 	"rvgo/internal/props"
+	"rvgo/internal/remote"
 	"rvgo/internal/server"
 	"rvgo/internal/shard"
 )
@@ -48,7 +48,7 @@ func TestClientConformance(t *testing.T) {
 	for _, shards := range []int{1, 4} {
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
 			conformance.RunEmitNamed(t, func(t *testing.T, prop string, onVerdict func(monitor.Verdict)) monitor.Runtime {
-				cl, err := client.Dial(addr, client.Options{
+				cl, err := remote.Dial(addr, remote.Options{
 					Prop:      prop,
 					GC:        monitor.GCCoenable,
 					Creation:  monitor.CreateEnable,
@@ -72,7 +72,7 @@ func TestClientFreeConformance(t *testing.T) {
 	for _, shards := range []int{1, 4} {
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
 			conformance.RunFree(t, func(t *testing.T, prop string, onVerdict func(monitor.Verdict)) monitor.Runtime {
-				cl, err := client.Dial(addr, client.Options{
+				cl, err := remote.Dial(addr, remote.Options{
 					Prop:      prop,
 					GC:        monitor.GCCoenable,
 					Creation:  monitor.CreateEnable,
@@ -154,7 +154,7 @@ func recordVerdicts(spec *monitor.Spec, mu *sync.Mutex, into map[string][]string
 	}
 }
 
-// freer is the death-forwarding surface of the remote client.
+// freer is the death-forwarding surface of the remote remote.
 type freer interface {
 	Free(refs ...heap.Ref)
 }
@@ -215,7 +215,7 @@ func execTrace(t testing.TB, addr string, spec *monitor.Spec, prop string, gc mo
 			Shards: shards,
 		})
 	case "remote":
-		rt, err = client.Dial(addr, client.Options{
+		rt, err = remote.Dial(addr, remote.Options{
 			Prop: prop, GC: gc, Creation: monitor.CreateEnable, Shards: shards,
 			OnVerdict: recordVerdicts(spec, nil, verdicts),
 		})
@@ -229,7 +229,7 @@ func execTrace(t testing.TB, addr string, spec *monitor.Spec, prop string, gc mo
 	rt.Flush()
 	st := rt.Stats()
 	rt.Close()
-	if cl, ok := rt.(*client.Client); ok {
+	if cl, ok := rt.(*remote.Client); ok {
 		if err := cl.Err(); err != nil {
 			t.Fatalf("remote session error: %v", err)
 		}
@@ -323,12 +323,12 @@ func TestRemoteEquivalenceDaCapo(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			runOne := func(remote bool, shards int) result {
+			runOne := func(overWire bool, shards int) result {
 				verdicts := map[string][]string{}
 				var rt monitor.Runtime
 				var err error
-				if remote {
-					rt, err = client.Dial(addr, client.Options{
+				if overWire {
+					rt, err = remote.Dial(addr, remote.Options{
 						Prop: propName, GC: monitor.GCCoenable, Creation: monitor.CreateEnable,
 						Shards: shards, OnVerdict: recordVerdicts(spec, nil, verdicts),
 					})
@@ -408,7 +408,7 @@ func TestShardedVerdictStream(t *testing.T) {
 	addr := startServer(t, server.Options{})
 	var verdicts int
 	var vmu sync.Mutex
-	cl, err := client.Dial(addr, client.Options{
+	cl, err := remote.Dial(addr, remote.Options{
 		Prop: "HasNext", GC: monitor.GCCoenable, Creation: monitor.CreateEnable,
 		Shards: 4,
 		OnVerdict: func(monitor.Verdict) {
@@ -476,7 +476,7 @@ func TestSpecSourceSession(t *testing.T) {
     @error { print "violation" }
 }`
 	var got []string
-	cl, err := client.Dial(addr, client.Options{
+	cl, err := remote.Dial(addr, remote.Options{
 		SpecSource: src,
 		GC:         monitor.GCCoenable,
 		Creation:   monitor.CreateEnable,
@@ -505,18 +505,18 @@ func TestSpecSourceSession(t *testing.T) {
 // count) surface as Dial errors carrying the server's message.
 func TestDialErrors(t *testing.T) {
 	addr := startServer(t, server.Options{MaxShards: 4})
-	if _, err := client.Dial(addr, client.Options{Prop: "NoSuchProp"}); err == nil {
+	if _, err := remote.Dial(addr, remote.Options{Prop: "NoSuchProp"}); err == nil {
 		t.Fatal("Dial with an unknown property succeeded")
 	} else if !strings.Contains(err.Error(), "NoSuchProp") {
 		t.Errorf("error %q does not name the property", err)
 	}
-	if _, err := client.Dial(addr, client.Options{Prop: "HasNext", Shards: 64}); err == nil {
+	if _, err := remote.Dial(addr, remote.Options{Prop: "HasNext", Shards: 64}); err == nil {
 		t.Fatal("Dial with an excessive shard count succeeded")
 	} else if !strings.Contains(err.Error(), "out of range") {
 		t.Errorf("error %q does not mention the shard range", err)
 	}
 	// Client-side option validation.
-	if _, err := client.Dial(addr, client.Options{}); err == nil {
+	if _, err := remote.Dial(addr, remote.Options{}); err == nil {
 		t.Fatal("Dial with no spec reference succeeded")
 	}
 }
@@ -532,7 +532,7 @@ func TestServerDrain(t *testing.T) {
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
 
-	cl, err := client.Dial(l.Addr().String(), client.Options{
+	cl, err := remote.Dial(l.Addr().String(), remote.Options{
 		Prop: "HasNext", GC: monitor.GCCoenable, Creation: monitor.CreateEnable,
 	})
 	if err != nil {
@@ -552,7 +552,7 @@ func TestServerDrain(t *testing.T) {
 	// New connections must be refused while the old session still works.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if _, err := client.Dial(l.Addr().String(), client.Options{Prop: "HasNext"}); err != nil {
+		if _, err := remote.Dial(l.Addr().String(), remote.Options{Prop: "HasNext"}); err != nil {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package rvgo_test
+
+const raceEnabled = false

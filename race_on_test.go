@@ -1,0 +1,7 @@
+//go:build race
+
+package rvgo_test
+
+// raceEnabled reports that the race detector is active; allocation-count
+// assertions are skipped, since instrumentation allocates.
+const raceEnabled = true

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"time"
 
-	"rvgo/internal/monitor"
-	"rvgo/internal/props"
+	"rvgo"
 	"rvgo/rv"
+	"rvgo/spec"
 )
 
 // Cache and CacheIter play the monitored program: a collection type and
@@ -39,21 +39,17 @@ func iterate(s *rv.Session, c *Cache) {
 // an iterator, the real Go garbage collector's collection of it reclaims
 // the iterator's monitors.
 func Example() {
-	spec, err := props.Build("UnsafeIter")
+	property, err := spec.Builtin("UnsafeIter")
 	if err != nil {
 		panic(err)
 	}
-	eng, err := monitor.New(spec, monitor.Options{
-		GC:       monitor.GCCoenable,
-		Creation: monitor.CreateEnable,
-		OnVerdict: func(v monitor.Verdict) {
-			fmt.Printf("verdict: %s at %s\n", v.Cat, v.Inst.Format(v.Spec.Params))
-		},
-	})
+	m, err := rvgo.New(property, rvgo.WithVerdictHandler(func(v rvgo.Verdict) {
+		fmt.Printf("verdict: %s at %s\n", v.Cat, v.Inst.Format(property.Params()))
+	}))
 	if err != nil {
 		panic(err)
 	}
-	s := rv.New(eng, rv.Options{Label: func(v any) string {
+	s := rv.New(m, rv.Options{Label: func(v any) string {
 		switch v.(type) {
 		case *Cache:
 			return "cache"

@@ -8,13 +8,12 @@ import (
 	"testing"
 	"time"
 
-	"rvgo/client"
+	"rvgo"
 	"rvgo/internal/heap"
 	"rvgo/internal/monitor"
 	"rvgo/internal/props"
-	"rvgo/internal/server"
-	"rvgo/internal/shard"
 	"rvgo/rv"
+	"rvgo/spec"
 )
 
 // ostep is one step of a backend-independent trace over object ordinals:
@@ -95,40 +94,33 @@ func recordVerdicts(spec *monitor.Spec, into map[string][]string) func(monitor.V
 	}
 }
 
-// backend builds one monitoring runtime for the oracle grid. shards == 0
-// is the sequential engine; remote != "" dials a server session.
-func backend(t testing.TB, prop string, gc monitor.GCPolicy, shards int, remote string, onV func(monitor.Verdict)) monitor.Runtime {
+// backend builds one façade monitor for the oracle grid. shards == 0 is
+// the sequential engine; remote != "" dials a server session. Going
+// through rvgo here means every oracle cell also exercises the façade's
+// backend wiring.
+func backend(t testing.TB, prop string, gc monitor.GCPolicy, shards int, remote string, onV func(monitor.Verdict)) *rvgo.Monitor {
 	t.Helper()
-	if remote != "" {
-		cl, err := client.Dial(remote, client.Options{
-			Prop: prop, GC: gc, Creation: monitor.CreateEnable,
-			Shards: max(shards, 1), OnVerdict: onV,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return cl
-	}
-	spec, err := props.Build(prop)
+	sp, err := spec.Builtin(prop)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := monitor.Options{GC: gc, Creation: monitor.CreateEnable, OnVerdict: onV}
-	var rt monitor.Runtime
-	if shards == 0 {
-		rt, err = monitor.New(spec, opts)
-	} else {
-		rt, err = shard.New(spec, shard.Options{Options: opts, Shards: shards, BatchSize: 4})
+	opts := []rvgo.Option{rvgo.WithGC(gc), rvgo.WithVerdictHandler(onV)}
+	switch {
+	case remote != "":
+		opts = append(opts, rvgo.WithRemote(remote), rvgo.WithShards(max(shards, 1)))
+	case shards > 0:
+		opts = append(opts, rvgo.WithShards(shards), rvgo.WithBatch(4, 0))
 	}
+	m, err := rvgo.New(sp, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return rt
+	return m
 }
 
 // replayExplicit drives a trace with simulated-heap objects and explicit,
 // synchronous frees: the reference run.
-func replayExplicit(t testing.TB, rt monitor.Runtime, steps []ostep) monitor.Stats {
+func replayExplicit(t testing.TB, rt *rvgo.Monitor, steps []ostep) monitor.Stats {
 	t.Helper()
 	h := heap.New()
 	objs := map[int]*heap.Object{}
@@ -173,7 +165,7 @@ func newLiveObj(ord int) *liveObj { return &liveObj{ord: ord} }
 // replayLive drives the same trace through the rv frontend: real objects,
 // dropped at the trace's death points and collected by pinned Go GC
 // cycles, with the death signals delivered at exactly those positions.
-func replayLive(t testing.TB, rt monitor.Runtime, steps []ostep) monitor.Stats {
+func replayLive(t testing.TB, rt *rvgo.Monitor, steps []ostep) monitor.Stats {
 	t.Helper()
 	s := rv.New(rt, rv.Options{
 		ManualPoll: true,
@@ -238,7 +230,7 @@ func startServer(t testing.TB) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := server.New(server.Options{})
+	srv := rvgo.NewServer(rvgo.ServerOptions{})
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
 	t.Cleanup(func() {

@@ -8,11 +8,12 @@ import (
 	"testing"
 	"time"
 
+	"rvgo"
 	"rvgo/internal/heap"
 	"rvgo/internal/monitor"
 	"rvgo/internal/props"
-	"rvgo/internal/shard"
 	"rvgo/rv"
+	rvspec "rvgo/spec"
 )
 
 // coll/iter are real parameter objects for the racy workload.
@@ -57,17 +58,17 @@ func TestFreeDuringDispatchRace(t *testing.T) {
 	// Racy run: sharded backend, concurrent producers, real GC.
 	var vmu sync.Mutex
 	got := map[string][]string{}
-	srt, err := shard.New(spec, shard.Options{
-		Options: monitor.Options{
-			GC: monitor.GCCoenable, Creation: monitor.CreateEnable,
-			OnVerdict: func(v monitor.Verdict) {
-				vmu.Lock()
-				got[v.Inst.Format(spec.Params)] = append(got[v.Inst.Format(spec.Params)], string(v.Cat))
-				vmu.Unlock()
-			},
-		},
-		Shards: 4, BatchSize: 4, MailboxDepth: 4,
-	})
+	sp, err := rvspec.Builtin("UnsafeIter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srt, err := rvgo.New(sp,
+		rvgo.WithShards(4), rvgo.WithBatch(4, 4),
+		rvgo.WithVerdictHandler(func(v rvgo.Verdict) {
+			vmu.Lock()
+			got[v.Inst.Format(spec.Params)] = append(got[v.Inst.Format(spec.Params)], string(v.Cat))
+			vmu.Unlock()
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,8 @@
 // actual program, not a recorded trace. A monitored program attaches
 // parametric events directly to its own live Go objects —
 //
-//	session := rv.New(backend, rv.Options{})
+//	m, _ := rvgo.New(spec)
+//	session := rv.New(m, rv.Options{})
 //	rv.Attach(session, "create", coll, iter)
 //	rv.Attach(session, "next", iter)
 //
@@ -11,24 +12,24 @@
 // monitor GC, exactly as the JVM's weak references drive JavaMOP/RV.
 //
 // This is the third ingestion mode of this reproduction, next to recorded
-// traces (cmd/rvmon, internal/dacapo) and network sessions (client +
-// internal/server): see DESIGN.md for the map. It works against any
-// monitor.Runtime backend — the sequential engine, the sharded concurrent
-// runtime, or a remote session.
+// traces (cmd/rvmon, the DaCapo substrate) and network sessions
+// (rvgo.WithRemote): see DESIGN.md for the map. It works against any
+// rvgo.Monitor — the sequential engine, the sharded concurrent runtime,
+// or a remote session.
 //
 // # How death travels
 //
 // Objects are given stable monitoring identities by a weak-keyed registry
-// (internal/registry): the session never keeps a monitored object alive.
-// When the Go GC collects one, a runtime.AddCleanup hook enqueues its
-// identity on the session's death queue. The queue is delivered at
-// deterministic points — automatically at the next Attach, or explicitly
-// via Poll/Collect — through the backend's FreeAsync path: the death is
-// positioned in the event stream (after everything already dispatched,
-// before everything later) and only then becomes visible, so per-slice
-// verdicts and settled counters are identical to an explicit-free replay
-// of the same trace. A raw weak-reference flip could race queued events;
-// a queued, stream-positioned death cannot.
+// (rvgo.Registry): the session never keeps a monitored object alive. When
+// the Go GC collects one, a runtime.AddCleanup hook enqueues its identity
+// on the session's death queue. The queue is delivered at deterministic
+// points — automatically at the next Attach, or explicitly via Poll or
+// Collect — through the Monitor's FreeAsync path: the death is positioned
+// in the event stream (after everything already dispatched, before
+// everything later) and only then becomes visible, so per-slice verdicts
+// and settled counters are identical to an explicit-free replay of the
+// same trace. A raw weak-reference flip could race queued events; a
+// queued, stream-positioned death cannot.
 //
 // # Contracts
 //
@@ -40,12 +41,11 @@
 // so its death signal can be delayed indefinitely. Real parameter objects
 // (iterators, collections) contain pointers and are unaffected; if you
 // must monitor a tiny pointer-free struct, give it a pointer field. A
-// session is as safe for
-// concurrent Attach as its backend (the sharded and remote runtimes are;
-// the sequential engine is single-threaded). Poll and Collect may run
-// concurrently with Attach on a concurrent backend: a cleanup can only
-// fire after the program dropped the object, so its death signal always
-// trails the object's own events.
+// session is as safe for concurrent Attach as its Monitor's backend (the
+// sharded and remote runtimes are; the sequential engine is
+// single-threaded). Poll and Collect may run concurrently with Attach on
+// a concurrent backend: a cleanup can only fire after the program dropped
+// the object, so its death signal always trails the object's own events.
 package rv
 
 import (
@@ -53,9 +53,7 @@ import (
 	"runtime"
 	"time"
 
-	"rvgo/internal/heap"
-	"rvgo/internal/monitor"
-	"rvgo/internal/registry"
+	"rvgo"
 )
 
 // Options configures a session.
@@ -69,18 +67,18 @@ type Options struct {
 	Label func(v any) string
 }
 
-// Session binds a monitoring backend to the live objects of this process.
+// Session binds a monitor to the live objects of this process.
 type Session struct {
-	rt   monitor.Runtime
-	tab  *registry.Table
+	m    *rvgo.Monitor
+	tab  *rvgo.Registry
 	opts Options
 }
 
-// New wraps a monitoring backend in a live-object session. The session
-// does not own the backend: Close shuts the backend down, but the caller
-// may also drive the backend directly (Runtime) for stats or flushes.
-func New(rt monitor.Runtime, opts Options) *Session {
-	return &Session{rt: rt, tab: registry.New(), opts: opts}
+// New wraps a monitor in a live-object session. The session does not own
+// the monitor: Close shuts it down, but the caller may also drive it
+// directly (Monitor) for stats or flushes.
+func New(m *rvgo.Monitor, opts Options) *Session {
+	return &Session{m: m, tab: rvgo.NewRegistry(), opts: opts}
 }
 
 // Attach emits the named parametric event over live Go objects, in the
@@ -95,7 +93,7 @@ func (s *Session) Attach(event string, objs ...any) error {
 	if !s.opts.ManualPoll && s.tab.Pending() > 0 {
 		s.Poll()
 	}
-	refs := make([]heap.Ref, len(objs))
+	refs := make([]rvgo.Ref, len(objs))
 	for i, o := range objs {
 		label := ""
 		if s.opts.Label != nil {
@@ -107,7 +105,7 @@ func (s *Session) Attach(event string, objs ...any) error {
 		}
 		refs[i] = ref
 	}
-	err := s.rt.EmitNamed(event, refs...)
+	err := s.m.EmitNamed(event, refs...)
 	// Pin the objects until the event is in the backend's stream: without
 	// this, the GC could collect an object between registration and
 	// dispatch, and a concurrent Poll could deliver its death ahead of
@@ -116,7 +114,7 @@ func (s *Session) Attach(event string, objs ...any) error {
 	return err
 }
 
-// Poll delivers every queued death signal to the backend through its
+// Poll delivers every queued death signal to the monitor through its
 // pipelined FreeAsync path and returns the number delivered. Delivery is
 // what makes a collection observable: until a death is delivered, the
 // monitors still see the object as alive.
@@ -125,12 +123,12 @@ func (s *Session) Poll() int {
 	if len(objs) == 0 {
 		return 0
 	}
-	refs := make([]heap.Ref, len(objs))
+	refs := make([]rvgo.Ref, len(objs))
 	for i, o := range objs {
 		refs[i] = o
 	}
 	h := s.tab.Heap()
-	s.rt.FreeAsync(func() {
+	s.m.FreeAsync(func() {
 		for _, o := range objs {
 			h.Free(o)
 		}
@@ -157,20 +155,20 @@ func (s *Session) Collect(n int, timeout time.Duration) (delivered int, ok bool)
 // Pending returns the number of deaths queued but not yet delivered.
 func (s *Session) Pending() int { return s.tab.Pending() }
 
-// Runtime returns the backend, for stats, flushes and barriers.
-func (s *Session) Runtime() monitor.Runtime { return s.rt }
+// Monitor returns the session's monitor, for stats, flushes and barriers.
+func (s *Session) Monitor() *rvgo.Monitor { return s.m }
 
 // Registry returns the session's object table, for diagnostics and tests.
-func (s *Session) Registry() *registry.Table { return s.tab }
+func (s *Session) Registry() *rvgo.Registry { return s.tab }
 
-// Stats returns the backend's monitoring counters.
-func (s *Session) Stats() monitor.Stats { return s.rt.Stats() }
+// Stats returns the monitor's counters.
+func (s *Session) Stats() rvgo.Stats { return s.m.Stats() }
 
-// Flush settles the backend's counters (a full expunge/compaction pass).
-func (s *Session) Flush() { s.rt.Flush() }
+// Flush settles the monitor's counters (a full expunge/compaction pass).
+func (s *Session) Flush() { s.m.Flush() }
 
-// Close delivers any pending deaths and closes the backend.
+// Close delivers any pending deaths and closes the monitor.
 func (s *Session) Close() {
 	s.Poll()
-	s.rt.Close()
+	s.m.Close()
 }

@@ -1,0 +1,405 @@
+package rvgo
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"rvgo/internal/monitor"
+	"rvgo/internal/remote"
+	"rvgo/internal/shard"
+	"rvgo/spec"
+)
+
+// Monitor is a running parametric monitor: one property (built with
+// rvgo/spec), one backend. The backend — the paper's sequential engine,
+// the sharded concurrent runtime, or a remote session against a
+// monitoring server — is chosen by the options passed to New and is
+// invisible afterwards: every Monitor supports the same event, death,
+// synchronization and counter surface, and the conformance suite holds
+// all backends to the same observable behavior.
+//
+// Concurrency: with the sequential backend (the default) a Monitor is
+// single-threaded. With WithShards(n > 1) or WithRemote, Emit, EmitNamed,
+// Dispatch, Emitter.Emit, Free, FreeAsync, Barrier, Flush and Stats are
+// safe for concurrent use.
+type Monitor struct {
+	rt  monitor.Runtime
+	sp  *spec.Spec
+	rem *remote.Client
+
+	verdicts  chan Verdict
+	closeOnce sync.Once
+}
+
+type config struct {
+	gc         GCPolicy
+	creation   CreationStrategy
+	shards     int
+	sweep      int
+	batch      int
+	depth      int
+	remoteAddr string
+	remoteConn net.Conn
+	window     int
+	handler    func(Verdict)
+	streamBuf  int
+	hasStream  bool
+}
+
+// Option configures a Monitor under construction.
+type Option func(*config) error
+
+// WithGC selects the monitor garbage-collection policy (default
+// GCCoenable, the paper's contribution).
+func WithGC(p GCPolicy) Option {
+	return func(c *config) error {
+		switch p {
+		case GCNone, GCAllDead, GCCoenable:
+			c.gc = p
+			return nil
+		}
+		return fmt.Errorf("rvgo: unknown GC policy %d (want GCCoenable, GCAllDead or GCNone)", int(p))
+	}
+}
+
+// WithCreation selects the monitor creation strategy (default
+// CreateEnable). CreateFull is the Figure 5 semantic oracle and requires
+// the sequential backend.
+func WithCreation(s CreationStrategy) Option {
+	return func(c *config) error {
+		switch s {
+		case CreateEnable, CreateFull:
+			c.creation = s
+			return nil
+		}
+		return fmt.Errorf("rvgo: unknown creation strategy %d (want CreateEnable or CreateFull)", int(s))
+	}
+}
+
+// WithShards selects the backend shape: 1 is the sequential engine
+// (also the local default when the option is omitted), n > 1 the sharded
+// concurrent runtime with n worker engines. Combined with WithRemote it
+// sizes the server-side backend of the session instead; there, omitting
+// the option leaves the choice to the server's configured default.
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("rvgo: WithShards(%d): shard count must be >= 1 (1 = sequential engine, >1 = sharded runtime)", n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
+// WithBatch tunes the sharded runtime's ingestion batching: events per
+// mailbox send and mailbox depth in batches (zero keeps a default).
+// Requires WithShards(n > 1).
+func WithBatch(size, depth int) Option {
+	return func(c *config) error {
+		if size < 0 || depth < 0 {
+			return fmt.Errorf("rvgo: WithBatch(%d, %d): sizes must be >= 0", size, depth)
+		}
+		c.batch, c.depth = size, depth
+		return nil
+	}
+}
+
+// WithSweepInterval sets the number of events between the engine's
+// tombstone sweeps (0 keeps the default). Local backends only.
+func WithSweepInterval(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("rvgo: WithSweepInterval(%d): interval must be >= 0", n)
+		}
+		c.sweep = n
+		return nil
+	}
+}
+
+// WithRemote monitors over the network: the Monitor becomes a session
+// against the monitoring server at addr (cmd/rvserve, or a Server from
+// NewServer). The spec must carry transferable provenance — built by
+// spec.Builtin or compiled from .rv source — because both ends compile it
+// independently and verify the result in the handshake. Object deaths
+// become protocol-level free messages: call Free/FreeAsync explicitly
+// (or attach through package rv, which does).
+func WithRemote(addr string) Option {
+	return func(c *config) error {
+		if addr == "" {
+			return errors.New("rvgo: WithRemote: empty address")
+		}
+		c.remoteAddr = addr
+		return nil
+	}
+}
+
+// WithRemoteConn is WithRemote over an already-established connection
+// (a test pipe, a tunneled stream). The Monitor owns the connection.
+func WithRemoteConn(conn net.Conn) Option {
+	return func(c *config) error {
+		if conn == nil {
+			return errors.New("rvgo: WithRemoteConn: nil connection")
+		}
+		c.remoteConn = conn
+		return nil
+	}
+}
+
+// WithWindow caps a remote session's event-credit window (0 accepts the
+// server's). Remote sessions only.
+func WithWindow(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("rvgo: WithWindow(%d): window must be >= 0", n)
+		}
+		c.window = n
+		return nil
+	}
+}
+
+// WithVerdictHandler installs f as the verdict handler.
+//
+// The invocation context is backend-specific, and that difference is part
+// of the contract:
+//
+//   - sequential engine: f runs synchronously on the goroutine calling
+//     Emit/Dispatch, before the call returns.
+//   - sharded runtime: f runs on worker goroutines. Invocations are
+//     serialized (no two run concurrently), so f itself needs no lock,
+//     but state f mutates must only be read by other goroutines after a
+//     Barrier, Flush or Close — those operations order every handler
+//     invocation for already-dispatched events before their return.
+//   - remote session: f runs on the session's reader goroutine, in
+//     per-slice order. It must not call back into the Monitor.
+//
+// Under all backends f must be fast: it runs inside the dispatch path.
+func WithVerdictHandler(f func(Verdict)) Option {
+	return func(c *config) error {
+		c.handler = f
+		return nil
+	}
+}
+
+// WithVerdictStream makes the Monitor deliver verdicts to a channel of
+// the given buffer size, returned by Verdicts. Delivery blocks when the
+// buffer is full — natural backpressure, but it means the consumer must
+// drain the channel concurrently with event emission (or size the buffer
+// for the expected verdict volume). The channel is closed by Close, so
+// `for v := range m.Verdicts()` terminates. Composes with
+// WithVerdictHandler: the handler runs first.
+func WithVerdictStream(buffer int) Option {
+	return func(c *config) error {
+		if buffer < 0 {
+			return fmt.Errorf("rvgo: WithVerdictStream(%d): buffer must be >= 0", buffer)
+		}
+		c.streamBuf = buffer
+		c.hasStream = true
+		return nil
+	}
+}
+
+// New builds a Monitor for a property. With no options it monitors on the
+// in-process sequential engine with coenable-set GC and enable-set
+// creation avoidance — the paper's configuration. The spec's validation
+// and static analyses have already run at build time, so New only wires
+// the backend; a non-nil Monitor is ready for events.
+func New(s *spec.Spec, opts ...Option) (*Monitor, error) {
+	if s == nil {
+		return nil, errors.New("rvgo: nil spec")
+	}
+	// cfg.shards stays 0 when WithShards is omitted: locally that means
+	// the sequential engine; remotely it lets the server's configured
+	// default backend apply (the wire Hello carries 0).
+	cfg := config{gc: GCCoenable, creation: CreateEnable}
+	// fail releases a caller-supplied connection on every construction
+	// error: the Monitor owns it from the moment the option is applied,
+	// even if New never reaches the handshake.
+	fail := func(err error) (*Monitor, error) {
+		if cfg.remoteConn != nil {
+			cfg.remoteConn.Close()
+		}
+		return nil, err
+	}
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(&cfg); err != nil {
+			return fail(err)
+		}
+	}
+	remote := cfg.remoteAddr != "" || cfg.remoteConn != nil
+	if cfg.remoteAddr != "" && cfg.remoteConn != nil {
+		return fail(errors.New("rvgo: WithRemote and WithRemoteConn are mutually exclusive"))
+	}
+	if cfg.window != 0 && !remote {
+		return fail(errors.New("rvgo: WithWindow applies only to remote sessions"))
+	}
+	if (cfg.batch != 0 || cfg.depth != 0) && (remote || cfg.shards <= 1) {
+		return fail(errors.New("rvgo: WithBatch requires a local sharded backend (WithShards(n > 1))"))
+	}
+	if cfg.sweep != 0 && remote {
+		return fail(errors.New("rvgo: WithSweepInterval is not supported for remote sessions"))
+	}
+
+	m := &Monitor{sp: s}
+	handler := cfg.handler
+	if cfg.hasStream {
+		ch := make(chan Verdict, cfg.streamBuf)
+		m.verdicts = ch
+		user := handler
+		handler = func(v Verdict) {
+			if user != nil {
+				user(v)
+			}
+			ch <- v
+		}
+	}
+
+	switch {
+	case remote:
+		cl, err := m.dialRemote(cfg, handler)
+		if err != nil {
+			// remote.NewSession closes the connection on handshake
+			// errors itself; closing again is a harmless no-op, and the
+			// pre-handshake errors (provenance) need it.
+			return fail(err)
+		}
+		m.rt, m.rem = cl, cl
+	case cfg.shards > 1:
+		rt, err := shard.New(s.Compiled(), shard.Options{
+			Options: monitor.Options{
+				GC:            cfg.gc,
+				Creation:      cfg.creation,
+				OnVerdict:     handler,
+				SweepInterval: cfg.sweep,
+			},
+			Shards:       cfg.shards,
+			BatchSize:    cfg.batch,
+			MailboxDepth: cfg.depth,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.rt = rt
+	default:
+		eng, err := monitor.New(s.Compiled(), monitor.Options{
+			GC:            cfg.gc,
+			Creation:      cfg.creation,
+			OnVerdict:     handler,
+			SweepInterval: cfg.sweep,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.rt = eng
+	}
+	return m, nil
+}
+
+func (m *Monitor) dialRemote(cfg config, handler func(Verdict)) (*remote.Client, error) {
+	kind, ref, ok := m.sp.Source()
+	if !ok {
+		return nil, fmt.Errorf("rvgo: property %q cannot back a remote session: the server needs transferable provenance (build the spec with spec.Builtin or from .rv source)", m.sp.Name())
+	}
+	ropts := remote.Options{
+		GC:        cfg.gc,
+		Creation:  cfg.creation,
+		Shards:    cfg.shards,
+		Window:    cfg.window,
+		OnVerdict: handler,
+	}
+	switch kind {
+	case spec.SourceBuiltin:
+		ropts.Prop = ref
+	case spec.SourceFile:
+		ropts.SpecSource = ref
+	default:
+		return nil, fmt.Errorf("rvgo: unknown spec provenance %q", kind)
+	}
+	if cfg.remoteConn != nil {
+		return remote.NewSession(cfg.remoteConn, ropts)
+	}
+	return remote.Dial(cfg.remoteAddr, ropts)
+}
+
+var _ monitor.Runtime = (*Monitor)(nil)
+
+// Property returns the specification being monitored.
+func (m *Monitor) Property() *spec.Spec { return m.sp }
+
+// Spec returns the compiled internal form of the property; it exists to
+// satisfy the runtime contract shared with the internal backends (its
+// result type lives under internal/ and cannot be named outside this
+// module — use Property for introspection).
+func (m *Monitor) Spec() *monitor.Spec { return m.rt.Spec() }
+
+// Emit dispatches the parametric event sym⟨vals⟩; vals bind the event's
+// parameters in binding order (see spec.Spec.EventParams) and must all be
+// alive. Symbols index the spec's event list; prefer Event, whose Emitter
+// carries the resolved symbol with a readable name attached.
+func (m *Monitor) Emit(sym int, vals ...Ref) { m.rt.Emit(sym, vals...) }
+
+// EmitNamed dispatches an event by name. Unknown names and arity
+// mismatches are errors; the event is not dispatched and the Monitor
+// remains usable. For hot paths resolve an Emitter once instead.
+func (m *Monitor) EmitNamed(name string, vals ...Ref) error { return m.rt.EmitNamed(name, vals...) }
+
+// Dispatch processes one pre-bound parametric event (see BindingOf).
+func (m *Monitor) Dispatch(sym int, theta Instance) { m.rt.Dispatch(sym, theta) }
+
+// Free positions an explicit object death in the event stream: every
+// event dispatched before the call observes the objects alive, and the
+// caller dispatches no later event mentioning them. This is the death
+// signal that drives monitor GC when no real garbage collector is
+// involved (trace replay, simulated heaps, remote sessions).
+func (m *Monitor) Free(refs ...Ref) { m.rt.Free(refs...) }
+
+// FreeAsync positions an object death without stalling the producer: the
+// backend invokes die exactly once, after every previously dispatched
+// event has been processed and before any later one, and die marks the
+// objects dead. Package rv uses this to turn Go garbage-collection
+// cleanups into stream-positioned deaths.
+func (m *Monitor) FreeAsync(die func(), refs ...Ref) { m.rt.FreeAsync(die, refs...) }
+
+// Barrier returns once every event dispatched before the call has been
+// fully processed (and its verdicts delivered). Synchronous backends
+// return immediately.
+func (m *Monitor) Barrier() { m.rt.Barrier() }
+
+// Flush performs a full expunge/compaction pass so the Stats counters
+// settle; it implies Barrier.
+func (m *Monitor) Flush() { m.rt.Flush() }
+
+// Stats returns the monitoring counters. For concurrent backends the
+// snapshot covers at least every event processed before the last Barrier
+// or Flush.
+func (m *Monitor) Stats() Stats { return m.rt.Stats() }
+
+// Verdicts returns the verdict stream configured with WithVerdictStream,
+// or nil. The channel is closed by Close.
+func (m *Monitor) Verdicts() <-chan Verdict { return m.verdicts }
+
+// Err returns the sticky session error of a remote Monitor — connection
+// loss, a server error, a protocol violation — after which the event
+// methods degrade to no-ops. Local backends always return nil.
+func (m *Monitor) Err() error {
+	if m.rem != nil {
+		return m.rem.Err()
+	}
+	return nil
+}
+
+// Close releases the backend (worker goroutines, network sessions) and
+// closes the verdict stream. Close is idempotent; dispatching after Close
+// is a programming error.
+func (m *Monitor) Close() {
+	m.closeOnce.Do(func() {
+		m.rt.Close()
+		if m.verdicts != nil {
+			close(m.verdicts)
+		}
+	})
+}

@@ -1,0 +1,258 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"rvgo/internal/cfg"
+	"rvgo/internal/ere"
+	"rvgo/internal/fsm"
+	"rvgo/internal/logic"
+	"rvgo/internal/ltl"
+	"rvgo/internal/monitor"
+	"rvgo/internal/param"
+)
+
+// Builder assembles a parametric property fluently:
+//
+//	s, err := spec.New("UnsafeIter").
+//		Params("c", "i").
+//		Event("create", "c", "i").
+//		Event("update", "c").
+//		Event("next", "i").
+//		ERE("update* create next* update+ next").
+//		Build()
+//
+// Exactly one logic block (FSM, ERE, LTL or CFG) must be given; the
+// block's language is the alphabet of declared events, in declaration
+// order. Errors accumulate and are reported by Build, which also runs
+// validation and the Section 3 static analyses, so a non-nil *Spec is
+// ready to monitor.
+type Builder struct {
+	name   string
+	params []string
+	events []eventDecl
+	kind   string
+	body   string
+	states []FSMState
+	goal   []string
+	errs   []string
+}
+
+type eventDecl struct {
+	name   string
+	params []string
+}
+
+// New starts a property definition.
+func New(name string) *Builder { return &Builder{name: name} }
+
+// Params declares the property's parameters, in index order.
+func (b *Builder) Params(names ...string) *Builder {
+	b.params = append(b.params, names...)
+	return b
+}
+
+// Event declares a parametric event: its name and the parameters it
+// binds (D(e)), by parameter name. Declaration order is symbol order and
+// defines the alphabet of the logic block.
+func (b *Builder) Event(name string, params ...string) *Builder {
+	b.events = append(b.events, eventDecl{name: name, params: params})
+	return b
+}
+
+// FSMState is one state of an FSM logic block: its name and its
+// transitions. The first state passed to FSM is the start state; states
+// without outgoing transitions are terminal.
+type FSMState struct {
+	Name        string
+	Transitions []FSMTransition
+}
+
+// FSMTransition is one FSM edge: on event On, move to state To.
+type FSMTransition struct {
+	On, To string
+}
+
+// State builds an FSMState from alternating on-event/to-state pairs:
+//
+//	spec.State("more", "hasnexttrue", "more", "next", "unknown")
+func State(name string, pairs ...string) FSMState {
+	st := FSMState{Name: name}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		st.Transitions = append(st.Transitions, FSMTransition{On: pairs[i], To: pairs[i+1]})
+	}
+	if len(pairs)%2 != 0 {
+		// Surfaced as a build error by FSM below; an FSMState cannot
+		// carry an error itself.
+		st.Transitions = append(st.Transitions, FSMTransition{On: pairs[len(pairs)-1], To: ""})
+	}
+	return st
+}
+
+// FSM sets the logic block to a finite-state machine over the declared
+// events. Goal categories are the names of the goal states (an FSM has no
+// default goal; set one with Goal).
+func (b *Builder) FSM(states ...FSMState) *Builder {
+	b.setKind("fsm")
+	b.states = states
+	return b
+}
+
+// ERE sets the logic block to an extended regular expression over the
+// declared events. The default goal category is Match.
+func (b *Builder) ERE(expr string) *Builder {
+	b.setKind("ere")
+	b.body = expr
+	return b
+}
+
+// LTL sets the logic block to a past-time LTL formula over the declared
+// events. The default goal category is Violation.
+func (b *Builder) LTL(formula string) *Builder {
+	b.setKind("ltl")
+	b.body = formula
+	return b
+}
+
+// CFG sets the logic block to a context-free grammar over the declared
+// events. The default goal category is Fail (the trace left the
+// language's prefix closure); a Goal of Match admits the grammar-level
+// coenable analysis instead.
+func (b *Builder) CFG(grammar string) *Builder {
+	b.setKind("cfg")
+	b.body = grammar
+	return b
+}
+
+// Goal sets the verdict categories of interest G — the ones that invoke
+// the verdict handler. It overrides the formalism's default.
+func (b *Builder) Goal(categories ...string) *Builder {
+	b.goal = append(b.goal, categories...)
+	return b
+}
+
+func (b *Builder) setKind(kind string) {
+	if b.kind != "" {
+		b.errorf("property %q has both a %s and a %s block; exactly one logic block is allowed", b.name, b.kind, kind)
+		return
+	}
+	b.kind = kind
+}
+
+func (b *Builder) errorf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Sprintf(format, args...))
+}
+
+// Build compiles and analyzes the property. All accumulated definition
+// errors, compilation errors and static-analysis errors are reported
+// here — a non-nil Spec never fails later at dispatch time.
+func (b *Builder) Build() (*Spec, error) {
+	if b.kind == "" {
+		b.errorf("property %q has no logic block (use FSM, ERE, LTL or CFG)", b.name)
+	}
+	paramIdx := make(map[string]int, len(b.params))
+	for i, p := range b.params {
+		if _, dup := paramIdx[p]; dup {
+			b.errorf("property %q declares parameter %q twice", b.name, p)
+		}
+		paramIdx[p] = i
+	}
+	if len(b.params) > param.MaxParams {
+		b.errorf("property %q has %d parameters, max %d", b.name, len(b.params), param.MaxParams)
+	}
+	alphabet := make([]string, len(b.events))
+	events := make([]monitor.EventDef, len(b.events))
+	seenEv := map[string]bool{}
+	for i, ev := range b.events {
+		if seenEv[ev.name] {
+			b.errorf("property %q declares event %q twice", b.name, ev.name)
+		}
+		seenEv[ev.name] = true
+		alphabet[i] = ev.name
+		var ps param.Set
+		for _, p := range ev.params {
+			idx, ok := paramIdx[p]
+			if !ok {
+				b.errorf("event %q binds undeclared parameter %q", ev.name, p)
+				continue
+			}
+			ps = ps.Union(param.SetOf(idx))
+		}
+		events[i] = monitor.EventDef{Name: ev.name, Params: ps}
+	}
+
+	goal := b.goal
+	if len(goal) == 0 {
+		switch b.kind {
+		case "ere":
+			goal = []string{Match}
+		case "ltl":
+			goal = []string{Violation}
+		case "cfg":
+			goal = []string{Fail}
+		case "fsm":
+			b.errorf("property %q: an FSM block needs an explicit Goal (its categories are its state names)", b.name)
+		}
+	}
+
+	var bp logic.Blueprint
+	if len(b.errs) == 0 {
+		var err error
+		if bp, err = b.blueprint(alphabet); err != nil {
+			b.errorf("%s block: %v", b.kind, err)
+		}
+	}
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("spec: building %q: %s", b.name, strings.Join(b.errs, "; "))
+	}
+
+	cats := make([]logic.Category, len(goal))
+	for i, g := range goal {
+		cats[i] = logic.Category(g)
+	}
+	ms := &monitor.Spec{
+		Name:   b.name,
+		Params: append([]string(nil), b.params...),
+		Events: events,
+		BP:     bp,
+		Goal:   cats,
+	}
+	if err := ms.Analyze(); err != nil {
+		return nil, err
+	}
+	return &Spec{ms: ms, kind: b.kind}, nil
+}
+
+func (b *Builder) blueprint(alphabet []string) (logic.Blueprint, error) {
+	switch b.kind {
+	case "fsm":
+		m := fsm.New(alphabet)
+		for _, st := range b.states {
+			if err := m.AddState(st.Name); err != nil {
+				return nil, err
+			}
+		}
+		for _, st := range b.states {
+			for _, tr := range st.Transitions {
+				if tr.To == "" {
+					return nil, fmt.Errorf("state %q: State(...) takes alternating event/target pairs", st.Name)
+				}
+				if err := m.AddTransition(st.Name, tr.On, tr.To); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := m.Freeze(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case "ere":
+		return ere.Compile(b.body, alphabet)
+	case "ltl":
+		return ltl.Compile(b.body, alphabet)
+	case "cfg":
+		return cfg.CompileAuto(b.body, alphabet)
+	}
+	return nil, fmt.Errorf("unknown formalism %q", b.kind)
+}

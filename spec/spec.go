@@ -1,0 +1,286 @@
+// Package spec is the specification-building half of the rvgo façade: the
+// one public way to obtain a parametric property, whether from the built-in
+// library of the paper's evaluation (Builtin), from .rv specification
+// source (Parse, ParseOne), or programmatically through the fluent Builder
+// (New). Every route compiles the property down to the internal monitoring
+// representation and runs the Section 3 static analyses — validation,
+// coenable/enable sets, creation events, dead states — eagerly, so a Spec
+// in hand is guaranteed runnable: errors surface at build time, never at
+// first event dispatch.
+//
+// A *Spec is immutable once built and safe to share between any number of
+// monitors (rvgo.New) across any backend.
+package spec
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rvgo/internal/coenable"
+	"rvgo/internal/monitor"
+	"rvgo/internal/props"
+	ispec "rvgo/internal/spec"
+)
+
+// Verdict categories of the bundled formalisms: ERE monitors report Match,
+// CFG monitors Match or Fail, LTL monitors Violation and Validation, and
+// FSM monitors use their state names as categories.
+const (
+	Match      = "match"
+	Fail       = "fail"
+	Violation  = "violation"
+	Validation = "validation"
+)
+
+// Source provenance kinds, as reported by (*Spec).Source.
+const (
+	// SourceBuiltin names a property from the built-in library; remote
+	// sessions negotiate it by name.
+	SourceBuiltin = "builtin"
+	// SourceFile is .rv specification text; remote sessions ship the
+	// source and both ends compile it.
+	SourceFile = "source"
+)
+
+// Spec is a compiled, analyzed parametric specification. It is produced by
+// Builtin, Parse/ParseOne, or Builder.Build, and consumed by rvgo.New.
+type Spec struct {
+	ms       *monitor.Spec
+	kind     string            // formalism of the logic block, or "builtin"
+	handlers map[string]string // verdict category → .rv handler body
+	srcKind  string            // SourceBuiltin, SourceFile, or ""
+	srcRef   string
+}
+
+// Name returns the property name.
+func (s *Spec) Name() string { return s.ms.Name }
+
+// Params returns the property's parameter names, in index order.
+func (s *Spec) Params() []string { return append([]string(nil), s.ms.Params...) }
+
+// Events returns the property's event names, in symbol order.
+func (s *Spec) Events() []string {
+	out := make([]string, len(s.ms.Events))
+	for i, e := range s.ms.Events {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// EventParams returns the parameter names an event binds, in binding
+// order — the order Emitter.Emit and EmitNamed expect values in.
+func (s *Spec) EventParams(event string) ([]string, error) {
+	sym, ok := s.ms.Symbol(event)
+	if !ok {
+		return nil, fmt.Errorf("spec: property %q has no event %q", s.ms.Name, event)
+	}
+	var out []string
+	for m := s.ms.Events[sym].Params; m != 0; m = m.Rest() {
+		out = append(out, s.ms.Params[m.First()])
+	}
+	return out, nil
+}
+
+// Goal returns the verdict categories carrying handlers (the set G).
+func (s *Spec) Goal() []string {
+	out := make([]string, len(s.ms.Goal))
+	for i, g := range s.ms.Goal {
+		out[i] = string(g)
+	}
+	return out
+}
+
+// Kind returns the formalism the property was built from: "fsm", "ere",
+// "ltl", "cfg", or "builtin" for library properties.
+func (s *Spec) Kind() string { return s.kind }
+
+// Handlers returns the verdict-category → handler-body map of a property
+// parsed from .rv source (empty otherwise). Handler bodies are interpreted
+// with RunHandler.
+func (s *Spec) Handlers() map[string]string {
+	out := make(map[string]string, len(s.handlers))
+	for k, v := range s.handlers {
+		out[k] = v
+	}
+	return out
+}
+
+// Source reports the property's provenance: ("builtin", name) for library
+// properties, ("source", text) for single-property .rv source. Properties
+// assembled through the Builder have no transferable provenance (ok =
+// false) and cannot back a remote session, which must negotiate the spec
+// by reference so both ends compile the same thing.
+func (s *Spec) Source() (kind, ref string, ok bool) {
+	return s.srcKind, s.srcRef, s.srcKind != ""
+}
+
+// AlivenessFormula returns the minimized ALIVENESS boolean formula the
+// coenable-set GC evaluates after the given event (paper §4.2.2): a
+// monitor whose last event was this one is kept only while the formula
+// holds over its bound objects' liveness.
+func (s *Spec) AlivenessFormula(event string) (string, error) {
+	an, sym, err := s.analysisFor(event)
+	if err != nil {
+		return "", err
+	}
+	return coenable.AlivenessFormula(an.CoenParams[sym], s.ms.Params), nil
+}
+
+// CoenableSets returns the event's parameter coenable sets COENABLE^X(e)
+// (Definition 11), formatted over the property's parameter names.
+func (s *Spec) CoenableSets(event string) (string, error) {
+	an, sym, err := s.analysisFor(event)
+	if err != nil {
+		return "", err
+	}
+	return coenable.FormatParamSets(an.CoenParams[sym], s.ms.Params), nil
+}
+
+// HasCoenable reports whether the Section 3 coenable analysis applies to
+// the property (it does not for CFG goals other than {match}; such
+// monitors fall back to all-parameters-dead collection).
+func (s *Spec) HasCoenable() bool {
+	an, err := s.ms.Analysis()
+	if err != nil {
+		return false
+	}
+	return an.HasCoenable
+}
+
+func (s *Spec) analysisFor(event string) (*monitor.Analysis, int, error) {
+	sym, ok := s.ms.Symbol(event)
+	if !ok {
+		return nil, 0, fmt.Errorf("spec: property %q has no event %q", s.ms.Name, event)
+	}
+	an, err := s.ms.Analysis()
+	if err != nil {
+		return nil, 0, err
+	}
+	return an, sym, nil
+}
+
+// WriteAnalysis writes the full Section 3 static-analysis report for the
+// property: coenable sets at event and parameter granularity, the
+// minimized ALIVENESS formulas, and the enable sets with creation events
+// marked. This is the report cmd/rvcoenable prints.
+func (s *Spec) WriteAnalysis(w io.Writer) error {
+	an, err := s.ms.Analysis()
+	if err != nil {
+		return err
+	}
+	alphabet := s.Events()
+	fmt.Fprintf(w, "property %s(%s), goal G = {%s}\n",
+		s.ms.Name, strings.Join(s.ms.Params, ", "), strings.Join(s.Goal(), ", "))
+	if !an.HasCoenable {
+		fmt.Fprintf(w, "  (no coenable analysis for this goal/formalism: monitors fall back to\n")
+		fmt.Fprintf(w, "   all-parameters-dead collection plus sink termination)\n\n")
+		return nil
+	}
+	pad := func(name string) string {
+		max := 0
+		for _, a := range alphabet {
+			if len(a) > max {
+				max = len(a)
+			}
+		}
+		return strings.Repeat(" ", max-len(name)+1)
+	}
+	fmt.Fprintln(w, "  coenable sets (events occurring after e in goal traces):")
+	for sym, e := range s.ms.Events {
+		fmt.Fprintf(w, "    COENABLE(%s)%s= %s\n", e.Name, pad(e.Name),
+			coenable.FormatEventSets(an.CoenEvents[sym], alphabet))
+	}
+	fmt.Fprintln(w, "  parameter coenable sets (Definition 11):")
+	for sym, e := range s.ms.Events {
+		fmt.Fprintf(w, "    COENABLE^X(%s)%s= %s\n", e.Name, pad(e.Name),
+			coenable.FormatParamSets(an.CoenParams[sym], s.ms.Params))
+	}
+	fmt.Fprintln(w, "  ALIVENESS formulas (§4.2.2, minimized):")
+	for sym, e := range s.ms.Events {
+		fmt.Fprintf(w, "    ALIVENESS(%s)%s= %s\n", e.Name, pad(e.Name),
+			coenable.AlivenessFormula(an.CoenParams[sym], s.ms.Params))
+	}
+	fmt.Fprintln(w, "  enable sets (events occurring before e; ∅ ⇒ creation event):")
+	for sym, e := range s.ms.Events {
+		marker := ""
+		if an.Creation[sym] {
+			marker = "   [creation event]"
+		}
+		fmt.Fprintf(w, "    ENABLE(%s)%s= %s%s\n", e.Name, pad(e.Name),
+			coenable.FormatEventSets(an.EnableEvents[sym], alphabet), marker)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Compiled returns the internal compiled form. It exists for the rvgo
+// façade and the in-repo tools; external users have no use for it (its
+// type lives under internal/ and cannot be named outside this module).
+func (s *Spec) Compiled() *monitor.Spec { return s.ms }
+
+// Builtin returns a property from the built-in library: the five
+// properties of the paper's DaCapo evaluation (HasNext, UnsafeIter,
+// UnsafeMapIter, UnsafeSyncColl, UnsafeSyncMap) plus HasNextLTL, SafeLock,
+// SafeLockMatch, HashSet, SafeEnum, SafeFile and SafeFileWriter. The
+// returned Spec carries name provenance, so it can back remote sessions.
+func Builtin(name string) (*Spec, error) {
+	ms, err := props.Build(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{ms: ms, kind: "builtin", srcKind: SourceBuiltin, srcRef: name}, nil
+}
+
+// BuiltinNames returns the built-in property names, sorted.
+func BuiltinNames() []string { return props.Names() }
+
+// DaCapoProperties returns the five properties of the paper's evaluation,
+// in the column order of its Figures 9 and 10.
+func DaCapoProperties() []string { return props.DaCapoProperties() }
+
+// Parse compiles .rv specification source. A property may carry several
+// logic blocks (Figure 2 defines HASNEXT as both an FSM and a past-time
+// LTL formula); each block compiles to its own Spec, with the block's
+// handlers attached. When the source yields exactly one Spec it carries
+// source provenance and can back remote sessions.
+func Parse(src string) ([]*Spec, error) {
+	p, err := ispec.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Spec, len(compiled))
+	for i, c := range compiled {
+		handlers := make(map[string]string, len(c.Handlers))
+		for cat, body := range c.Handlers {
+			handlers[string(cat)] = body
+		}
+		out[i] = &Spec{ms: c.Spec, kind: c.Kind, handlers: handlers}
+	}
+	if len(out) == 1 {
+		out[0].srcKind, out[0].srcRef = SourceFile, src
+	}
+	return out, nil
+}
+
+// ParseOne compiles .rv source that must define exactly one monitorable
+// property with one logic block — the shape a remote session can
+// negotiate.
+func ParseOne(src string) (*Spec, error) {
+	specs, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) != 1 {
+		return nil, fmt.Errorf("spec: source compiles to %d properties, want exactly 1", len(specs))
+	}
+	return specs[0], nil
+}
+
+// RunHandler interprets an .rv handler body (see Handlers): each
+// `print "..."` line yields one call to emit; anything else is ignored.
+func RunHandler(body string, emit func(string)) { ispec.RunHandler(body, emit) }
