@@ -7,7 +7,7 @@
 //	rvbench [-table fig9a|fig9b|fig10|retained|micro|all] [-scale 0.1]
 //	        [-timeout 60s] [-bench bloat,pmd,...] [-prop HasNext,...]
 //	        [-backend seq|shard|remote] [-shards N] [-remote addr]
-//	        [-live] [-json] [-out run.json]
+//	        [-live] [-retro] [-json] [-out run.json]
 //	        [-compare BENCH_X.json -tolerance T] [-v]
 //
 // -backend selects where the RV and MOP cells run: the sequential engine
@@ -26,6 +26,12 @@
 // -live runs the live-object ingestion experiment instead of the DaCapo
 // grid: real Go objects monitored through the rv frontend, with monitor
 // reclamation driven by real, pinned garbage-collection cycles.
+// -retro runs the retroactive-monitoring tier instead: one monitored
+// workload recorded to the persistent trace store, replayed sequentially
+// and in parallel over the recorded pivot index, with verdicts and
+// settled counters verified bit-identical to the online run. Its JSON
+// (the grid's Retro section) is archived by the bench CI job like any
+// other run.
 //
 // Scale 1.0 corresponds to roughly 1/50 of the paper's event volumes; the
 // default keeps the full grid under a few minutes. Absolute numbers are
@@ -58,6 +64,7 @@ func main() {
 		shards  = flag.Int("shards", 1, "shard count for -backend shard")
 		remote  = flag.String("remote", "", "rvserve address for -backend remote")
 		live    = flag.Bool("live", false, "run the live-object ingestion experiment (rv frontend, real Go GC)")
+		retro   = flag.Bool("retro", false, "run the retroactive-monitoring tier (record, replay, verify identity)")
 		jsonOut = flag.Bool("json", false, "emit the result grid as JSON instead of tables")
 		outPath = flag.String("out", "", "also write the current run's JSON to this file (works with -compare; CI uploads it as an artifact)")
 		compare = flag.String("compare", "", "baseline JSON (from -json): rerun its config and fail on regressions")
@@ -102,6 +109,20 @@ func main() {
 	}
 	if *live {
 		runLive(eval.LiveConfig{Scale: *scale, Shards: *shards}, *jsonOut)
+		return
+	}
+	if *retro {
+		rcfg := eval.RetroConfig{Scale: *scale}
+		if len(cfg.Benchmarks) > 0 && *benchs != "" {
+			rcfg.Bench = cfg.Benchmarks[0]
+		}
+		if len(cfg.Properties) > 0 && *prs != "" {
+			rcfg.Prop = cfg.Properties[0]
+		}
+		if *shards > 1 {
+			rcfg.Workers = []int{1, *shards}
+		}
+		runRetro(rcfg, cfg, *jsonOut, *outPath)
 		return
 	}
 
@@ -187,6 +208,46 @@ func runLive(cfg eval.LiveConfig, jsonOut bool) {
 		fmt.Printf("%-10s %10d %10d %10d %10d %8d %8d %9d %8.2f%s\n",
 			r.Policy, r.Stats.Events, r.Stats.Created, r.Stats.Flagged, r.Stats.Collected,
 			r.Stats.Live, r.Delivered, r.GCPinned, r.RunSec, mark)
+	}
+}
+
+// runRetro runs the retroactive-monitoring tier, prints its table, and
+// archives the result as a grid whose Retro section carries the
+// measurements (so bench CI uploads it like any other run). A replay that
+// is not bit-identical to the online run is a hard failure.
+func runRetro(rcfg eval.RetroConfig, cfg eval.Config, jsonOut bool, outPath string) {
+	rr, err := eval.RunRetro(rcfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res := &eval.Results{Config: cfg, Retro: rr}
+	writeOut(outPath, res)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		fmt.Printf("retroactive monitoring: %s/%s (persistent trace store; see DESIGN.md)\n", rr.Bench, rr.Prop)
+		fmt.Printf("  online: %d events in %.2fs = %.0f events/s (seq engine); trace %.2f MB, %d segments\n",
+			rr.Online.Events, rr.OnlineSec, rr.OnlineRate, rr.TraceMB, rr.Segments)
+		fmt.Printf("%-9s %12s %8s %9s %10s\n", "workers", "events/s", "sec", "speedup", "identical")
+		for _, run := range rr.Runs {
+			fmt.Printf("%-9d %12.0f %8.3f %8.1fx %10v\n", run.Workers, run.Rate, run.Sec, run.Speedup, run.Identical)
+		}
+		if s := rr.Selective; s != nil {
+			fmt.Printf("  selective query (pivot %d): %.0f events/s coverage = %.1fx online (%d dispatched, %d index-skipped, %d/%d segments skimmed, identical=%v)\n",
+				s.Pivot, s.Coverage, s.Speedup, s.Dispatched, s.Skipped, s.Skimmed, rr.Segments, s.Identical)
+		}
+	}
+	for _, run := range rr.Runs {
+		if !run.Identical {
+			fatalf("replay ×%d diverged from the online run", run.Workers)
+		}
+	}
+	if rr.Selective != nil && !rr.Selective.Identical {
+		fatalf("selective query (pivot %d) diverged from the online run", rr.Selective.Pivot)
 	}
 }
 

@@ -8,7 +8,16 @@
 //	rvload [-addr localhost:7472] [-conns 8] [-bench avrora]
 //	       [-prop UnsafeIter] [-scale 0.05] [-repeat 1] [-gc coenable]
 //	       [-backend seq|shard] [-shards 1] [-probe 4096] [-min-rate 0]
-//	       [-json]
+//	       [-record run.rvt] [-workload wl.rvt] [-json]
+//
+// -record taps the first connection's stream into a persistent trace (the
+// segment format cmd/rvquery replays): a recorded image of what one
+// session sent the server, re-checkable offline against any property.
+//
+// -workload persists the recorded DaCapo workload itself (also the
+// segment format, over the instrumentation alphabet): if the file exists
+// it is loaded instead of re-recording — comparable runs drive the
+// byte-identical workload — otherwise the fresh recording is saved there.
 //
 // -backend selects each session's per-session backend on the server
 // (rvload itself always monitors remotely, against -addr): seq is the
@@ -53,6 +62,8 @@ func main() {
 		shards  = flag.Int("shards", 1, "shard count for -backend shard")
 		probe   = flag.Int("probe", 4096, "events between latency probes (Barrier round trips)")
 		minRate = flag.Int("min-rate", 0, "fail unless aggregate events/s reaches this (0 = report only)")
+		record  = flag.String("record", "", "record the first connection's stream to this trace file (rvquery replays it)")
+		workld  = flag.String("workload", "", "persisted workload trace: loaded if it exists, else the fresh recording is saved there")
 		jsonOut = flag.Bool("json", false, "emit the report as JSON")
 	)
 	flag.Parse()
@@ -74,13 +85,34 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	recordPath := ""
+	if *record != "" {
+		recordPath, err = cliutil.ValidateRecordPath("-record", *record)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
 	p, ok := dacapo.Get(*bench)
 	if !ok {
 		fatalf("unknown benchmark %q", *bench)
 	}
-	tr, err := p.Record(*scale)
-	if err != nil {
-		fatalf("recording %s: %v", *bench, err)
+	var tr *dacapo.Trace
+	if *workld != "" {
+		if _, statErr := os.Stat(*workld); statErr == nil {
+			if tr, err = dacapo.ReadTraceFile(*workld); err != nil {
+				fatalf("loading workload %s: %v", *workld, err)
+			}
+		}
+	}
+	if tr == nil {
+		if tr, err = p.Record(*scale); err != nil {
+			fatalf("recording %s: %v", *bench, err)
+		}
+		if *workld != "" {
+			if err := tr.WriteFile(*workld); err != nil {
+				fatalf("saving workload %s: %v", *workld, err)
+			}
+		}
 	}
 
 	type connResult struct {
@@ -98,12 +130,16 @@ func main() {
 			defer wg.Done()
 			res := &results[g]
 			var verdicts uint64
-			cl, err := rvgo.New(sp,
+			opts := []rvgo.Option{
 				rvgo.WithRemote(*addr),
 				rvgo.WithGC(gc),
 				rvgo.WithShards(*shards),
 				rvgo.WithVerdictHandler(func(rvgo.Verdict) { verdicts++ }),
-			)
+			}
+			if recordPath != "" && g == 0 {
+				opts = append(opts, rvgo.WithRecord(recordPath))
+			}
+			cl, err := rvgo.New(sp, opts...)
 			if err != nil {
 				res.err = err
 				return
@@ -138,6 +174,7 @@ func main() {
 			cl.Flush()
 			res.stats = cl.Stats()
 			res.verdicts = verdicts
+			cl.Close() // seals any -record trace (idempotent with the defer)
 			res.err = cl.Err()
 		}(g)
 	}

@@ -4,7 +4,13 @@
 // Usage:
 //
 //	rvmon -spec hasnext.rv [-trace trace.txt] [-gc coenable|alldead|none]
-//	      [-backend seq|shard|remote] [-shards N] [-remote addr] [-stats]
+//	      [-backend seq|shard|remote] [-shards N] [-remote addr]
+//	      [-record run.rvt] [-stats]
+//
+// -record taps the monitored stream into a persistent trace (the segment
+// format cmd/rvquery replays), so the run can be re-checked later against
+// any property over the same events. It requires a spec defining a single
+// property (one trace records one stream).
 //
 // -backend selects the monitoring backend: the in-process sequential
 // engine (seq, the default), the sharded concurrent runtime (shard, sized
@@ -67,6 +73,7 @@ func main() {
 		backendFl = flag.String("backend", "", "monitoring backend: seq, shard, remote (default: inferred from -shards/-remote)")
 		shards    = flag.Int("shards", 1, "shard count for -backend shard")
 		remoteFl  = flag.String("remote", "", "rvserve address for -backend remote")
+		record    = flag.String("record", "", "record the monitored stream to this trace file (rvquery replays it)")
 		stats     = flag.Bool("stats", false, "print monitoring statistics at the end")
 	)
 	flag.Parse()
@@ -89,19 +96,31 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	var recordOpts []rvgo.Option
+	if *record != "" {
+		if len(specs) > 1 {
+			fatalf("-record needs a spec defining a single property (%s defines %d)", *specPath, len(specs))
+		}
+		path, err := cliutil.ValidateRecordPath("-record", *record, *tracePath, *specPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		recordOpts = append(recordOpts, rvgo.WithRecord(path))
+	}
 
 	var engines []*engine
 	for _, sp := range specs {
 		sp := sp
 		handlers := sp.Handlers()
 		m, err := cliutil.NewMonitor(sp, backend, *shards, *remoteFl,
-			rvgo.WithGC(gc),
-			rvgo.WithVerdictHandler(func(v rvgo.Verdict) {
-				fmt.Printf("%s: %s at %s\n", sp.Name(), v.Cat, v.Inst.Format(sp.Params()))
-				if body, ok := handlers[string(v.Cat)]; ok {
-					spec.RunHandler(body, func(line string) { fmt.Println("  " + line) })
-				}
-			}))
+			append(recordOpts,
+				rvgo.WithGC(gc),
+				rvgo.WithVerdictHandler(func(v rvgo.Verdict) {
+					fmt.Printf("%s: %s at %s\n", sp.Name(), v.Cat, v.Inst.Format(sp.Params()))
+					if body, ok := handlers[string(v.Cat)]; ok {
+						spec.RunHandler(body, func(line string) { fmt.Println("  " + line) })
+					}
+				}))...)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -197,10 +216,12 @@ func main() {
 		}
 	}
 	for _, e := range engines {
+		// Close before the error check: it seals the recorded trace, and a
+		// failure of that final write must still be fatal.
+		e.m.Close()
 		if err := e.m.Err(); err != nil {
 			fatalf("%v", err)
 		}
-		e.m.Close()
 	}
 }
 

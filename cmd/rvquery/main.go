@@ -1,0 +1,153 @@
+// Command rvquery is the retroactive monitor: it replays a recorded trace
+// (rvgo.WithRecord, rvmon -record, rvload -record, or rvbench's recorder)
+// through fresh monitors of any property and reports the verdicts and
+// settled counters the online run would have produced — bit-identically,
+// for the recorded property, under every GC policy and worker count.
+//
+// Usage:
+//
+//	rvquery -trace run.rvt [-prop UnsafeIter | -spec prop.rv]
+//	        [-gc coenable|alldead|none] [-backend seq|shard] [-shards 4]
+//	        [-parallel 0] [-pivots 1,2,3] [-verdicts] [-json]
+//
+// The query property need not be the recorded one: events are matched by
+// name (unknown ones skip), so a trace recorded while monitoring one
+// property answers later questions about any property over the same
+// alphabet. -parallel replays segments across N workers partitioned by
+// the recorded pivot index — the offline image of the sharded runtime —
+// and -pivots restricts the replay to the given slices, skipping segments
+// the pivot index proves irrelevant. A trace with a torn tail (crashed
+// recorder) is truncated to its last intact segment and reported.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rvgo/internal/cliutil"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "recorded trace to query (required)")
+		prop      = flag.String("prop", "", "built-in property to check")
+		specFile  = flag.String("spec", "", "path to a .rv specification to check")
+		gcMode    = flag.String("gc", "coenable", "monitor GC policy: coenable, alldead, none")
+		backend   = flag.String("backend", "", "replay backend: seq or shard (default: inferred from -shards)")
+		shards    = flag.Int("shards", 1, "worker count for -backend shard")
+		parallel  = flag.Int("parallel", 0, "parallel replay workers (overrides -backend/-shards)")
+		pivots    = flag.String("pivots", "", "comma-separated pivot object IDs to restrict the query to")
+		verdicts  = flag.Bool("verdicts", false, "print each goal verdict")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fatalf("missing -trace")
+	}
+	gc, err := cliutil.ParseGC(*gcMode)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	bk, err := cliutil.ParseBackend(*backend, *shards, "")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if bk == cliutil.BackendRemote {
+		fatalf("-backend remote: retroactive queries replay in-process")
+	}
+	workers := 1
+	if bk == cliutil.BackendShard {
+		workers = *shards
+	}
+	if *parallel > 0 {
+		workers = *parallel
+	}
+	sp, err := cliutil.LoadQuerySpec(*prop, *specFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ids, err := parsePivots(*pivots)
+	if err != nil {
+		fatalf("-pivots: %v", err)
+	}
+
+	q := cliutil.RetroQuery{
+		GC:      gc,
+		Workers: workers,
+		Pivots:  ids,
+		OnVerdict: cliutil.VerdictLines(sp, func(line string) {
+			if *verdicts {
+				fmt.Println("verdict " + line)
+			}
+		}),
+	}
+	start := time.Now()
+	res, err := cliutil.RunRetroQuery(*tracePath, sp, q)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	wall := time.Since(start)
+	rate := float64(res.Stats.Events) / wall.Seconds()
+
+	if *jsonOut {
+		report := map[string]any{
+			"trace": *tracePath, "prop": sp.Name, "gc": *gcMode, "workers": workers,
+			"segments": res.Segments, "truncated": res.Truncated,
+			"events": res.Stats.Events, "wall_sec": wall.Seconds(), "events_per_sec": rate,
+			"created": res.Stats.Created, "flagged": res.Stats.Flagged,
+			"collected": res.Stats.Collected, "goal_verdicts": res.Stats.GoalVerdicts,
+			"steps": res.Stats.Steps, "live": res.Stats.Live,
+			"frees": res.Replay.Frees, "broadcast": res.Replay.Broadcast,
+			"events_skipped": res.Replay.EventsSkipped, "segments_skimmed": res.Replay.SegmentsSkimmed,
+			"unknown_skipped": res.Replay.UnknownSkipped,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	fmt.Printf("rvquery: %s over %s (gc=%s workers=%d)\n", sp.Name, *tracePath, *gcMode, workers)
+	fmt.Printf("  %d segments%s, %d events replayed in %.3fs = %.0f events/s\n",
+		res.Segments, truncNote(res.Truncated), res.Stats.Events, wall.Seconds(), rate)
+	fmt.Printf("  monitors: created=%d flagged=%d collected=%d live=%d verdicts=%d steps=%d\n",
+		res.Stats.Created, res.Stats.Flagged, res.Stats.Collected, res.Stats.Live,
+		res.Stats.GoalVerdicts, res.Stats.Steps)
+	if res.Replay.EventsSkipped > 0 || res.Replay.SegmentsSkimmed > 0 || res.Replay.UnknownSkipped > 0 {
+		fmt.Printf("  skipped: %d events (pivot filter), %d segments skimmed by index, %d unknown events\n",
+			res.Replay.EventsSkipped, res.Replay.SegmentsSkimmed, res.Replay.UnknownSkipped)
+	}
+}
+
+func parsePivots(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var ids []uint64
+	for _, part := range strings.Split(s, ",") {
+		id, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad pivot ID %q", part)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+func truncNote(t bool) string {
+	if t {
+		return " (torn tail truncated)"
+	}
+	return ""
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rvquery: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	rvserve [-listen :7472] [-window 4096] [-max-shards 16]
-//	        [-default-shards 1] [-drain 10s] [-stats 0] [-v]
+//	        [-default-shards 1] [-flight 0] [-drain 10s] [-stats 0] [-v]
 //
 // Each session chooses its property (from the built-in library or from
 // .rv source shipped in the handshake), GC policy, and backend shape
@@ -37,6 +37,7 @@ func main() {
 		maxShards     = flag.Int("max-shards", 16, "largest per-session backend a client may request")
 		defaultShards = flag.Int("default-shards", 1, "backend when the client leaves the choice to the server")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for active sessions")
+		flight        = flag.Int("flight", 0, "per-session flight recorder: dump the last n records on failure verdicts (0 = off)")
 		statsEvery    = flag.Duration("stats", 0, "print aggregate stats on this interval (0 = never)")
 		verbose       = flag.Bool("v", false, "log session lifecycle events")
 	)
@@ -48,12 +49,17 @@ func main() {
 		fatalf("-max-shards: %v", err)
 	}
 
+	if *flight < 0 {
+		fatalf("-flight: window size must be >= 0, got %d", *flight)
+	}
 	opts := rvgo.ServerOptions{
 		Window:        *window,
 		MaxShards:     *maxShards,
 		DefaultShards: *defaultShards,
+		FlightWindow:  *flight,
 	}
-	if *verbose {
+	if *verbose || *flight > 0 {
+		// Flight-window dumps ride the session log stream.
 		opts.Logf = log.Printf
 	}
 	srv := rvgo.NewServer(opts)

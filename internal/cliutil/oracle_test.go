@@ -1,0 +1,190 @@
+package cliutil_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"rvgo/internal/cliutil"
+	"rvgo/internal/dacapo"
+	"rvgo/internal/heap"
+	"rvgo/internal/monitor"
+	"rvgo/internal/param"
+	"rvgo/internal/props"
+	"rvgo/internal/trace"
+)
+
+// recDisp taps dispatched events into the trace writer before the
+// engine — the adapter's fast-path surface, with recording.
+type recDisp struct {
+	rt  monitor.Runtime
+	w   *trace.Writer
+	err error
+}
+
+func (r *recDisp) Spec() *monitor.Spec { return r.rt.Spec() }
+
+func (r *recDisp) Dispatch(sym int, theta param.Instance) {
+	if err := r.w.Event(sym, theta); err != nil && r.err == nil {
+		r.err = err
+	}
+	r.rt.Dispatch(sym, theta)
+}
+
+func (r *recDisp) EmitNamed(name string, vals ...heap.Ref) error {
+	return r.rt.EmitNamed(name, vals...)
+}
+
+func oracleKey(v monitor.Verdict) string {
+	k := v.Inst.Key()
+	return fmt.Sprintf("%d/%s/%v/%v", v.Sym, v.Cat, k.Mask, k.IDs)
+}
+
+// onlineOracle drives the recorded workload through a sequential engine
+// (optionally recording the monitored stream) and returns settled stats
+// and sorted verdict keys. Every call replays onto a fresh heap, so
+// object IDs — and hence verdict keys — are identical across calls and
+// equal to the recorded IDs.
+func onlineOracle(t *testing.T, wl *dacapo.Trace, prop string, gc monitor.GCPolicy, w *trace.Writer) (monitor.Stats, []string) {
+	t.Helper()
+	spec, err := props.Build(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var verdicts []string
+	eng, err := monitor.New(spec, monitor.Options{
+		GC:        gc,
+		Creation:  monitor.CreateEnable,
+		OnVerdict: func(v monitor.Verdict) { verdicts = append(verdicts, oracleKey(v)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rec := &recDisp{rt: eng, w: w}
+	var em dacapo.Emitter = eng
+	if w != nil {
+		em = rec
+	}
+	sink, err := dacapo.Adapt(prop, em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := heap.New()
+	h.SetFreeHook(func(o *heap.Object) {
+		eng.Free(o)
+		if w != nil {
+			if werr := w.Free(o); werr != nil && rec.err == nil {
+				rec.err = werr
+			}
+		}
+	})
+	wl.Replay(h, sink, nil)
+	eng.Flush()
+	if rec.err != nil {
+		t.Fatal(rec.err)
+	}
+	sort.Strings(verdicts)
+	return eng.Stats(), verdicts
+}
+
+// TestVerdictLines pins the rvquery -verdicts line shape: event name,
+// category, formatted instance.
+func TestVerdictLines(t *testing.T) {
+	spec, err := props.Build("HasNext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, ok := spec.Symbol("next")
+	if !ok {
+		t.Fatal("HasNext has no next event")
+	}
+	h := heap.New()
+	it := h.Alloc("it")
+	var lines []string
+	fn := cliutil.VerdictLines(spec, func(s string) { lines = append(lines, s) })
+	v := monitor.Verdict{Spec: spec, Sym: sym, Inst: param.Of(spec.Events[sym].Params, it)}
+	v.Cat = "error"
+	fn(v)
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for _, want := range []string{"next", "error", it.Label()} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("line %q lacks %q", lines[0], want)
+		}
+	}
+}
+
+// TestRetroOracleDaCapo is the end-to-end oracle for the retroactive
+// path: a DaCapo workload's monitored stream is recorded once through
+// the segment store, then replayed through the rvquery path
+// (RunRetroQuery) sequentially and with 4 parallel workers, under every
+// monitor GC policy — verdicts and settled counters must equal the
+// online run's exactly.
+func TestRetroOracleDaCapo(t *testing.T) {
+	const prop = "UnsafeIter"
+	p, ok := dacapo.Get("avrora")
+	if !ok {
+		t.Fatal("no avrora profile")
+	}
+	wl, err := p.Record(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := props.Build(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "oracle.rvt")
+	// Small segments so the parallel replay has several to fan out over.
+	w, err := trace.CreateForSpec(path, spec, trace.WriterOptions{SegmentRecords: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recStats, _ := onlineOracle(t, wl, prop, monitor.GCCoenable, w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, gc := range []monitor.GCPolicy{monitor.GCCoenable, monitor.GCAllDead, monitor.GCNone} {
+		stats, verdicts := onlineOracle(t, wl, prop, gc, nil)
+		if gc == monitor.GCCoenable && stats != recStats {
+			t.Fatalf("gc %v: recording pass diverged from reference: %+v vs %+v", gc, recStats, stats)
+		}
+		for _, workers := range []int{1, 4} {
+			var got []string
+			q := cliutil.RetroQuery{
+				GC:        gc,
+				Workers:   workers,
+				OnVerdict: func(v monitor.Verdict) { got = append(got, oracleKey(v)) },
+			}
+			qr, err := cliutil.RunRetroQuery(path, spec, q)
+			if err != nil {
+				t.Fatalf("gc %v ×%d: %v", gc, workers, err)
+			}
+			sort.Strings(got)
+			if fmt.Sprint(got) != fmt.Sprint(verdicts) {
+				t.Errorf("gc %v ×%d: verdicts diverged:\n  online %v\n  retro  %v", gc, workers, verdicts, got)
+			}
+			for _, c := range []struct {
+				name         string
+				online, quer uint64
+			}{
+				{"events", stats.Events, qr.Stats.Events},
+				{"created", stats.Created, qr.Stats.Created},
+				{"flagged", stats.Flagged, qr.Stats.Flagged},
+				{"collected", stats.Collected, qr.Stats.Collected},
+				{"goal verdicts", stats.GoalVerdicts, qr.Stats.GoalVerdicts},
+				{"steps", stats.Steps, qr.Stats.Steps},
+				{"live", uint64(stats.Live), uint64(qr.Stats.Live)},
+			} {
+				if c.online != c.quer {
+					t.Errorf("gc %v ×%d: %s: online %d, retro %d", gc, workers, c.name, c.online, c.quer)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidateRecordPath(t *testing.T) {
+	dir := t.TempDir()
+	nested := filepath.Join(dir, "a", "b", "run.rvt")
+	got, err := ValidateRecordPath("-record", nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != filepath.Clean(nested) {
+		t.Errorf("cleaned path = %q", got)
+	}
+	if fi, err := os.Stat(filepath.Dir(nested)); err != nil || !fi.IsDir() {
+		t.Errorf("parent directory not created: %v", err)
+	}
+	if _, err := ValidateRecordPath("-record", "  "); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Errorf("empty path error = %v", err)
+	}
+	// A -record path equal to the -trace input must be refused, including
+	// under cosmetic path differences.
+	in := filepath.Join(dir, "in.rvt")
+	if _, err := ValidateRecordPath("-record", filepath.Join(dir, ".", "in.rvt"), in); err == nil || !strings.Contains(err.Error(), "duplicates") {
+		t.Errorf("duplicate path error = %v", err)
+	}
+	if _, err := ValidateRecordPath("-record", in, ""); err != nil {
+		t.Errorf("empty taken entry must not collide: %v", err)
+	}
+}
+
+func TestLoadQuerySpec(t *testing.T) {
+	if _, err := LoadQuerySpec("", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := LoadQuerySpec("HasNext", "x.rv"); err == nil {
+		t.Error("both sources accepted")
+	}
+	sp, err := LoadQuerySpec("HasNext", "")
+	if err != nil || sp.Name != "HasNext" {
+		t.Errorf("builtin load = %v, %v", sp, err)
+	}
+	if _, err := LoadQuerySpec("NoSuchProp", ""); err == nil {
+		t.Error("unknown prop accepted")
+	}
+}

@@ -87,6 +87,11 @@ type Results struct {
 	// gates on them tightly; older archived baselines without the section
 	// are simply not gated.
 	Micro []MicroResult
+	// Retro, when present, is the retroactive-monitoring tier: a
+	// monitored workload recorded to the persistent trace store, replayed
+	// at several worker counts, verified bit-identical to the online run
+	// (see RunRetro; rvbench -retro produces and archives it).
+	Retro *RetroResult `json:",omitempty"`
 }
 
 // memSampler tracks peak heap usage on a fixed cadence.

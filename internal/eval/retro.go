@@ -1,0 +1,348 @@
+// Retroactive-monitoring experiment: record a DaCapo workload's monitored
+// stream into the persistent segment store, then replay it through fresh
+// engines — sequentially and fanned out over the recorded pivot index —
+// and compare against the online run. The section reports the retro
+// checking rate (the store's reason to exist: checking a recorded past is
+// far faster than the live run that produced it, and new properties can
+// be checked against old runs without re-executing them) and verifies the
+// bit-identity contract: same verdicts, same settled counters, at every
+// worker count.
+
+package eval
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"rvgo/internal/cliutil"
+	"rvgo/internal/dacapo"
+	"rvgo/internal/heap"
+	"rvgo/internal/monitor"
+	"rvgo/internal/param"
+	"rvgo/internal/props"
+	"rvgo/internal/shard"
+	"rvgo/internal/trace"
+)
+
+// RetroConfig controls the retro tier.
+type RetroConfig struct {
+	Scale   float64 // workload scale (1.0 ≈ paper/50)
+	Bench   string  // DaCapo profile (default avrora)
+	Prop    string  // property (default UnsafeIter)
+	Workers []int   // replay fan-outs (default 1, 4)
+	// Dir, when non-empty, keeps the recorded trace there (default: a
+	// temporary directory removed after the run).
+	Dir string
+}
+
+// RetroRun is one replay measurement.
+type RetroRun struct {
+	Workers   int
+	Sec       float64
+	Rate      float64 // replayed events/s
+	Speedup   float64 // vs the online single-core rate
+	Stats     monitor.Stats
+	Identical bool // verdicts + settled counters equal to the online run
+}
+
+// RetroSelective measures a single-slice query over the recorded pivot
+// index: "what happened to this one object?" asked of the whole trace.
+// Slices of distinct pivot objects are independent (paper §2), so the
+// index proves whole segments irrelevant without dispatching them —
+// Coverage counts every trace event the query disposed of, dispatched
+// or index-skipped, per second. This is the store's fast tier: coverage
+// runs at decode speed or better while full-fidelity replay is bounded
+// by the engine.
+type RetroSelective struct {
+	Pivot      uint64 // queried pivot object ID
+	Sec        float64
+	Coverage   float64 // trace events disposed of (dispatched + skipped) per second
+	Dispatched uint64  // events actually dispatched to the engine
+	Skipped    uint64  // events skipped by the pivot filter
+	Skimmed    int     // segments the index let the query skip wholesale
+	Speedup    float64 // coverage vs the online single-core rate
+	Identical  bool    // verdicts equal the online verdicts for this pivot
+}
+
+// RetroResult is the retro section of a result grid.
+type RetroResult struct {
+	Bench, Prop string
+	OnlineSec   float64
+	OnlineRate  float64 // events/s of the online sequential engine
+	Online      monitor.Stats
+	TraceMB     float64
+	Segments    int
+	Runs        []RetroRun
+	Selective   *RetroSelective `json:",omitempty"`
+}
+
+// recordingDispatcher taps every dispatched event into the trace writer
+// before the engine; deaths are recorded by the heap's free hook. It is
+// the internal image of the façade's WithRecord tap, shaped for the
+// dacapo adapter's fast path.
+type recordingDispatcher struct {
+	rt  monitor.Runtime
+	w   *trace.Writer
+	err error
+}
+
+func (r *recordingDispatcher) Spec() *monitor.Spec { return r.rt.Spec() }
+
+func (r *recordingDispatcher) Dispatch(sym int, theta param.Instance) {
+	if err := r.w.Event(sym, theta); err != nil && r.err == nil {
+		r.err = err
+	}
+	r.rt.Dispatch(sym, theta)
+}
+
+// EmitNamed satisfies the adapter's slow-path Emitter surface; the fast
+// path never calls it.
+func (r *recordingDispatcher) EmitNamed(name string, vals ...heap.Ref) error {
+	return r.rt.EmitNamed(name, vals...)
+}
+
+func verdictKey(v monitor.Verdict) string {
+	k := v.Inst.Key()
+	return fmt.Sprintf("%d/%s/%v/%v", v.Sym, v.Cat, k.Mask, k.IDs)
+}
+
+// onlinePass drives the workload through a sequential engine, optionally
+// recording it, and returns the run time, settled stats and sorted
+// verdict keys. Deaths go through the explicit Free path (hook on the
+// simulated heap) so the recorded stream carries them at their positions.
+func onlinePass(cfg RetroConfig, spec *monitor.Spec, w *trace.Writer) (float64, monitor.Stats, []monitor.Verdict, error) {
+	var verdicts []monitor.Verdict
+	eng, err := monitor.New(spec, monitor.Options{
+		GC:        monitor.GCCoenable,
+		Creation:  monitor.CreateEnable,
+		OnVerdict: func(v monitor.Verdict) { verdicts = append(verdicts, v) },
+	})
+	if err != nil {
+		return 0, monitor.Stats{}, nil, err
+	}
+	defer eng.Close()
+	rec := &recordingDispatcher{rt: eng, w: w}
+	sec, _, _, err := runWorkload(cfg.Bench, cfg.Scale, 0, func(rt *dacapo.Runtime) error {
+		var sink dacapo.Sink
+		var err error
+		if w != nil {
+			sink, err = dacapo.Adapt(cfg.Prop, rec)
+		} else {
+			sink, err = dacapo.Adapt(cfg.Prop, eng)
+		}
+		if err != nil {
+			return err
+		}
+		rt.AddSink(sink)
+		rt.Heap.SetFreeHook(func(o *heap.Object) {
+			eng.Free(o)
+			if w != nil {
+				if werr := w.Free(o); werr != nil && rec.err == nil {
+					rec.err = werr
+				}
+			}
+		})
+		return nil
+	}, eng.Flush)
+	if err != nil {
+		return 0, monitor.Stats{}, nil, err
+	}
+	if rec.err != nil {
+		return 0, monitor.Stats{}, nil, rec.err
+	}
+	return sec, eng.Stats(), verdicts, nil
+}
+
+// sortedKeys renders verdicts as sorted identity keys for comparison.
+func sortedKeys(verdicts []monitor.Verdict) []string {
+	keys := make([]string, len(verdicts))
+	for i, v := range verdicts {
+		keys[i] = verdictKey(v)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RunRetro records one monitored workload and replays it at each worker
+// count, verifying bit-identity with the online run.
+func RunRetro(cfg RetroConfig) (*RetroResult, error) {
+	if cfg.Bench == "" {
+		cfg.Bench = "avrora"
+	}
+	if cfg.Prop == "" {
+		cfg.Prop = "UnsafeIter"
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 0.1
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 4}
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "rvretro")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	spec, err := props.Build(cfg.Prop)
+	if err != nil {
+		return nil, err
+	}
+	res := &RetroResult{Bench: cfg.Bench, Prop: cfg.Prop}
+
+	// Online reference: unrecorded, so the baseline rate excludes the
+	// recorder's write cost. The recorded pass below drives the identical
+	// stream (same heap discipline), so its verdicts match by
+	// construction and only the reference's are kept.
+	sec, stats, online, err := onlinePass(cfg, spec, nil)
+	if err != nil {
+		return nil, fmt.Errorf("eval: retro online pass: %w", err)
+	}
+	onlineVerdicts := sortedKeys(online)
+	res.OnlineSec, res.Online = sec, stats
+	if sec > 0 {
+		res.OnlineRate = float64(stats.Events) / sec
+	}
+
+	path := filepath.Join(dir, fmt.Sprintf("%s_%s.rvt", cfg.Bench, cfg.Prop))
+	w, err := trace.CreateForSpec(path, spec, trace.WriterOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if _, recStats, _, err := onlinePass(cfg, spec, w); err != nil {
+		w.Close()
+		return nil, fmt.Errorf("eval: retro recording pass: %w", err)
+	} else if recStats != stats {
+		w.Close()
+		return nil, fmt.Errorf("eval: recording pass diverged from reference: %+v vs %+v", recStats, stats)
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	if fi, err := os.Stat(path); err == nil {
+		res.TraceMB = float64(fi.Size()) / (1 << 20)
+	}
+
+	for _, workers := range cfg.Workers {
+		var retro []string
+		q := cliutil.RetroQuery{
+			GC:        monitor.GCCoenable,
+			Workers:   workers,
+			OnVerdict: func(v monitor.Verdict) { retro = append(retro, verdictKey(v)) },
+		}
+		start := time.Now()
+		qr, err := cliutil.RunRetroQuery(path, spec, q)
+		if err != nil {
+			return nil, fmt.Errorf("eval: retro replay ×%d: %w", workers, err)
+		}
+		rsec := time.Since(start).Seconds()
+		res.Segments = qr.Segments
+		sort.Strings(retro)
+		run := RetroRun{Workers: workers, Sec: rsec, Stats: qr.Stats}
+		if rsec > 0 {
+			run.Rate = float64(qr.Stats.Events) / rsec
+		}
+		if res.OnlineRate > 0 {
+			run.Speedup = run.Rate / res.OnlineRate
+		}
+		run.Identical = fmt.Sprint(retro) == fmt.Sprint(onlineVerdicts) &&
+			qr.Stats.Events == stats.Events &&
+			qr.Stats.Created == stats.Created &&
+			qr.Stats.Flagged == stats.Flagged &&
+			qr.Stats.Collected == stats.Collected &&
+			qr.Stats.GoalVerdicts == stats.GoalVerdicts &&
+			qr.Stats.Steps == stats.Steps &&
+			qr.Stats.Live == stats.Live
+		res.Runs = append(res.Runs, run)
+	}
+
+	if sel, err := selectiveQuery(path, spec, online, res.OnlineRate); err != nil {
+		return nil, fmt.Errorf("eval: retro selective query: %w", err)
+	} else if sel != nil {
+		res.Selective = sel
+	}
+	return res, nil
+}
+
+// selectiveQuery replays one slice out of the recorded past — preferring
+// a pivot object that produced a verdict online, so the identity check
+// is non-vacuous — and measures the coverage rate the pivot index buys.
+// Returns nil (no error) when the spec has no pivot to index by.
+func selectiveQuery(path string, spec *monitor.Spec, online []monitor.Verdict, onlineRate float64) (*RetroSelective, error) {
+	router, err := shard.NewRouter(spec, 2)
+	if err != nil || router.Pivot() < 0 {
+		return nil, nil
+	}
+	piv := router.Pivot()
+	r, err := trace.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	footprint := r.PivotSegments()
+	// Prefer the verdict-bearing pivot with the smallest segment footprint:
+	// the identity check stays non-vacuous and the index has segments to
+	// skip. Fall back to the narrowest slice in the trace.
+	var pivotID uint64
+	best := int(^uint(0) >> 1)
+	for _, v := range online {
+		if k := v.Inst.Key(); k.Mask.Has(piv) {
+			if n := footprint[k.IDs[piv]]; pivotID == 0 || n < best {
+				pivotID, best = k.IDs[piv], n
+			}
+		}
+	}
+	if pivotID == 0 {
+		for id, n := range footprint {
+			if pivotID == 0 || n < best || (n == best && id < pivotID) {
+				pivotID, best = id, n
+			}
+		}
+	}
+	if pivotID == 0 {
+		return nil, nil
+	}
+	var expect []string
+	for _, v := range online {
+		if k := v.Inst.Key(); k.Mask.Has(piv) && k.IDs[piv] == pivotID {
+			expect = append(expect, verdictKey(v))
+		}
+	}
+	sort.Strings(expect)
+
+	var got []string
+	q := cliutil.RetroQuery{
+		GC:        monitor.GCCoenable,
+		Workers:   1,
+		Pivots:    []uint64{pivotID},
+		OnVerdict: func(v monitor.Verdict) { got = append(got, verdictKey(v)) },
+	}
+	start := time.Now()
+	qr, err := cliutil.RunRetroQuery(path, spec, q)
+	if err != nil {
+		return nil, err
+	}
+	rsec := time.Since(start).Seconds()
+	sort.Strings(got)
+	covered := qr.Replay.Events + qr.Replay.EventsSkipped + qr.Replay.UnknownSkipped
+	sel := &RetroSelective{
+		Pivot:      pivotID,
+		Sec:        rsec,
+		Dispatched: qr.Replay.Events,
+		Skipped:    qr.Replay.EventsSkipped,
+		Skimmed:    qr.Replay.SegmentsSkimmed,
+		Identical:  fmt.Sprint(got) == fmt.Sprint(expect),
+	}
+	if rsec > 0 {
+		sel.Coverage = float64(covered) / rsec
+	}
+	if onlineRate > 0 {
+		sel.Speedup = sel.Coverage / onlineRate
+	}
+	return sel, nil
+}

@@ -37,11 +37,13 @@ import (
 	"time"
 
 	"rvgo/internal/heap"
+	"rvgo/internal/logic"
 	"rvgo/internal/monitor"
 	"rvgo/internal/param"
 	"rvgo/internal/props"
 	"rvgo/internal/shard"
 	"rvgo/internal/spec"
+	"rvgo/internal/trace"
 	"rvgo/internal/wire"
 )
 
@@ -60,6 +62,11 @@ type Options struct {
 	DefaultShards int
 	// Logf, when non-nil, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
+	// FlightWindow, when > 0, gives each session a flight recorder of the
+	// last n records (events and protocol frees); the window is dumped to
+	// Logf whenever the session reports a non-match verdict — the recent-
+	// event context of a failure, without recording whole sessions.
+	FlightWindow int
 }
 
 // Server accepts and runs monitoring sessions.
@@ -205,10 +212,11 @@ type session struct {
 	wmu sync.Mutex // serializes all frame writes + flushes
 	w   *wire.Writer
 
-	rt   monitor.Runtime
-	srt  *shard.Runtime // non-nil when the backend is sharded
-	spec *monitor.Spec
-	heap *heap.Heap
+	rt     monitor.Runtime
+	srt    *shard.Runtime // non-nil when the backend is sharded
+	spec   *monitor.Spec
+	heap   *heap.Heap
+	flight *trace.Ring // non-nil with Options.FlightWindow > 0
 
 	// tmu guards the ID tables: the session goroutine writes them while
 	// ingesting events, and onVerdict reads back on shard workers.
@@ -367,6 +375,9 @@ func (s *session) handshake(h wire.Hello) error {
 		s.rt = eng
 	}
 	s.spec = compiled
+	if s.srv.opts.FlightWindow > 0 {
+		s.flight = trace.NewRing(s.srv.opts.FlightWindow)
+	}
 	s.heap = heap.New()
 	s.objects = map[uint64]*heap.Object{}
 	s.back = map[uint64]uint64{}
@@ -424,6 +435,12 @@ func (s *session) event(ev wire.Event) error {
 	}
 	s.tmu.Unlock()
 	theta := param.Of(s.spec.Events[ev.Sym].Params, s.vals...)
+	// Record before dispatch: on the sequential backend the verdict
+	// handler runs inside Dispatch, and the window it dumps must include
+	// the event that triggered it.
+	if s.flight != nil {
+		s.flight.RecordDispatchIDs(ev.Sym, s.spec.Events[ev.Sym].Params, ev.IDs)
+	}
 	if s.srt != nil {
 		// Non-blocking first: a refusal means the target mailbox is full,
 		// and the blocking fallback is precisely the backpressure — the
@@ -470,6 +487,9 @@ func (s *session) grantCredit() error {
 // still mention the object. A dead entry costs the same bounded memory as
 // its s.back row.
 func (s *session) free(ids []uint64) {
+	if s.flight != nil {
+		s.flight.RecordFreeIDs(ids)
+	}
 	// Barrier only when a death is observable: deaths of objects that
 	// never appeared in an event (dacapo workloads free far more objects
 	// than any one property mentions) change nothing for the monitors,
@@ -517,6 +537,25 @@ func (s *session) onVerdict(v monitor.Verdict) {
 	s.tmu.Unlock()
 	wv.IDs = s.vids
 	s.writeLocked(func() error { return s.w.WriteVerdict(wv) })
+	if s.flight != nil && v.Cat != logic.Match {
+		s.dumpWindow(wv)
+	}
+}
+
+// dumpWindow logs the flight-recorder window behind a failure verdict:
+// the recent events and protocol frees, oldest first, with the client's
+// object IDs. onVerdict invocations are serialized, so the dump is one
+// coherent block per verdict.
+func (s *session) dumpWindow(v wire.Verdict) {
+	var b []byte
+	for _, e := range s.flight.Snapshot() {
+		if e.Kind == trace.RingFree {
+			b = fmt.Appendf(b, " #%d free%v", e.Seq, e.IDs[:e.N])
+		} else if int(e.Sym) < len(s.spec.Events) {
+			b = fmt.Appendf(b, " #%d %s%v", e.Seq, s.spec.Events[e.Sym].Name, e.IDs[:e.N])
+		}
+	}
+	s.srv.logf("session %d: verdict %s on %v, flight window:%s", s.id, v.Cat, v.IDs, string(b))
 }
 
 // ack writes a token-echo frame.

@@ -1,12 +1,16 @@
 package server_test
 
 import (
+	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"rvgo/internal/heap"
 	"rvgo/internal/monitor"
+	"rvgo/internal/remote"
 	"rvgo/internal/server"
 	"rvgo/internal/wire"
 )
@@ -198,5 +202,85 @@ func TestBadSymbolAndArity(t *testing.T) {
 			}
 			expectError(t, r)
 		})
+	}
+}
+
+// TestFlightWindowDump covers Options.FlightWindow: a session on a server
+// with a flight recorder gets its recent records dumped to Logf when a
+// failure verdict fires, including the event that triggered it and
+// positioned frees, with the client's own object IDs.
+func TestFlightWindowDump(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		logMu sync.Mutex
+		logs  []string
+	)
+	srv := server.New(server.Options{
+		FlightWindow: 8,
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+	})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	defer func() {
+		srv.Shutdown(2 * time.Second)
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	cl, err := remote.Dial(l.Addr().String(), remote.Options{
+		Prop:     "HasNext",
+		GC:       monitor.GCCoenable,
+		Creation: monitor.CreateEnable,
+		Shards:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := heap.New()
+	stale, it := h.Alloc("stale"), h.Alloc("it")
+	if err := cl.EmitNamed("hasnexttrue", stale); err != nil {
+		t.Fatal(err)
+	}
+	cl.Free(stale)
+	h.Free(stale)
+	if err := cl.EmitNamed("hasnexttrue", it); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.EmitNamed("next", it); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.EmitNamed("next", it); err != nil { // next without hasNext: error
+		t.Fatal(err)
+	}
+	cl.Flush()
+	cl.Close()
+
+	logMu.Lock()
+	defer logMu.Unlock()
+	var dump string
+	for _, line := range logs {
+		if strings.Contains(line, "flight window:") {
+			dump = line
+			break
+		}
+	}
+	if dump == "" {
+		t.Fatalf("no flight-window dump in logs: %q", logs)
+	}
+	for _, want := range []string{"hasnexttrue", "next", "free"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump %q lacks %q", dump, want)
+		}
+	}
+	if !strings.Contains(dump, fmt.Sprintf("[%d]", it.ID())) {
+		t.Errorf("dump %q lacks the failing object ID %d", dump, it.ID())
 	}
 }

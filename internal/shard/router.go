@@ -102,6 +102,12 @@ func (r *Router) Route(sym int, theta param.Instance) (target int, broadcast boo
 	return int(mix(theta.Value(r.pivot).ID()) % uint64(r.shards)), false
 }
 
+// Mix exposes the router's ID-mixing function. Replay drivers that
+// partition recorded events by pivot object ID (internal/trace) must use
+// the very same hash, so a parallel retroactive replay partitions slices
+// exactly as the online sharded runtime would have.
+func Mix(id uint64) uint64 { return mix(id) }
+
 // mix is the splitmix64 finalizer: object IDs are sequential, and the
 // router needs them spread uniformly over shards.
 func mix(x uint64) uint64 {

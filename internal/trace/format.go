@@ -1,0 +1,261 @@
+// Package trace is the persistent trace store and flight recorder: the
+// "recorded pasts" substrate for retroactive parametric monitoring.
+//
+// The online runtimes (sequential engine, sharded runtime, remote server)
+// observe an event stream once and discard it. This package makes the
+// stream durable: a Writer taps every Dispatch/Free into an append-only
+// segment file, and a Reader replays a stored trace — whole, slice-filtered
+// or partitioned across parallel workers — through any monitor.Runtime, so
+// a specification written after the fact can be checked against the exact
+// past, with verdicts and settled counters bit-identical to online
+// monitoring of the same stream.
+//
+// # On-disk format
+//
+// A trace file is a five-byte header ("RVTR" + version) followed by
+// independent segments. Each segment is fully self-describing and
+// CRC-guarded:
+//
+//	"RSEG"                                  segment magic
+//	uvarint payloadLen                      length prefix
+//	payload                                 see below
+//	uint32le CRC32-IEEE(payload)            footer
+//
+// The payload reuses the internal/wire encoding idioms — unsigned varints
+// for integers, uvarint-length-prefixed UTF-8 for strings:
+//
+//	uvarint nsyms, then per symbol: name string, uvarint paramMask
+//	varint  pivot                           pivot parameter index, -1 = none
+//	uvarint npivot, then npivot delta-encoded ascending pivot object IDs
+//	uvarint broadcast                       events in segment not binding pivot
+//	uvarint nevents                         event records in segment
+//	uvarint nrecords                        total records (events + frees)
+//	records                                 tagged, in stream order
+//
+// A record is a tag byte followed by its body: recEvent (uvarint symbol,
+// then one uvarint object ID per parameter in D(sym), ascending parameter
+// order) or recFree (uvarint count, then the IDs of the objects dying at
+// this stream position). Object IDs are the recording heap's stable
+// heap.Ref IDs; labels never touch the disk.
+//
+// The per-segment pivot index is the retroactive analogue of the
+// internal/shard router: the pivot is the parameter every creation event
+// binds, so every monitor instance binds it and trace slices partition by
+// pivot object. A query interested in particular slices — or a parallel
+// replay worker owning a hash partition of them — can skip a whole segment
+// when the segment's pivot set contains none of its objects and the
+// segment carries no broadcast (non-pivot-binding) events.
+//
+// Torn tails are expected, not fatal: a crashed writer leaves a final
+// segment without a valid footer, and Open simply truncates the trace at
+// the last intact segment (Reader.Truncated reports it).
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rvgo/internal/param"
+)
+
+// Version is the trace-format version; Open refuses files written by a
+// version it does not speak.
+const Version = 1
+
+// fileMagic opens a trace file; segMagic opens every segment.
+const (
+	fileMagic = "RVTR"
+	segMagic  = "RSEG"
+)
+
+// MaxSegment bounds a segment payload (64 MiB). A length prefix beyond it
+// means corruption, and scanning stops at the previous intact segment.
+const MaxSegment = 1 << 26
+
+// Record tags.
+const (
+	recEvent byte = 0
+	recFree  byte = 1
+)
+
+// ErrNotTrace reports a file that does not begin with the trace header.
+var ErrNotTrace = errors.New("trace: not a trace file (bad magic)")
+
+// SymbolDef is one symbol-table entry: an event name and the parameter
+// set it binds. A spec-level trace records the spec's alphabet
+// (CreateForSpec); other producers — the DaCapo instrumentation recorder —
+// define their own alphabet over the same container.
+type SymbolDef struct {
+	Name   string
+	Params param.Set
+}
+
+// segHeader is the decoded per-segment metadata: everything a reader needs
+// to decide whether to replay, skip or partition the segment before
+// touching a single record.
+type segHeader struct {
+	syms      []SymbolDef
+	pivot     int      // recording spec's pivot parameter, -1 = none
+	pivotIDs  []uint64 // ascending object IDs of pivots bound in segment
+	broadcast uint64   // events not binding the pivot
+	events    uint64   // event records
+	records   uint64   // total records
+}
+
+// enc is the payload encoder: append-only over a byte slice, mirroring
+// wire.Writer's varint helpers.
+type enc struct{ buf []byte }
+
+func (e *enc) u(v uint64)   { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *enc) i(v int64)    { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *enc) b(v byte)     { e.buf = append(e.buf, v) }
+func (e *enc) s(str string) { e.u(uint64(len(str))); e.buf = append(e.buf, str...) }
+
+// dec is the payload decoder: a cursor over a shared read-only byte slice,
+// so parallel replay workers decode the same mapped data without copying.
+type dec struct {
+	buf []byte
+	pos int
+}
+
+var errShort = errors.New("trace: truncated segment payload")
+
+func (d *dec) u() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, errShort
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *dec) i() (int64, error) {
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, errShort
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *dec) b() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, errShort
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *dec) s() (string, error) {
+	n, err := d.u()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(d.buf)-d.pos) < n {
+		return "", errShort
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+// encodeSymbols writes the recorder's event alphabet as the segment symbol
+// table. The full alphabet (not just the symbols appearing in the segment)
+// keeps symbol indices identical to the recorder's, so records can carry
+// the raw dispatch symbol.
+func encodeSymbols(e *enc, syms []SymbolDef) {
+	e.u(uint64(len(syms)))
+	for _, ev := range syms {
+		e.s(ev.Name)
+		e.u(uint64(ev.Params))
+	}
+}
+
+// decodeHeader decodes a segment payload's header, leaving the decoder
+// positioned at the first record.
+func decodeHeader(d *dec) (*segHeader, error) {
+	h := &segHeader{}
+	nsyms, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	if nsyms > uint64(len(d.buf)-d.pos) {
+		return nil, errShort
+	}
+	h.syms = make([]SymbolDef, nsyms)
+	for i := range h.syms {
+		if h.syms[i].Name, err = d.s(); err != nil {
+			return nil, err
+		}
+		m, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		if m >= 1<<param.MaxParams {
+			return nil, fmt.Errorf("trace: symbol %q has parameter mask %#x beyond MaxParams", h.syms[i].Name, m)
+		}
+		h.syms[i].Params = param.Set(m)
+	}
+	pivot, err := d.i()
+	if err != nil {
+		return nil, err
+	}
+	if pivot < -1 || pivot >= param.MaxParams {
+		return nil, fmt.Errorf("trace: pivot parameter %d out of range", pivot)
+	}
+	h.pivot = int(pivot)
+	npivot, err := d.u()
+	if err != nil {
+		return nil, err
+	}
+	if npivot > uint64(len(d.buf)-d.pos) {
+		return nil, errShort
+	}
+	h.pivotIDs = make([]uint64, npivot)
+	var prev uint64
+	for i := range h.pivotIDs {
+		delta, err := d.u()
+		if err != nil {
+			return nil, err
+		}
+		prev += delta
+		h.pivotIDs[i] = prev
+	}
+	if h.broadcast, err = d.u(); err != nil {
+		return nil, err
+	}
+	if h.events, err = d.u(); err != nil {
+		return nil, err
+	}
+	if h.records, err = d.u(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// pivotPos returns the position of parameter pivot within mask, counting
+// set bits below it — the index of the pivot's object ID in a record's
+// ascending-parameter ID list.
+func pivotPos(mask param.Set, pivot int) int {
+	return mask.Inter(param.Set(1<<uint(pivot)) - 1).Count()
+}
+
+// hasPivot reports whether a pivot-filtered or partitioned reader owns any
+// of the segment's pivot objects. Both lists are ascending, so this is a
+// linear merge.
+func hasPivot(segIDs, want []uint64) bool {
+	i, j := 0, 0
+	for i < len(segIDs) && j < len(want) {
+		switch {
+		case segIDs[i] == want[j]:
+			return true
+		case segIDs[i] < want[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+)
+
+// segment is one intact on-disk segment: its decoded header plus the
+// record region within the reader's shared buffer.
+type segment struct {
+	hdr  *segHeader
+	recs []byte // record region (shared, read-only)
+}
+
+// Reader is an opened trace: the file's intact segments, fully indexed.
+// The file is read into one buffer at Open (the format is offset-stable,
+// so a platform mmap could back the same buffer); decoding records is done
+// lazily per replay, and concurrent replays may share one Reader.
+type Reader struct {
+	segs      []*segment
+	truncated bool
+}
+
+// Open reads and indexes a trace file. A torn tail — a final segment with
+// a short payload or an invalid CRC footer, as left by a crashed writer —
+// is truncated, not an error: the trace ends at the last intact segment
+// and Truncated reports the cut. Only a missing or foreign file header is
+// fatal.
+func Open(path string) (*Reader, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(fileMagic)+1 || string(data[:len(fileMagic)]) != fileMagic {
+		return nil, ErrNotTrace
+	}
+	if data[len(fileMagic)] != Version {
+		return nil, fmt.Errorf("trace: format version %d, want %d", data[len(fileMagic)], Version)
+	}
+	r := &Reader{}
+	pos := len(fileMagic) + 1
+	for pos < len(data) {
+		seg, next, ok := scanSegment(data, pos)
+		if !ok {
+			r.truncated = true
+			break
+		}
+		r.segs = append(r.segs, seg)
+		pos = next
+	}
+	return r, nil
+}
+
+// scanSegment decodes the segment starting at pos. ok=false means the tail
+// from pos on is torn (truncated write or corruption) and scanning stops.
+func scanSegment(data []byte, pos int) (seg *segment, next int, ok bool) {
+	if pos+len(segMagic) > len(data) || string(data[pos:pos+len(segMagic)]) != segMagic {
+		return nil, 0, false
+	}
+	pos += len(segMagic)
+	plen, n := binary.Uvarint(data[pos:])
+	if n <= 0 || plen > MaxSegment {
+		return nil, 0, false
+	}
+	pos += n
+	if uint64(len(data)-pos) < plen+4 {
+		return nil, 0, false
+	}
+	payload := data[pos : pos+int(plen)]
+	pos += int(plen)
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[pos:pos+4]) {
+		return nil, 0, false
+	}
+	pos += 4
+	d := &dec{buf: payload}
+	hdr, err := decodeHeader(d)
+	if err != nil {
+		// The CRC matched but the header does not decode: a writer bug or
+		// deliberate corruption, either way the tail is unusable.
+		return nil, 0, false
+	}
+	return &segment{hdr: hdr, recs: payload[d.pos:]}, pos, true
+}
+
+// Segments returns the number of intact segments.
+func (r *Reader) Segments() int { return len(r.segs) }
+
+// Truncated reports whether Open cut a torn tail off the trace.
+func (r *Reader) Truncated() bool { return r.truncated }
+
+// Records returns the total record count across intact segments.
+func (r *Reader) Records() uint64 {
+	var n uint64
+	for _, s := range r.segs {
+		n += s.hdr.records
+	}
+	return n
+}
+
+// Events returns the total event-record count across intact segments.
+func (r *Reader) Events() uint64 {
+	var n uint64
+	for _, s := range r.segs {
+		n += s.hdr.events
+	}
+	return n
+}
+
+// SymbolNames returns the event alphabet recorded in the first segment's
+// symbol table (empty for an empty trace) — what rvquery prints when the
+// query spec does not match the recording.
+func (r *Reader) SymbolNames() []string {
+	if len(r.segs) == 0 {
+		return nil
+	}
+	names := make([]string, len(r.segs[0].hdr.syms))
+	for i, s := range r.segs[0].hdr.syms {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// PivotIDs returns the union of the per-segment pivot indexes, ascending:
+// every slice (pivot object) the trace contains.
+func (r *Reader) PivotIDs() []uint64 {
+	seen := map[uint64]struct{}{}
+	var ids []uint64
+	for _, s := range r.segs {
+		for _, id := range s.hdr.pivotIDs {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				ids = append(ids, id)
+			}
+		}
+	}
+	sortIDs(ids)
+	return ids
+}
+
+// Record is one decoded trace record, as delivered by Scan. For an event
+// record Free is false, Sym indexes the segment's symbol table and IDs
+// bind the symbol's parameters in ascending parameter order; for a death
+// record Free is true and IDs are the dying objects. IDs is a shared
+// buffer, valid only for the duration of the callback.
+type Record struct {
+	Free bool
+	Sym  int
+	IDs  []uint64
+}
+
+// Scan decodes every record across the intact segments in stream order
+// and hands each to fn; a non-nil return stops the scan and is returned.
+// Traces written by Writer carry an identical symbol table in every
+// segment, so Sym is stable across the whole scan; SymbolNames resolves
+// it.
+func (r *Reader) Scan(fn func(Record) error) error {
+	var ids []uint64
+	for si, seg := range r.segs {
+		d := &dec{buf: seg.recs}
+		for rec := uint64(0); rec < seg.hdr.records; rec++ {
+			tag, err := d.b()
+			if err != nil {
+				return fmt.Errorf("trace: segment %d: %w", si, err)
+			}
+			switch tag {
+			case recEvent:
+				sym, err := d.u()
+				if err != nil {
+					return fmt.Errorf("trace: segment %d: %w", si, err)
+				}
+				if sym >= uint64(len(seg.hdr.syms)) {
+					return fmt.Errorf("trace: segment %d: symbol %d beyond table", si, sym)
+				}
+				n := seg.hdr.syms[sym].Params.Count()
+				ids = ids[:0]
+				for k := 0; k < n; k++ {
+					id, err := d.u()
+					if err != nil {
+						return fmt.Errorf("trace: segment %d: %w", si, err)
+					}
+					ids = append(ids, id)
+				}
+				if err := fn(Record{Sym: int(sym), IDs: ids}); err != nil {
+					return err
+				}
+			case recFree:
+				n, err := d.u()
+				if err != nil {
+					return fmt.Errorf("trace: segment %d: %w", si, err)
+				}
+				ids = ids[:0]
+				for k := uint64(0); k < n; k++ {
+					id, err := d.u()
+					if err != nil {
+						return fmt.Errorf("trace: segment %d: %w", si, err)
+					}
+					ids = append(ids, id)
+				}
+				if err := fn(Record{Free: true, IDs: ids}); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("trace: segment %d: unknown record tag %d", si, tag)
+			}
+		}
+	}
+	return nil
+}
+
+// PivotSegments returns, for each pivot ID, how many segments index it —
+// the slice's footprint across the trace, and hence how much a selective
+// query for that slice can skip. Cheap: header-only, no record decoding.
+func (r *Reader) PivotSegments() map[uint64]int {
+	counts := map[uint64]int{}
+	for _, s := range r.segs {
+		for _, id := range s.hdr.pivotIDs {
+			counts[id]++
+		}
+	}
+	return counts
+}
+
+func sortIDs(ids []uint64) {
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+}

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"sync"
+
+	"rvgo/internal/heap"
+	"rvgo/internal/param"
+)
+
+// Ring record kinds.
+const (
+	RingDispatch byte = 0 // a parametric event
+	RingFree     byte = 1 // an object-death record
+)
+
+// RingEvent is one flight-recorder entry. It is a fixed-size value — no
+// pointers, no slices — so recording is a struct copy and the ring holds
+// no references that could keep parameter objects alive.
+type RingEvent struct {
+	// Seq is the record's position in the session's stream (1-based).
+	Seq uint64
+	// Sym is the event symbol (RingDispatch) or -1 (RingFree).
+	Sym int32
+	// Kind is RingDispatch or RingFree.
+	Kind byte
+	// N is the number of valid entries in IDs.
+	N byte
+	// Mask is the bound-parameter set of a dispatch record.
+	Mask param.Set
+	// IDs are the bound object IDs in ascending parameter order
+	// (RingDispatch) or the dying object IDs (RingFree).
+	IDs [param.MaxParams]uint64
+}
+
+// Binds reports whether the entry mentions object id.
+func (e *RingEvent) Binds(id uint64) bool {
+	for i := byte(0); i < e.N; i++ {
+		if e.IDs[i] == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Ring is the flight recorder: a fixed-size in-memory window of the most
+// recent records, overwritten in place. Recording is mutex-guarded and
+// allocation-free (gated by BenchmarkRingRecordAllocs); Snapshot — taken
+// when a verdict fires, which is rare — copies the window out in stream
+// order. A Ring is safe for concurrent use.
+type Ring struct {
+	mu  sync.Mutex
+	buf []RingEvent
+	seq uint64 // total records ever written
+}
+
+// NewRing returns a flight recorder holding the last n records (n ≥ 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]RingEvent, n)}
+}
+
+// RecordDispatch records one parametric event.
+func (r *Ring) RecordDispatch(sym int, theta param.Instance) {
+	r.mu.Lock()
+	e := r.slot()
+	e.Sym = int32(sym)
+	e.Kind = RingDispatch
+	e.Mask = theta.Mask()
+	n := 0
+	for m := theta.Mask(); m != 0; m = m.Rest() {
+		e.IDs[n] = theta.Value(m.First()).ID()
+		n++
+	}
+	e.N = byte(n)
+	r.mu.Unlock()
+}
+
+// RecordDispatchIDs records one parametric event given its raw object IDs
+// in ascending parameter order — for recorders (the monitoring server)
+// that name objects by protocol ID rather than heap reference.
+func (r *Ring) RecordDispatchIDs(sym int, mask param.Set, ids []uint64) {
+	r.mu.Lock()
+	e := r.slot()
+	e.Sym = int32(sym)
+	e.Kind = RingDispatch
+	e.Mask = mask
+	n := len(ids)
+	if n > param.MaxParams {
+		n = param.MaxParams
+	}
+	copy(e.IDs[:n], ids)
+	e.N = byte(n)
+	r.mu.Unlock()
+}
+
+// RecordFree records an object-death point. More than MaxParams dying
+// objects split across consecutive entries.
+func (r *Ring) RecordFree(refs ...heap.Ref) {
+	r.mu.Lock()
+	for len(refs) > 0 {
+		chunk := refs
+		if len(chunk) > param.MaxParams {
+			chunk = chunk[:param.MaxParams]
+		}
+		refs = refs[len(chunk):]
+		e := r.slot()
+		e.Sym = -1
+		e.Kind = RingFree
+		e.Mask = 0
+		for i, ref := range chunk {
+			e.IDs[i] = ref.ID()
+		}
+		e.N = byte(len(chunk))
+	}
+	r.mu.Unlock()
+}
+
+// RecordFreeIDs records an object-death point given raw IDs.
+func (r *Ring) RecordFreeIDs(ids []uint64) {
+	r.mu.Lock()
+	for len(ids) > 0 {
+		chunk := ids
+		if len(chunk) > param.MaxParams {
+			chunk = chunk[:param.MaxParams]
+		}
+		ids = ids[len(chunk):]
+		e := r.slot()
+		e.Sym = -1
+		e.Kind = RingFree
+		e.Mask = 0
+		copy(e.IDs[:], chunk)
+		e.N = byte(len(chunk))
+	}
+	r.mu.Unlock()
+}
+
+// slot claims the next entry. Caller holds r.mu.
+func (r *Ring) slot() *RingEvent {
+	r.seq++
+	e := &r.buf[(r.seq-1)%uint64(len(r.buf))]
+	e.Seq = r.seq
+	return e
+}
+
+// Len returns the number of valid entries (≤ capacity).
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seq < uint64(len(r.buf)) {
+		return int(r.seq)
+	}
+	return len(r.buf)
+}
+
+// Snapshot copies the window out, oldest first. It allocates; verdicts
+// are rare and the hot path never calls it.
+func (r *Ring) Snapshot() []RingEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	count := r.seq
+	if count > n {
+		count = n
+	}
+	out := make([]RingEvent, count)
+	for i := uint64(0); i < count; i++ {
+		out[i] = r.buf[(r.seq-count+i)%n]
+	}
+	return out
+}

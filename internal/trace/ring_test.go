@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"testing"
+
+	"rvgo/internal/heap"
+	"rvgo/internal/param"
+)
+
+func TestRingWindow(t *testing.T) {
+	r := NewRing(4)
+	h := heap.New()
+	a, b := h.Alloc("a"), h.Alloc("b")
+	for i := 0; i < 6; i++ {
+		r.RecordDispatch(i, param.Empty().Bind(0, a).Bind(2, b))
+	}
+	r.RecordFree(a, b)
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot of 7 records in a 4-ring has %d entries", len(snap))
+	}
+	// Oldest→newest: dispatches 4, 5, 6 (0-based syms 3,4,5) then the free.
+	for i, wantSym := range []int32{3, 4, 5} {
+		e := snap[i]
+		if e.Kind != RingDispatch || e.Sym != wantSym {
+			t.Fatalf("snap[%d] = kind %d sym %d, want dispatch %d", i, e.Kind, e.Sym, wantSym)
+		}
+		if e.N != 2 || e.IDs[0] != a.ID() || e.IDs[1] != b.ID() {
+			t.Fatalf("snap[%d] ids = %v n=%d", i, e.IDs, e.N)
+		}
+		if e.Mask != param.SetOf(0, 2) {
+			t.Fatalf("snap[%d] mask = %v", i, e.Mask)
+		}
+		if e.Seq != uint64(i+4) {
+			t.Fatalf("snap[%d] seq = %d, want %d", i, e.Seq, i+4)
+		}
+	}
+	f := snap[3]
+	if f.Kind != RingFree || f.Sym != -1 || f.N != 2 || !f.Binds(a.ID()) || !f.Binds(b.ID()) {
+		t.Fatalf("free entry = %+v", f)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRingFreeSplitsLongDeaths(t *testing.T) {
+	r := NewRing(8)
+	ids := make([]uint64, param.MaxParams+3)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	r.RecordFreeIDs(ids)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("long free split into %d entries, want 2", len(snap))
+	}
+	if int(snap[0].N)+int(snap[1].N) != len(ids) {
+		t.Fatalf("split lost IDs: %d + %d != %d", snap[0].N, snap[1].N, len(ids))
+	}
+}
+
+// TestRingRecordZeroAlloc gates the flight recorder's hot path: recording
+// into the ring must not allocate.
+func TestRingRecordZeroAlloc(t *testing.T) {
+	r := NewRing(256)
+	h := heap.New()
+	a, b := h.Alloc("a"), h.Alloc("b")
+	theta := param.Empty().Bind(0, a).Bind(1, b)
+	refs := []heap.Ref{a, b}
+	ids := []uint64{a.ID(), b.ID()}
+	if avg := testing.AllocsPerRun(2000, func() {
+		r.RecordDispatch(1, theta)
+	}); avg != 0 {
+		t.Errorf("RecordDispatch allocates %.2f/op", avg)
+	}
+	if avg := testing.AllocsPerRun(2000, func() {
+		r.RecordFree(refs...)
+	}); avg != 0 {
+		t.Errorf("RecordFree allocates %.2f/op", avg)
+	}
+	if avg := testing.AllocsPerRun(2000, func() {
+		r.RecordFreeIDs(ids)
+	}); avg != 0 {
+		t.Errorf("RecordFreeIDs allocates %.2f/op", avg)
+	}
+}
+
+// BenchmarkRingRecordAllocs is the benchstat form of the zero-alloc gate.
+func BenchmarkRingRecordAllocs(b *testing.B) {
+	b.ReportAllocs()
+	r := NewRing(1024)
+	h := heap.New()
+	a, c := h.Alloc("a"), h.Alloc("c")
+	theta := param.Empty().Bind(0, a).Bind(1, c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RecordDispatch(i&7, theta)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"rvgo/internal/monitor"
 	"rvgo/internal/remote"
 	"rvgo/internal/shard"
+	"rvgo/internal/trace"
 	"rvgo/spec"
 )
 
@@ -25,9 +26,11 @@ import (
 // Dispatch, Emitter.Emit, Free, FreeAsync, Barrier, Flush and Stats are
 // safe for concurrent use.
 type Monitor struct {
-	rt  monitor.Runtime
-	sp  *spec.Spec
-	rem *remote.Client
+	rt     monitor.Runtime
+	sp     *spec.Spec
+	rem    *remote.Client
+	tp     *tap            // non-nil with WithRecord/WithFlightRecorder
+	flight *flightRecorder // non-nil with WithFlightRecorder
 
 	verdicts  chan Verdict
 	closeOnce sync.Once
@@ -46,6 +49,8 @@ type config struct {
 	handler    func(Verdict)
 	streamBuf  int
 	hasStream  bool
+	recordPath string
+	flightN    int
 }
 
 // Option configures a Monitor under construction.
@@ -182,6 +187,41 @@ func WithVerdictHandler(f func(Verdict)) Option {
 	}
 }
 
+// WithRecord taps every dispatched event and object death into a
+// persistent trace at path — the append-only segment format read by
+// cmd/rvquery — while the Monitor runs normally. Recording works on every
+// backend; the trace captures the stream at the façade, so a later replay
+// reproduces the online run's verdicts and settled counters exactly,
+// under any backend and GC policy. Recording errors (a full disk, a
+// vanished directory) are sticky and surfaced by Err; the trace is sealed
+// by Close, and Flush also seals the open segment so the on-disk trace
+// catches up to the flush point.
+func WithRecord(path string) Option {
+	return func(c *config) error {
+		if path == "" {
+			return errors.New("rvgo: WithRecord: empty path")
+		}
+		c.recordPath = path
+		return nil
+	}
+}
+
+// WithFlightRecorder keeps a fixed-size in-memory ring of the last n
+// records (events and deaths) crossing the façade, on every backend.
+// When a goal verdict is delivered the ring is snapshotted, and
+// LastWindow(ref) retrieves the window behind the most recent verdict
+// that bound ref — the recent-event context of a failure, without
+// recording the whole run. Recording into the ring does not allocate.
+func WithFlightRecorder(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("rvgo: WithFlightRecorder(%d): window size must be >= 1", n)
+		}
+		c.flightN = n
+		return nil
+	}
+}
+
 // WithVerdictStream makes the Monitor deliver verdicts to a channel of
 // the given buffer size, returned by Verdicts. Delivery blocks when the
 // buffer is full — natural backpressure, but it means the consumer must
@@ -246,6 +286,19 @@ func New(s *spec.Spec, opts ...Option) (*Monitor, error) {
 
 	m := &Monitor{sp: s}
 	handler := cfg.handler
+	if cfg.flightN > 0 {
+		// Snapshot before the user handler runs, so a handler (or a
+		// goroutine it signals) calling LastWindow sees this verdict's
+		// window already captured.
+		m.flight = newFlightRecorder(cfg.flightN)
+		user := handler
+		handler = func(v Verdict) {
+			m.flight.onVerdict(v)
+			if user != nil {
+				user(v)
+			}
+		}
+	}
 	if cfg.hasStream {
 		ch := make(chan Verdict, cfg.streamBuf)
 		m.verdicts = ch
@@ -295,6 +348,23 @@ func New(s *spec.Spec, opts ...Option) (*Monitor, error) {
 			return nil, err
 		}
 		m.rt = eng
+	}
+	if cfg.recordPath != "" || m.flight != nil {
+		// The tap becomes the Monitor's runtime before anything resolves
+		// an Emitter, so every ingestion path is recorded.
+		t := &tap{rt: m.rt}
+		if m.flight != nil {
+			t.ring = m.flight.ring
+		}
+		if cfg.recordPath != "" {
+			w, err := trace.CreateForSpec(cfg.recordPath, s.Compiled(), trace.WriterOptions{})
+			if err != nil {
+				m.rt.Close()
+				return nil, err
+			}
+			t.rec = w
+		}
+		m.tp, m.rt = t, t
 	}
 	return m, nil
 }
@@ -382,12 +452,19 @@ func (m *Monitor) Stats() Stats { return m.rt.Stats() }
 // or nil. The channel is closed by Close.
 func (m *Monitor) Verdicts() <-chan Verdict { return m.verdicts }
 
-// Err returns the sticky session error of a remote Monitor — connection
-// loss, a server error, a protocol violation — after which the event
-// methods degrade to no-ops. Local backends always return nil.
+// Err returns the Monitor's sticky error: for a remote Monitor the
+// session error — connection loss, a server error, a protocol violation —
+// after which the event methods degrade to no-ops; for a recording
+// Monitor (WithRecord) the first trace-write failure, after which
+// monitoring continues but the trace is incomplete. Otherwise nil.
 func (m *Monitor) Err() error {
 	if m.rem != nil {
-		return m.rem.Err()
+		if err := m.rem.Err(); err != nil {
+			return err
+		}
+	}
+	if m.tp != nil {
+		return m.tp.recErr()
 	}
 	return nil
 }
