@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rvbench [-table fig9a|fig9b|fig10|retained|micro|all] [-scale 0.1]
+//	rvbench [-table fig9a|fig9b|fig10|retained|micro|metrics|all] [-scale 0.1]
 //	        [-timeout 60s] [-bench bloat,pmd,...] [-prop HasNext,...]
 //	        [-backend seq|shard|remote] [-shards N] [-remote addr]
 //	        [-live] [-retro] [-json] [-out run.json]
@@ -55,7 +55,7 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "which table to print: fig9a, fig9b, fig10, retained, micro, all")
+		table   = flag.String("table", "all", "which table to print: fig9a, fig9b, fig10, retained, micro, metrics, all")
 		scale   = flag.Float64("scale", 0.1, "workload scale (1.0 ≈ paper/50)")
 		timeout = flag.Duration("timeout", 60*time.Second, "per-cell time budget (exceeded = ∞)")
 		benchs  = flag.String("bench", "", "comma-separated benchmark subset (default: all 15)")
@@ -150,12 +150,15 @@ func main() {
 		res.Retained(os.Stdout)
 	case "micro":
 		res.MicroTable(os.Stdout)
+	case "metrics":
+		res.MetricsTable(os.Stdout)
 	case "all":
 		res.Fig9A(os.Stdout)
 		res.Fig9B(os.Stdout)
 		res.Fig10(os.Stdout)
 		res.Retained(os.Stdout)
 		res.MicroTable(os.Stdout)
+		res.MetricsTable(os.Stdout)
 	default:
 		fatalf("unknown table %q", *table)
 	}

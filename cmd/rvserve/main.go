@@ -7,13 +7,20 @@
 // Usage:
 //
 //	rvserve [-listen :7472] [-window 4096] [-max-shards 16]
-//	        [-default-shards 1] [-flight 0] [-drain 10s] [-stats 0] [-v]
+//	        [-default-shards 1] [-flight 0] [-drain 10s] [-stats 0]
+//	        [-metrics addr] [-record-dir dir] [-v]
 //
 // Each session chooses its property (from the built-in library or from
 // .rv source shipped in the handshake), GC policy, and backend shape
 // (sequential or sharded, up to -max-shards). SIGINT/SIGTERM drain
 // gracefully: accepting stops, active sessions get -drain to finish their
 // streams, stragglers are cut.
+//
+// With -metrics the server exposes its introspection surface on a side
+// HTTP listener: Prometheus text at /metrics, the JSON status document at
+// /statusz (what cmd/rvtop polls), and the Go profiling endpoints under
+// /debug/pprof/. With -record-dir every session's stream is also recorded
+// as a persistent trace (session-<id>.rvt, readable by cmd/rvquery).
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +47,8 @@ func main() {
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for active sessions")
 		flight        = flag.Int("flight", 0, "per-session flight recorder: dump the last n records on failure verdicts (0 = off)")
 		statsEvery    = flag.Duration("stats", 0, "print aggregate stats on this interval (0 = never)")
+		metricsAddr   = flag.String("metrics", "", "serve /metrics, /statusz and /debug/pprof on this address (empty = off)")
+		recordDir     = flag.String("record-dir", "", "record every session's stream as a trace in this directory (empty = off)")
 		verbose       = flag.Bool("v", false, "log session lifecycle events")
 	)
 	flag.Parse()
@@ -57,6 +67,7 @@ func main() {
 		MaxShards:     *maxShards,
 		DefaultShards: *defaultShards,
 		FlightWindow:  *flight,
+		RecordDir:     *recordDir,
 	}
 	if *verbose || *flight > 0 {
 		// Flight-window dumps ride the session log stream.
@@ -69,6 +80,19 @@ func main() {
 		fatalf("%v", err)
 	}
 	log.Printf("rvserve: listening on %s (window=%d, max-shards=%d)", l.Addr(), *window, *maxShards)
+
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatalf("-metrics: %v", err)
+		}
+		log.Printf("rvserve: metrics on http://%s/metrics (statusz, pprof alongside)", ml.Addr())
+		go func() {
+			if err := http.Serve(ml, srv.DebugHandler()); err != nil {
+				log.Printf("rvserve: metrics listener: %v", err)
+			}
+		}()
+	}
 
 	if *statsEvery > 0 {
 		go func() {

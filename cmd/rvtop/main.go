@@ -1,0 +1,249 @@
+// Command rvtop is a live terminal view of a monitoring server: it polls
+// the /statusz document that rvserve -metrics serves and renders a
+// refreshing per-tenant and per-shard table — monitors live, event
+// throughput, GC reclaim rate, credit stalls, mailbox depths — the
+// paper's Figure 10 counters as an operational dashboard.
+//
+// Usage:
+//
+//	rvtop [-interval 2s] [-once] host:port
+//
+// The address is the server's -metrics listener. Rates (ev/s, batch/s)
+// are derived from successive polls; -once prints a single snapshot
+// (cumulative counters only) and exits, for scripts and smoke tests.
+//
+// rvtop speaks only the public JSON contract of /statusz; it mirrors the
+// document shape locally rather than importing server internals.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// The /statusz document, mirrored from its stable JSON field names.
+type statusz struct {
+	UptimeSec float64         `json:"uptime_sec"`
+	Active    int             `json:"active_sessions"`
+	Total     uint64          `json:"total_sessions"`
+	Events    uint64          `json:"events"`
+	Verdicts  uint64          `json:"verdicts"`
+	Sessions  []sessionStatus `json:"sessions"`
+	Metrics   []metricFamily  `json:"metrics"`
+}
+
+type sessionStatus struct {
+	ID        uint64  `json:"id"`
+	Tenant    string  `json:"tenant"`
+	Shards    int     `json:"shards"`
+	Window    int     `json:"window"`
+	Events    uint64  `json:"events"`
+	Stalls    uint64  `json:"stalls"`
+	StallSec  float64 `json:"stall_sec"`
+	UptimeSec float64 `json:"uptime_sec"`
+}
+
+type metricFamily struct {
+	Name   string         `json:"name"`
+	Kind   string         `json:"kind"`
+	Label  string         `json:"label"`
+	Series []metricSeries `json:"series"`
+}
+
+type metricSeries struct {
+	Label string  `json:"label"`
+	Value float64 `json:"value"`
+	Count uint64  `json:"count"`
+}
+
+// values flattens one family into label → value.
+func (st *statusz) values(family string) map[string]float64 {
+	out := map[string]float64{}
+	for _, f := range st.Metrics {
+		if f.Name != family {
+			continue
+		}
+		for _, s := range f.Series {
+			out[s.Label] = s.Value
+		}
+	}
+	return out
+}
+
+// sample is one poll: the document plus its arrival time, for rates.
+type sample struct {
+	st statusz
+	at time.Time
+}
+
+func poll(url string) (sample, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return sample{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return sample{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return sample{}, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var s sample
+	if err := json.Unmarshal(body, &s.st); err != nil {
+		return sample{}, fmt.Errorf("parse /statusz: %w", err)
+	}
+	s.at = time.Now()
+	return s, nil
+}
+
+// rate is (cur-prev)/dt for one label of one family, or NaN on the first
+// sample (rendered as "-").
+func rate(cur, prev *sample, family, label string) float64 {
+	if prev == nil {
+		return math.NaN()
+	}
+	dt := cur.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		return math.NaN()
+	}
+	return (cur.st.values(family)[label] - prev.st.values(family)[label]) / dt
+}
+
+func fmtRate(v float64) string {
+	if math.IsNaN(v) { // no previous sample yet
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func render(w io.Writer, url string, cur sample, prev *sample) {
+	st := &cur.st
+	fmt.Fprintf(w, "rvtop — %s  up %s  sessions %d/%d  events %d  verdicts %d\n\n",
+		url, (time.Duration(st.UptimeSec) * time.Second).String(),
+		st.Active, st.Total, st.Events, st.Verdicts)
+
+	// Tenant rows: every tenant with an engine or server series.
+	live := st.values("rv_engine_monitors_live")
+	peak := st.values("rv_engine_monitors_peak_live")
+	created := st.values("rv_engine_monitors_created_total")
+	collected := st.values("rv_engine_monitors_collected_total")
+	stalls := st.values("rv_server_credit_stalls_total")
+	tenants := map[string]bool{}
+	for l := range live {
+		tenants[l] = true
+	}
+	for l := range st.values("rv_server_events_total") {
+		tenants[l] = true
+	}
+	names := make([]string, 0, len(tenants))
+	for l := range tenants {
+		names = append(names, l)
+	}
+	sort.Strings(names)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 3, ' ', 0)
+	fmt.Fprintln(tw, "TENANT\tLIVE\tPEAK\tEV/S\tCREATED\tCOLLECTED\tRECLAIM\tSTALLS")
+	for _, tn := range names {
+		reclaim := "-"
+		if created[tn] > 0 {
+			reclaim = fmt.Sprintf("%.1f%%", 100*collected[tn]/created[tn])
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%.0f\t%.0f\t%s\t%.0f\n",
+			tn, live[tn], peak[tn],
+			fmtRate(rate(&cur, prev, "rv_server_events_total", tn)),
+			created[tn], collected[tn], reclaim, stalls[tn])
+	}
+	tw.Flush()
+
+	// Shard rows, when any session runs a sharded backend.
+	depth := st.values("rv_shard_mailbox_depth")
+	if len(depth) > 0 {
+		shards := make([]string, 0, len(depth))
+		for l := range depth {
+			shards = append(shards, l)
+		}
+		sort.Strings(shards)
+		fmt.Fprintln(w)
+		tw = tabwriter.NewWriter(w, 2, 4, 3, ' ', 0)
+		fmt.Fprintln(tw, "  SHARD\tDEPTH\tBATCH/S\tEV/S")
+		for _, sh := range shards {
+			fmt.Fprintf(tw, "  %s\t%.0f\t%s\t%s\n", sh, depth[sh],
+				fmtRate(rate(&cur, prev, "rv_shard_batches_total", sh)),
+				fmtRate(rate(&cur, prev, "rv_shard_batch_events_total", sh)))
+		}
+		tw.Flush()
+	}
+
+	// Per-session detail.
+	if len(st.Sessions) > 0 {
+		fmt.Fprintln(w)
+		tw = tabwriter.NewWriter(w, 2, 4, 3, ' ', 0)
+		fmt.Fprintln(tw, "  SESSION\tTENANT\tSHARDS\tWINDOW\tEVENTS\tSTALLS\tSTALL-SEC\tUP")
+		for _, s := range st.Sessions {
+			fmt.Fprintf(tw, "  %d\t%s\t%d\t%d\t%d\t%d\t%.2f\t%s\n",
+				s.ID, s.Tenant, s.Shards, s.Window, s.Events, s.Stalls, s.StallSec,
+				(time.Duration(s.UptimeSec) * time.Second).String())
+		}
+		tw.Flush()
+	}
+}
+
+func main() {
+	var (
+		interval = flag.Duration("interval", 2*time.Second, "poll interval")
+		once     = flag.Bool("once", false, "print one snapshot and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rvtop [-interval 2s] [-once] host:port\n\n"+
+			"Polls the /statusz endpoint of an rvserve -metrics listener.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	addr := flag.Arg(0)
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	url := strings.TrimRight(addr, "/") + "/statusz"
+
+	cur, err := poll(url)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *once {
+		render(os.Stdout, url, cur, nil)
+		return
+	}
+	prev := cur
+	for {
+		time.Sleep(*interval)
+		cur, err = poll(url)
+		if err != nil {
+			// Transient scrape errors (a restarting server) show in place
+			// of the table; the loop keeps polling.
+			fmt.Printf("\x1b[2J\x1b[Hrvtop — %s: %v\n", url, err)
+			continue
+		}
+		fmt.Print("\x1b[2J\x1b[H") // clear and home, a fresh frame
+		render(os.Stdout, url, cur, &prev)
+		prev = cur
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rvtop: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -92,6 +92,23 @@ func Compare(base, cur *Results, tol float64) []string {
 				bm.Name, bm.AllocsPerEvent, cm.AllocsPerEvent, allocTol*100, allocSlack))
 		}
 	}
+
+	// The telemetry gate, when the baseline carries the section: the churn
+	// workload is fixed and the registry counters settle exactly, so any
+	// divergence is a semantic change in the engine's reclamation or in the
+	// metrics plumbing. Latency quantiles are machine-dependent, never gated.
+	if bm, cm := base.Metrics, cur.Metrics; bm != nil {
+		if cm == nil {
+			bad = append(bad, "metrics: section missing from current run")
+		} else {
+			b, c := *bm, *cm
+			b.SweepP50Us, b.SweepP99Us = 0, 0
+			c.SweepP50Us, c.SweepP99Us = 0, 0
+			if b != c {
+				bad = append(bad, fmt.Sprintf("metrics: telemetry counters diverge:\n    baseline %+v\n    current  %+v", b, c))
+			}
+		}
+	}
 	return bad
 }
 

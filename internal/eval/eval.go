@@ -92,6 +92,12 @@ type Results struct {
 	// at several worker counts, verified bit-identical to the online run
 	// (see RunRetro; rvbench -retro produces and archives it).
 	Retro *RetroResult `json:",omitempty"`
+	// Metrics is the telemetry section: the engine's metrics registry
+	// observed over a fixed churn workload (see RunMetricsReport). Counter
+	// fields are deterministic and Compare gates on them exactly; latency
+	// quantiles are reported only. Baselines archived before the section
+	// existed are not gated.
+	Metrics *MetricsReport `json:",omitempty"`
 }
 
 // memSampler tracks peak heap usage on a fixed cadence.
@@ -405,6 +411,15 @@ func Run(cfg Config, progress io.Writer) (*Results, error) {
 			fmt.Fprintf(progress, "%-28s %8.1f ns/ev  %6.3f allocs/ev  %7.1f B/ev\n",
 				"micro:"+m.Name, m.NsPerEvent, m.AllocsPerEvent, m.BytesPerEvent)
 		}
+	}
+	met, err := RunMetricsReport()
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics = met
+	if progress != nil {
+		fmt.Fprintf(progress, "%-28s pool hit %5.1f%%  sweeps %d  sweep p50/p99 %.1f/%.1f µs\n",
+			"metrics:churn", met.PoolHitRate*100, met.Sweeps, met.SweepP50Us, met.SweepP99Us)
 	}
 	return res, nil
 }

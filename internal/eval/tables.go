@@ -163,3 +163,19 @@ func (r *Results) MicroTable(w io.Writer) {
 			m.Name, m.Events, m.NsPerEvent, m.AllocsPerEvent, m.BytesPerEvent)
 	}
 }
+
+// MetricsTable prints the telemetry section: what the metrics registry
+// observed over the fixed churn workload (counters CI-gated, latency
+// quantiles reported only).
+func (r *Results) MetricsTable(w io.Writer) {
+	m := r.Metrics
+	if m == nil {
+		return
+	}
+	fmt.Fprintln(w, "\nengine telemetry (fixed churn workload, coenable GC, metrics registry attached)")
+	fmt.Fprintf(w, "%-12s %-12s %-12s %-12s %-12s %-10s %-8s %-14s\n",
+		"events", "created", "collected", "recycled", "reused", "pool-hit", "sweeps", "p50/p99 µs")
+	fmt.Fprintf(w, "%-12d %-12d %-12d %-12d %-12d %-10s %-8d %.1f/%.1f\n",
+		m.Events, m.Created, m.Collected, m.Recycled, m.Reused,
+		fmt.Sprintf("%.1f%%", m.PoolHitRate*100), m.Sweeps, m.SweepP50Us, m.SweepP99Us)
+}

@@ -1,0 +1,467 @@
+// Package metrics is the engine-wide telemetry substrate: a small,
+// dependency-free metrics registry with atomic counters, gauges and
+// fixed-bucket histograms, exposed as Prometheus text (/metrics on
+// cmd/rvserve), as a JSON snapshot (/statusz, read by cmd/rvtop), and
+// through the public façade hook (rvgo.WithMetrics / Monitor.Metrics).
+//
+// The design discipline mirrors the PR 4 interner: every series is
+// resolved ONCE, at component construction time, against a single
+// pre-interned label dimension (a tenant or shard name), and the hot path
+// only ever touches the resolved *Counter/*Gauge/*Histogram — one or two
+// atomic operations, zero allocations, no map lookups, no formatting.
+// Label interning, name registration and text encoding all happen on cold
+// paths (construction and scrape).
+//
+// Instrument methods are nil-receiver-safe: a component built without
+// telemetry holds nil series and pays a single predictable branch per
+// update site. Telemetry is provably semantics-free — the conformance
+// suite runs every backend with metrics enabled and requires verdicts and
+// settled counters bit-identical to the bare run.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is a metric family's type, using the Prometheus vocabulary.
+type Kind string
+
+// The metric kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// safe for concurrent use and safe on a nil receiver (no-ops), so
+// instrument sites need no enablement checks.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds d.
+func (c *Counter) Add(d uint64) {
+	if c != nil && d != 0 {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic signed instantaneous value. Methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (deltas may be negative).
+func (g *Gauge) Add(d int64) {
+	if g != nil && d != 0 {
+		g.v.Add(d)
+	}
+}
+
+// SetMax raises the gauge to v if v is larger (a high-water mark).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram: observation counts per upper
+// bound, plus a total count and sum. Observe is a bounded linear scan and
+// three atomic updates — no allocation, safe for concurrent use, no-op on
+// a nil receiver.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket that holds it — the same estimate a Prometheus
+// histogram_quantile gives. Observations beyond the last finite bound
+// report that bound. Returns 0 with no observations or a nil receiver.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if float64(cum) >= rank {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			inBucket := h.buckets[i].Load()
+			if inBucket == 0 {
+				return h.bounds[i]
+			}
+			frac := (rank - float64(cum-inBucket)) / float64(inBucket)
+			return lo + (h.bounds[i]-lo)*frac
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	label string
+	c     *Counter
+	g     *Gauge
+	h     *Histogram
+}
+
+// family is one named metric: a kind, an optional single label key, and
+// the interned series per label value.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	label   string // label key; "" = unlabeled (one implicit series)
+	bounds  []float64
+	mu      sync.Mutex
+	order   []*series
+	byLabel map[string]*series
+}
+
+// intern resolves the series for a label value, creating it on first use.
+func (f *family) intern(value string) *series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.byLabel[value]; ok {
+		return s
+	}
+	s := &series{label: value}
+	switch f.kind {
+	case KindCounter:
+		s.c = &Counter{}
+	case KindGauge:
+		s.g = &Gauge{}
+	case KindHistogram:
+		s.h = &Histogram{bounds: f.bounds, buckets: make([]atomic.Uint64, len(f.bounds)+1)}
+	}
+	f.byLabel[value] = s
+	f.order = append(f.order, s)
+	return s
+}
+
+// Registry is a set of metric families. Registration is idempotent —
+// resolving the same name again returns the existing family (so
+// components constructed repeatedly against one registry share series) —
+// and a name re-registered with a different kind or label key panics: that
+// is a programming error in the metric inventory, not runtime input.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) resolve(name, help string, kind Kind, label string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind || f.label != label {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s{%s}, existing %s{%s}", name, kind, label, f.kind, f.label))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, label: label, bounds: bounds, byLabel: map[string]*series{}}
+	r.byName[name] = f
+	r.fams = append(r.fams, f)
+	return f
+}
+
+// Counter resolves an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.resolve(name, help, KindCounter, "", nil).intern("").c
+}
+
+// LabeledCounter resolves the counter for one value of the family's single
+// label dimension. The label value is interned: the caller keeps the
+// returned pointer and the hot path never touches the registry again.
+func (r *Registry) LabeledCounter(name, help, label, value string) *Counter {
+	return r.resolve(name, help, KindCounter, label, nil).intern(value).c
+}
+
+// Gauge resolves an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.resolve(name, help, KindGauge, "", nil).intern("").g
+}
+
+// LabeledGauge resolves the gauge for one label value.
+func (r *Registry) LabeledGauge(name, help, label, value string) *Gauge {
+	return r.resolve(name, help, KindGauge, label, nil).intern(value).g
+}
+
+// Histogram resolves an unlabeled histogram over the given ascending
+// bucket upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.resolve(name, help, KindHistogram, "", bounds).intern("").h
+}
+
+// LabeledHistogram resolves the histogram for one label value.
+func (r *Registry) LabeledHistogram(name, help, label, value string, bounds []float64) *Histogram {
+	return r.resolve(name, help, KindHistogram, label, bounds).intern(value).h
+}
+
+// SecondsBuckets is the canonical latency bucket ladder (1µs … 4s): wide
+// enough for an fsync on contended disks, fine enough that a sweep pass's
+// p50/p99 separate.
+var SecondsBuckets = []float64{
+	1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1, 4,
+}
+
+// CountBuckets is the canonical size bucket ladder (1 … 4096), for batch
+// sizes and fan-outs.
+var CountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+
+// BucketSnapshot is one cumulative histogram bucket. The implicit +Inf
+// bucket is omitted from snapshots (its count equals the series Count), so
+// Le always marshals as a finite JSON number.
+type BucketSnapshot struct {
+	Le    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// SeriesSnapshot is one series' point-in-time state.
+type SeriesSnapshot struct {
+	Label   string           `json:"label,omitempty"`
+	Value   float64          `json:"value"`           // counter/gauge value; histogram sum
+	Count   uint64           `json:"count,omitempty"` // histogram observation count
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// FamilySnapshot is one family's point-in-time state: the JSON shape of
+// /statusz's metrics section and of the façade's Snapshot.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   Kind             `json:"kind"`
+	Label  string           `json:"label,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot returns every family's current state, families in registration
+// order, series in label-interning order. Values are read with the same
+// atomics the hot paths write; the snapshot is not a consistent cut across
+// series (no metrics snapshot is), but each individual value is exact.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind, Label: f.label}
+		f.mu.Lock()
+		order := append([]*series(nil), f.order...)
+		f.mu.Unlock()
+		for _, s := range order {
+			ss := SeriesSnapshot{Label: s.label}
+			switch f.kind {
+			case KindCounter:
+				ss.Value = float64(s.c.Value())
+			case KindGauge:
+				ss.Value = float64(s.g.Value())
+			case KindHistogram:
+				ss.Value = s.h.Sum()
+				ss.Count = s.h.Count()
+				var cum uint64
+				for i, le := range f.bounds {
+					cum += s.h.buckets[i].Load()
+					ss.Buckets = append(ss.Buckets, BucketSnapshot{Le: le, Count: cum})
+				}
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// Find returns the snapshot of one family by name (convenience for tests
+// and reports).
+func (r *Registry) Find(name string) (FamilySnapshot, bool) {
+	for _, f := range r.Snapshot() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FamilySnapshot{}, false
+}
+
+// WriteProm writes the registry in the Prometheus text exposition format
+// (version 0.0.4): one HELP/TYPE header per family, one sample line per
+// series, histograms expanded to cumulative _bucket/_sum/_count samples.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, f := range r.Snapshot() {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, strings.ReplaceAll(f.Help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			if err := writePromSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromSeries(w io.Writer, f FamilySnapshot, s SeriesSnapshot) error {
+	if f.Kind != KindHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, promLabels(f.Label, s.Label, "", ""), promFloat(s.Value))
+		return err
+	}
+	for _, b := range s.Buckets {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, promLabels(f.Label, s.Label, "le", promFloat(b.Le)), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, promLabels(f.Label, s.Label, "le", "+Inf"), s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, promLabels(f.Label, s.Label, "", ""), promFloat(s.Value)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, promLabels(f.Label, s.Label, "", ""), s.Count)
+	return err
+}
+
+// promLabels renders a label block from up to two key/value pairs,
+// skipping empty keys.
+func promLabels(k1, v1, k2, v2 string) string {
+	var parts []string
+	if k1 != "" {
+		parts = append(parts, k1+`="`+escapeLabel(v1)+`"`)
+	}
+	if k2 != "" {
+		parts = append(parts, k2+`="`+escapeLabel(v2)+`"`)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Names returns the registered family names, sorted (diagnostics, tests).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,219 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rv_test_total", "help")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	// Idempotent re-registration returns the same series.
+	if again := r.Counter("rv_test_total", "help"); again.Value() != 42 {
+		t.Fatalf("re-registration did not return the existing counter")
+	}
+
+	g := r.LabeledGauge("rv_test_live", "", "tenant", "HasNext")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	g.SetMax(10)
+	g.SetMax(2)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("SetMax gauge = %d, want 10", got)
+	}
+
+	// Nil receivers are safe no-ops everywhere.
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	nc.Inc()
+	nc.Add(5)
+	ng.Set(1)
+	ng.Add(1)
+	ng.SetMax(1)
+	nh.Observe(1)
+	if nc.Value() != 0 || ng.Value() != 0 || nh.Count() != 0 || nh.Sum() != 0 || nh.Quantile(0.5) != 0 {
+		t.Fatal("nil receivers must read as zero")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rv_test_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("rv_test_total", "")
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rv_test_seconds", "", []float64{0.001, 0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // (0.001, 0.01]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // (0.1, 1]
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if got, want := h.Sum(), 90*0.005+10*0.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	// p50 interpolates inside (0.001, 0.01]; p99 inside (0.1, 1].
+	if p50 := h.Quantile(0.5); p50 <= 0.001 || p50 > 0.01 {
+		t.Fatalf("p50 = %g, want in (0.001, 0.01]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 0.1 || p99 > 1 {
+		t.Fatalf("p99 = %g, want in (0.1, 1]", p99)
+	}
+	// Observations beyond the last bound clamp to it.
+	h.Observe(50)
+	if q := h.Quantile(1); q != 1 {
+		t.Fatalf("overflow quantile = %g, want clamp to last bound 1", q)
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("rv_engine_events_total", "Events dispatched.", "tenant", "HasNext").Add(128)
+	r.LabeledCounter("rv_engine_events_total", "Events dispatched.", "tenant", `we"ird\x`).Add(1)
+	r.Gauge("rv_server_sessions_active", "Sessions open.").Set(3)
+	h := r.Histogram("rv_trace_fsync_seconds", "Fsync duration.", []float64{0.001, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP rv_engine_events_total Events dispatched.\n",
+		"# TYPE rv_engine_events_total counter\n",
+		`rv_engine_events_total{tenant="HasNext"} 128` + "\n",
+		`rv_engine_events_total{tenant="we\"ird\\x"} 1` + "\n",
+		"# TYPE rv_server_sessions_active gauge\n",
+		"rv_server_sessions_active 3\n",
+		"# TYPE rv_trace_fsync_seconds histogram\n",
+		`rv_trace_fsync_seconds_bucket{le="0.001"} 1` + "\n",
+		`rv_trace_fsync_seconds_bucket{le="0.1"} 2` + "\n",
+		`rv_trace_fsync_seconds_bucket{le="+Inf"} 3` + "\n",
+		"rv_trace_fsync_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	NewEngineSeries(r, "HasNext", "coenable").Events.Add(9)
+	NewTraceSeries(r, "HasNext").FsyncSeconds.Observe(0.002)
+
+	snap := r.Snapshot()
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("snapshot must be JSON-encodable (no Inf bounds): %v", err)
+	}
+	var back []FamilySnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	fam, ok := r.Find("rv_engine_events_total")
+	if !ok || len(fam.Series) != 1 || fam.Series[0].Value != 9 || fam.Series[0].Label != "HasNext" {
+		t.Fatalf("rv_engine_events_total snapshot wrong: %+v (ok=%v)", fam, ok)
+	}
+	hist, ok := r.Find("rv_trace_fsync_seconds")
+	if !ok || hist.Series[0].Count != 1 {
+		t.Fatalf("rv_trace_fsync_seconds snapshot wrong: %+v (ok=%v)", hist, ok)
+	}
+}
+
+// TestScrapeUnderHammer is the -race stress gate from the issue: N
+// goroutines hammer counters, gauges and histograms through pre-resolved
+// series (the hot-path shape) while a scraper concurrently renders
+// Prometheus text and JSON snapshots. The race detector is the assertion;
+// the final counts double-check no update was lost.
+func TestScrapeUnderHammer(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 5000
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() { // scraper
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := r.WriteProm(&buf); err != nil {
+				t.Errorf("WriteProm: %v", err)
+				return
+			}
+			if _, err := json.Marshal(r.Snapshot()); err != nil {
+				t.Errorf("snapshot marshal: %v", err)
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker interns its own tenant once, then hammers the
+			// resolved series — the same access pattern the engine uses.
+			tenant := "tenant-" + string(rune('a'+w))
+			es := NewEngineSeries(r, tenant, "coenable")
+			for i := 0; i < perWorker; i++ {
+				es.Events.Inc()
+				es.Live.Add(1)
+				es.Live.Add(-1)
+				es.PeakLive.SetMax(int64(i))
+				es.SweepSeconds.Observe(float64(i%10) * 1e-6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-scraperDone
+
+	fam, ok := r.Find("rv_engine_events_total")
+	if !ok {
+		t.Fatal("rv_engine_events_total not registered")
+	}
+	var total float64
+	for _, s := range fam.Series {
+		total += s.Value
+	}
+	if total != workers*perWorker {
+		t.Fatalf("events total = %v, want %d", total, workers*perWorker)
+	}
+	hist, _ := r.Find("rv_engine_sweep_seconds")
+	if got := hist.Series[0].Count; got != workers*perWorker {
+		t.Fatalf("sweep observations = %d, want %d", got, workers*perWorker)
+	}
+}

@@ -2,10 +2,12 @@ package monitor
 
 import (
 	"fmt"
+	"time"
 
 	"rvgo/internal/heap"
 	"rvgo/internal/index"
 	"rvgo/internal/logic"
+	"rvgo/internal/metrics"
 	"rvgo/internal/param"
 )
 
@@ -77,7 +79,20 @@ type Options struct {
 	// SweepInterval is the number of events between tombstone sweeps
 	// (0 = default).
 	SweepInterval int
+	// Metrics, when non-nil, receives the engine's telemetry. The engine
+	// keeps its exact non-atomic Stats and publishes *deltas* into the
+	// shared atomic series at amortized points — every publishInterval
+	// events, after each sweep, and on Flush/Close — so the hot path stays
+	// allocation-free and scrape-side reads race nothing. Series values lag
+	// the true counters by at most publishInterval events until the next
+	// Flush/Close settles them. Multiple engines (shard workers, repeated
+	// sessions of one tenant) may share one series; deltas sum correctly.
+	Metrics *metrics.EngineSeries
 }
+
+// publishInterval is the delta-publication period in events; a power of
+// two so the hot-path check is a mask.
+const publishInterval = 256
 
 // Stats are the monitoring counters of the paper's Figure 10, plus some.
 type Stats struct {
@@ -217,6 +232,13 @@ type Engine struct {
 
 	stats Stats
 
+	// met is Options.Metrics; pub/pubRecycled/pubReused are the counter
+	// values already published into it, so each publish Adds only the
+	// delta accumulated since the last one.
+	met                    *metrics.EngineSeries
+	pub                    Stats
+	pubRecycled, pubReused uint64
+
 	// pool is the monitor free list: instances reclaimed by the coenable
 	// GC (collected and out of Δ) are recycled into the next creations —
 	// the collected garbage literally becomes the allocator.
@@ -267,6 +289,7 @@ func New(spec *Spec, opts Options) (*Engine, error) {
 		seen:      map[uint64]seenRec{},
 		seenInst:  map[param.Key]param.Instance{},
 		processed: map[*param.Instance]bool{},
+		met:       opts.Metrics,
 	}
 	e.domBit = make([]uint16, len(spec.Events))
 	for sym, ev := range spec.Events {
@@ -399,6 +422,9 @@ func (e *Engine) Emit(sym int, vals ...heap.Ref) {
 // with indexing trees playing the role of Δ and Θ).
 func (e *Engine) Dispatch(sym int, theta param.Instance) {
 	e.stats.Events++
+	if e.met != nil && e.stats.Events&(publishInterval-1) == 0 {
+		e.publishMetrics()
+	}
 	clear(e.processed)
 	e.pendAdd = e.pendAdd[:0]
 	evParams := e.spec.Events[sym].Params
@@ -526,8 +552,43 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 	e.sinceSwep++
 	if e.sinceSwep >= e.opts.SweepInterval {
 		e.sinceSwep = 0
-		e.sweep()
+		e.timedSweep()
 	}
+}
+
+// timedSweep runs a sweep pass, recording its duration in the per-policy
+// collection-latency histogram and settling the published counters. Both
+// extras are sweep-frequency cold-path work; the bare sweep stays
+// untouched for engines without telemetry.
+func (e *Engine) timedSweep() {
+	if e.met == nil {
+		e.sweep()
+		return
+	}
+	start := time.Now()
+	e.sweep()
+	e.met.SweepSeconds.Observe(time.Since(start).Seconds())
+	e.met.Sweeps.Inc()
+	e.publishMetrics()
+}
+
+// publishMetrics adds the counter movement since the last publication into
+// the shared atomic series. Allocation-free; called only at amortized
+// points (see Options.Metrics).
+func (e *Engine) publishMetrics() {
+	m, s, p := e.met, &e.stats, &e.pub
+	m.Events.Add(s.Events - p.Events)
+	m.Steps.Add(s.Steps - p.Steps)
+	m.Created.Add(s.Created - p.Created)
+	m.Flagged.Add(s.Flagged - p.Flagged)
+	m.Collected.Add(s.Collected - p.Collected)
+	m.Verdicts.Add(s.GoalVerdicts - p.GoalVerdicts)
+	m.Live.Add(s.Live - p.Live)
+	m.PeakLive.SetMax(s.PeakLive)
+	m.Recycled.Add(e.recycled - e.pubRecycled)
+	m.Reused.Add(e.reused - e.pubReused)
+	e.pub = *s
+	e.pubRecycled, e.pubReused = e.recycled, e.reused
 }
 
 // observeDeaths delivers parameter-death notifications for a monitor at a
@@ -849,7 +910,7 @@ func (e *Engine) Flush() {
 				t.Root().FlushAll()
 			}
 		}
-		e.sweep()
+		e.timedSweep()
 	}
 }
 

@@ -74,5 +74,9 @@ func (e *Engine) FreeAsync(die func(), refs ...heap.Ref) {
 }
 
 // Close implements Runtime. The sequential engine holds no goroutines or
-// external resources.
-func (e *Engine) Close() {}
+// external resources; closing only settles any published telemetry.
+func (e *Engine) Close() {
+	if e.met != nil {
+		e.publishMetrics()
+	}
+}

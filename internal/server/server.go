@@ -32,12 +32,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rvgo/internal/heap"
 	"rvgo/internal/logic"
+	"rvgo/internal/metrics"
 	"rvgo/internal/monitor"
 	"rvgo/internal/param"
 	"rvgo/internal/props"
@@ -67,6 +69,11 @@ type Options struct {
 	// Logf whenever the session reports a non-match verdict — the recent-
 	// event context of a failure, without recording whole sessions.
 	FlightWindow int
+	// RecordDir, when non-empty, records every session's event stream to a
+	// persistent trace (<RecordDir>/session-<id>.rvt) for retroactive
+	// querying. A recording failure is logged and disables recording for
+	// that session; it never interrupts monitoring.
+	RecordDir string
 }
 
 // Server accepts and runs monitoring sessions.
@@ -85,6 +92,15 @@ type Server struct {
 	events   atomic.Uint64
 	verdicts atomic.Uint64
 	accepted atomic.Uint64
+
+	// reg is the server's metrics registry: every layer a session runs —
+	// engine, shard runtime, trace recorder, and the server itself —
+	// publishes into it, labeled by tenant (the session's spec name). It is
+	// always live (series cost nothing until sessions intern them) and is
+	// what DebugHandler scrapes.
+	reg        *metrics.Registry
+	sessActive *metrics.Gauge
+	started    time.Time
 }
 
 // New builds a server.
@@ -98,8 +114,13 @@ func New(opts Options) *Server {
 	if opts.DefaultShards <= 0 {
 		opts.DefaultShards = 1
 	}
-	return &Server{opts: opts, sessions: map[*session]struct{}{}}
+	s := &Server{opts: opts, sessions: map[*session]struct{}{}, reg: metrics.NewRegistry(), started: time.Now()}
+	s.sessActive = metrics.SessionsActive(s.reg)
+	return s
 }
+
+// Metrics returns the server's metrics registry (scraping, tests).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
@@ -227,9 +248,21 @@ type session struct {
 	window  int
 	ungrant int // events accepted since the last credit grant
 
-	events uint64
-	vals   []heap.Ref // dispatch scratch
-	vids   []uint64   // verdict-ID scratch (onVerdict is serialized)
+	// Telemetry. tenant/met/opened are written during the handshake and
+	// published by ready.Store(true); the /statusz scraper reads them only
+	// after a positive ready.Load(), and reads the counters below with
+	// atomics, so session state never races a scrape.
+	tenant  string
+	met     *metrics.ServerSeries
+	rec     *trace.Writer // non-nil with Options.RecordDir
+	opened  time.Time
+	ready   atomic.Bool
+	events  atomic.Uint64
+	stalls  atomic.Uint64
+	stallNs atomic.Uint64
+
+	vals []heap.Ref // dispatch scratch
+	vids []uint64   // verdict-ID scratch (onVerdict is serialized)
 }
 
 // run executes the session to completion.
@@ -251,6 +284,7 @@ func (s *session) run() {
 		s.fail("%v", err)
 		return
 	}
+	defer s.teardown()
 	defer s.rt.Close()
 	s.srv.logf("session %d: open spec=%s shards=%d window=%d", s.id, s.spec.Name, s.shardCount(), s.window)
 
@@ -316,12 +350,28 @@ func (s *session) handle(msg *wire.Msg) (stop bool, err error) {
 		s.rt.Flush()
 		st := s.rt.Stats()
 		s.writeLocked(func() error { return s.w.WriteByeAck(wire.ByeAck{Stats: toWireStats(0, st)}) })
-		s.srv.logf("session %d: closed after %d events", s.id, s.events)
+		s.srv.logf("session %d: closed after %d events", s.id, s.events.Load())
 		return true, nil
 	default:
 		return false, fmt.Errorf("unexpected message type %d", msg.Type)
 	}
 	return false, nil
+}
+
+// teardown finishes a session's telemetry lifecycle: the active-session
+// gauge drops and the trace recorder (if any) is sealed and closed. It
+// runs after rt.Close, so the engine's final delta publication lands
+// before the gauge moves.
+func (s *session) teardown() {
+	if s.ready.Load() {
+		s.srv.sessActive.Add(-1)
+	}
+	if s.rec != nil {
+		if err := s.rec.Close(); err != nil {
+			s.srv.logf("session %d: closing recording: %v", s.id, err)
+		}
+		s.rec = nil
+	}
 }
 
 func (s *session) shardCount() int {
@@ -360,9 +410,15 @@ func (s *session) handshake(h wire.Hello) error {
 		window = int(h.Window)
 	}
 
-	opts := monitor.Options{GC: gc, Creation: creation, OnVerdict: s.onVerdict}
+	opts := monitor.Options{
+		GC: gc, Creation: creation, OnVerdict: s.onVerdict,
+		Metrics: metrics.NewEngineSeries(s.srv.reg, compiled.Name, gc.String()),
+	}
 	if shards > 1 {
-		srt, err := shard.New(compiled, shard.Options{Options: opts, Shards: shards})
+		srt, err := shard.New(compiled, shard.Options{
+			Options: opts, Shards: shards,
+			MetricsRegistry: s.srv.reg, MetricsLabel: compiled.Name,
+		})
 		if err != nil {
 			return err
 		}
@@ -382,6 +438,30 @@ func (s *session) handshake(h wire.Hello) error {
 	s.objects = map[uint64]*heap.Object{}
 	s.back = map[uint64]uint64{}
 	s.window = window
+
+	if dir := s.srv.opts.RecordDir; dir != "" {
+		path := filepath.Join(dir, fmt.Sprintf("session-%d.rvt", s.id))
+		wtr, err := func() (*trace.Writer, error) {
+			if err := trace.EnsureDir(path); err != nil {
+				return nil, err
+			}
+			return trace.CreateForSpec(path, compiled, trace.WriterOptions{
+				Metrics: metrics.NewTraceSeries(s.srv.reg, compiled.Name),
+			})
+		}()
+		if err != nil {
+			s.srv.logf("session %d: recording disabled: %v", s.id, err)
+		} else {
+			s.rec = wtr
+		}
+	}
+
+	s.tenant = compiled.Name
+	s.met = metrics.NewServerSeries(s.srv.reg, s.tenant)
+	s.met.Sessions.Inc()
+	s.srv.sessActive.Add(1)
+	s.opened = time.Now()
+	s.ready.Store(true)
 
 	ack := wire.HelloAck{
 		Session:  s.id,
@@ -441,18 +521,26 @@ func (s *session) event(ev wire.Event) error {
 	if s.flight != nil {
 		s.flight.RecordDispatchIDs(ev.Sym, s.spec.Events[ev.Sym].Params, ev.IDs)
 	}
+	if s.rec != nil {
+		if err := s.rec.EventIDs(ev.Sym, ev.IDs); err != nil {
+			s.srv.logf("session %d: recording stopped: %v", s.id, err)
+			s.rec.Close()
+			s.rec = nil
+		}
+	}
 	if s.srt != nil {
 		// Non-blocking first: a refusal means the target mailbox is full,
 		// and the blocking fallback is precisely the backpressure — the
 		// session reads no further frames (and grants no further credit)
 		// until the shard drains.
 		if !s.srt.TryDispatch(ev.Sym, theta) {
-			s.srt.Dispatch(ev.Sym, theta)
+			s.stallDispatch(ev.Sym, theta)
 		}
 	} else {
 		s.rt.Dispatch(ev.Sym, theta)
 	}
-	s.events++
+	s.events.Add(1)
+	s.met.Events.Inc()
 	s.srv.events.Add(1)
 
 	// Credit: the half-window threshold keeps the producer's pipeline from
@@ -466,6 +554,36 @@ func (s *session) event(ev wire.Event) error {
 	return nil
 }
 
+// stallDispatch is the blocking fallback behind a TryDispatch refusal:
+// the session reader stalls here, withholding credit, until the shard
+// mailbox drains. The stall is counted and timed, and a stall still
+// blocked after one second logs a structured warning with the withheld
+// credit and the backlog — the "why is my session stuck" diagnostic. The
+// timer allocation is fine: this path is already blocking on a full
+// mailbox.
+func (s *session) stallDispatch(sym int, theta param.Instance) {
+	s.met.CreditStalls.Inc()
+	credits := s.ungrant
+	start := time.Now()
+	warn := time.AfterFunc(time.Second, func() {
+		depths := s.srt.QueueDepths()
+		deepest := 0
+		for _, d := range depths {
+			if d > deepest {
+				deepest = d
+			}
+		}
+		s.srv.logf("session %d: credit-starved >1s tenant=%s credits_withheld=%d mailbox_depth=%d shards=%d",
+			s.id, s.tenant, credits, deepest, len(depths))
+	})
+	s.srt.Dispatch(sym, theta)
+	warn.Stop()
+	d := time.Since(start)
+	s.met.StallSeconds.Observe(d.Seconds())
+	s.stallNs.Add(uint64(d))
+	s.stalls.Add(1)
+}
+
 // grantCredit flushes the accumulated event credit to the client.
 func (s *session) grantCredit() error {
 	n := uint64(s.ungrant)
@@ -473,6 +591,7 @@ func (s *session) grantCredit() error {
 		return nil
 	}
 	s.ungrant = 0
+	s.met.CreditGrants.Inc()
 	return s.writeLocked(func() error { return s.w.WriteCredit(n) })
 }
 
@@ -489,6 +608,14 @@ func (s *session) grantCredit() error {
 func (s *session) free(ids []uint64) {
 	if s.flight != nil {
 		s.flight.RecordFreeIDs(ids)
+	}
+	s.met.Frees.Inc()
+	if s.rec != nil {
+		if err := s.rec.FreeIDs(ids); err != nil {
+			s.srv.logf("session %d: recording stopped: %v", s.id, err)
+			s.rec.Close()
+			s.rec = nil
+		}
 	}
 	// Barrier only when a death is observable: deaths of objects that
 	// never appeared in an event (dacapo workloads free far more objects
@@ -528,6 +655,7 @@ func (s *session) free(ids []uint64) {
 // which is what lets it reuse the session's verdict-ID scratch.
 func (s *session) onVerdict(v monitor.Verdict) {
 	s.srv.verdicts.Add(1)
+	s.met.Verdicts.Inc()
 	wv := wire.Verdict{Sym: v.Sym, Cat: string(v.Cat), Mask: uint64(v.Inst.Mask())}
 	s.vids = s.vids[:0]
 	s.tmu.Lock()

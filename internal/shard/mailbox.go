@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rvgo/internal/metrics"
 	"rvgo/internal/monitor"
 	"rvgo/internal/param"
 )
@@ -81,12 +82,17 @@ type worker struct {
 	pending *[]event // open batch, always len < batchSize outside mu
 	mailbox chan message
 	batchSz int
+	// per-shard series (nil-safe when telemetry is off).
+	metDepth       *metrics.Gauge
+	metBatches     *metrics.Counter
+	metBatchEvents *metrics.Counter
 }
 
 // run is the shard goroutine: drain batches in FIFO order, execute control
 // requests in between.
 func (w *worker) run(wg *sync.WaitGroup) {
 	defer wg.Done()
+	defer w.metDepth.Set(0) // a stopped worker has no backlog
 	for msg := range w.mailbox {
 		if msg.ctl != nil {
 			msg.ctl(w.eng)
@@ -101,7 +107,20 @@ func (w *worker) run(wg *sync.WaitGroup) {
 			w.eng.Dispatch(ev.sym, ev.inst)
 		}
 		putBatch(msg.batch)
+		w.metDepth.Set(int64(len(w.mailbox)))
 	}
+}
+
+// ship sends the open batch to the mailbox (possibly blocking — that is
+// the backpressure) and starts a fresh one, recording the batch shape and
+// the post-send backlog. Callers hold mu.
+func (w *worker) ship() {
+	n := len(*w.pending)
+	w.mailbox <- message{batch: w.pending}
+	w.pending = getBatch(w.batchSz)
+	w.metBatches.Inc()
+	w.metBatchEvents.Add(uint64(n))
+	w.metDepth.Set(int64(len(w.mailbox)))
 }
 
 // enqueue appends one event to the open batch, shipping the batch to the
@@ -112,8 +131,7 @@ func (w *worker) enqueue(ev event) {
 	w.mu.Lock()
 	*w.pending = append(*w.pending, ev)
 	if len(*w.pending) >= w.batchSz {
-		w.mailbox <- message{batch: w.pending}
-		w.pending = getBatch(w.batchSz)
+		w.ship()
 	}
 	w.mu.Unlock()
 }
@@ -130,8 +148,7 @@ func (w *worker) canAccept() bool {
 func (w *worker) enqueueLocked(ev event) {
 	*w.pending = append(*w.pending, ev)
 	if len(*w.pending) >= w.batchSz {
-		w.mailbox <- message{batch: w.pending}
-		w.pending = getBatch(w.batchSz)
+		w.ship()
 	}
 }
 
@@ -139,8 +156,7 @@ func (w *worker) enqueueLocked(ev event) {
 // mu.
 func (w *worker) flushLocked() {
 	if len(*w.pending) > 0 {
-		w.mailbox <- message{batch: w.pending}
-		w.pending = getBatch(w.batchSz)
+		w.ship()
 	}
 }
 

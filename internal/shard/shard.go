@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 
 	"rvgo/internal/heap"
+	"rvgo/internal/metrics"
 	"rvgo/internal/monitor"
 	"rvgo/internal/param"
 )
@@ -62,6 +63,14 @@ type Options struct {
 	// MailboxDepth is the number of batches a shard mailbox buffers before
 	// Dispatch blocks (default 16).
 	MailboxDepth int
+	// MetricsRegistry, when non-nil, receives the shard-layer telemetry
+	// (mailbox depth, batch shapes, broadcasts, refusals) under
+	// MetricsLabel as the tenant (default: the spec name). Engine-layer
+	// telemetry is separate: set the embedded Options.Metrics and every
+	// shard engine delta-publishes into that one shared series.
+	MetricsRegistry *metrics.Registry
+	// MetricsLabel is the tenant label for MetricsRegistry series.
+	MetricsLabel string
 }
 
 // Runtime is the sharded monitoring runtime for one specification.
@@ -70,11 +79,14 @@ type Runtime struct {
 	router  *Router
 	workers []*worker
 	events  atomic.Uint64 // Dispatch calls, the merged Stats.Events
-	vmu     sync.Mutex    // serializes OnVerdict across shards
-	fmu     sync.Mutex    // serializes FreeAsync broadcasts (see Free)
-	wg      sync.WaitGroup
-	closed  bool
-	final   []monitor.Stats // per-shard counters captured at Close
+	// metric series (nil-safe when telemetry is off).
+	broadcasts *metrics.Counter
+	refusals   *metrics.Counter
+	vmu        sync.Mutex // serializes OnVerdict across shards
+	fmu        sync.Mutex // serializes FreeAsync broadcasts (see Free)
+	wg         sync.WaitGroup
+	closed     bool
+	final      []monitor.Stats // per-shard counters captured at Close
 }
 
 var _ monitor.Runtime = (*Runtime)(nil)
@@ -102,6 +114,16 @@ func New(spec *monitor.Spec, opts Options) (*Runtime, error) {
 		return nil, err
 	}
 	rt := &Runtime{spec: spec, router: router}
+	var shardMet *metrics.ShardSeries
+	if opts.MetricsRegistry != nil {
+		label := opts.MetricsLabel
+		if label == "" {
+			label = spec.Name
+		}
+		shardMet = metrics.NewShardSeries(opts.MetricsRegistry, label, router.Shards())
+		rt.broadcasts = shardMet.Broadcasts
+		rt.refusals = shardMet.Refusals
+	}
 	engOpts := opts.Options
 	if user := opts.OnVerdict; user != nil {
 		engOpts.OnVerdict = func(v monitor.Verdict) {
@@ -121,6 +143,11 @@ func New(spec *monitor.Spec, opts Options) (*Runtime, error) {
 			pending: getBatch(opts.BatchSize),
 			mailbox: make(chan message, opts.MailboxDepth),
 			batchSz: opts.BatchSize,
+		}
+		if shardMet != nil {
+			w.metDepth = shardMet.MailboxDepth[i]
+			w.metBatches = shardMet.Batches[i]
+			w.metBatchEvents = shardMet.BatchEvents[i]
 		}
 		rt.workers = append(rt.workers, w)
 		rt.wg.Add(1)
@@ -171,10 +198,22 @@ func (rt *Runtime) Dispatch(sym int, theta param.Instance) {
 	if target, broadcast := rt.router.Route(sym, theta); !broadcast {
 		rt.workers[target].enqueue(ev)
 	} else {
+		rt.broadcasts.Inc()
 		for _, w := range rt.workers {
 			w.enqueue(ev)
 		}
 	}
+}
+
+// QueueDepths returns each shard mailbox's current length in batches. The
+// reads are unsynchronized channel lengths — safe from any goroutine, and
+// exactly the backlog picture a stall diagnostic wants.
+func (rt *Runtime) QueueDepths() []int {
+	out := make([]int, len(rt.workers))
+	for i, w := range rt.workers {
+		out[i] = len(w.mailbox)
+	}
+	return out
 }
 
 // TryDispatch is the non-blocking Dispatch: it enqueues the event and
@@ -196,6 +235,8 @@ func (rt *Runtime) TryDispatch(sym int, theta param.Instance) bool {
 		w.mu.Unlock()
 		if ok {
 			rt.events.Add(1)
+		} else {
+			rt.refusals.Inc()
 		}
 		return ok
 	}
@@ -222,6 +263,9 @@ func (rt *Runtime) TryDispatch(sym int, theta param.Instance) bool {
 	}
 	if ok {
 		rt.events.Add(1)
+		rt.broadcasts.Inc()
+	} else {
+		rt.refusals.Inc()
 	}
 	return ok
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rvgo/internal/heap"
+	"rvgo/internal/metrics"
 	"rvgo/internal/monitor"
 	"rvgo/internal/param"
 	"rvgo/internal/shard"
@@ -25,6 +26,11 @@ type WriterOptions struct {
 	// 0 = DefaultSyncInterval; negative disables background fsync (Close
 	// still syncs).
 	SyncInterval time.Duration
+	// Metrics, when non-nil, receives the writer's telemetry: sealed
+	// segments, records, bytes, and fsync latency. Updates happen on the
+	// seal and fsync cold paths only — the per-record append path is
+	// untouched.
+	Metrics *metrics.TraceSeries
 }
 
 // DefaultSegmentRecords is the default segment rotation threshold. Small
@@ -63,6 +69,8 @@ type Writer struct {
 
 	err    error
 	closed bool
+
+	met *metrics.TraceSeries // nil-safe when telemetry is off
 
 	syncReq  chan struct{}
 	syncDone chan struct{}
@@ -119,6 +127,7 @@ func Create(path string, syms []SymbolDef, pivot int, opts WriterOptions) (*Writ
 		maskOf:   make([]param.Set, len(syms)),
 		segMax:   opts.SegmentRecords,
 		pivots:   map[uint64]struct{}{},
+		met:      opts.Metrics,
 		syncReq:  make(chan struct{}, 1),
 		syncDone: make(chan struct{}),
 	}
@@ -161,8 +170,18 @@ func (w *Writer) syncLoop(interval time.Duration) {
 			}
 		case <-tickC:
 		}
-		w.f.Sync()
+		w.syncFile()
 	}
+}
+
+// syncFile fsyncs the trace file, recording the latency.
+func (w *Writer) syncFile() error {
+	start := time.Now()
+	err := w.f.Sync()
+	if w.met != nil {
+		w.met.FsyncSeconds.Observe(time.Since(start).Seconds())
+	}
+	return err
 }
 
 // Event appends one parametric event.
@@ -314,6 +333,11 @@ func (w *Writer) seal() error {
 		}
 	}
 	w.segments++
+	if w.met != nil {
+		w.met.Segments.Inc()
+		w.met.Records.Add(w.records)
+		w.met.Bytes.Add(uint64(n + len(e.buf) + len(foot)))
+	}
 	w.rec = w.rec[:0]
 	clear(w.pivots)
 	w.broadcast, w.events, w.records = 0, 0, 0
@@ -367,7 +391,7 @@ func (w *Writer) Close() error {
 	close(w.syncReq)
 	w.mu.Unlock()
 	<-w.syncDone
-	syncErr := w.f.Sync()
+	syncErr := w.syncFile()
 	closeErr := w.f.Close()
 	for _, err := range []error{w.err, sealErr, syncErr, closeErr} {
 		if err != nil {

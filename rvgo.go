@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 
+	"rvgo/internal/metrics"
 	"rvgo/internal/monitor"
 	"rvgo/internal/remote"
 	"rvgo/internal/shard"
@@ -29,8 +30,9 @@ type Monitor struct {
 	rt     monitor.Runtime
 	sp     *spec.Spec
 	rem    *remote.Client
-	tp     *tap            // non-nil with WithRecord/WithFlightRecorder
+	tp     *tap            // non-nil with WithRecord/WithFlightRecorder/remote WithMetrics
 	flight *flightRecorder // non-nil with WithFlightRecorder
+	met    *Metrics        // non-nil with WithMetrics
 
 	verdicts  chan Verdict
 	closeOnce sync.Once
@@ -51,6 +53,7 @@ type config struct {
 	hasStream  bool
 	recordPath string
 	flightN    int
+	met        *Metrics
 }
 
 // Option configures a Monitor under construction.
@@ -311,8 +314,23 @@ func New(s *spec.Spec, opts ...Option) (*Monitor, error) {
 		}
 	}
 
+	m.met = cfg.met
+	// cli counts the remote session's client-side stream: with WithRemote
+	// the engine (and its rv_engine_* series) lives in the server, so the
+	// local registry carries rv_client_* totals instead, counted at the tap.
+	var cli *metrics.ClientSeries
 	switch {
 	case remote:
+		if cfg.met != nil {
+			cli = metrics.NewClientSeries(cfg.met.reg, s.Name())
+			cs, user := cli, handler
+			handler = func(v Verdict) {
+				cs.Verdicts.Inc()
+				if user != nil {
+					user(v)
+				}
+			}
+		}
 		cl, err := m.dialRemote(cfg, handler)
 		if err != nil {
 			// remote.NewSession closes the connection on handshake
@@ -322,7 +340,7 @@ func New(s *spec.Spec, opts ...Option) (*Monitor, error) {
 		}
 		m.rt, m.rem = cl, cl
 	case cfg.shards > 1:
-		rt, err := shard.New(s.Compiled(), shard.Options{
+		so := shard.Options{
 			Options: monitor.Options{
 				GC:            cfg.gc,
 				Creation:      cfg.creation,
@@ -332,32 +350,48 @@ func New(s *spec.Spec, opts ...Option) (*Monitor, error) {
 			Shards:       cfg.shards,
 			BatchSize:    cfg.batch,
 			MailboxDepth: cfg.depth,
-		})
+		}
+		if cfg.met != nil {
+			// All workers share one engine series; delta publication makes
+			// their counters sum, and the runtime adds per-shard series.
+			so.Options.Metrics = metrics.NewEngineSeries(cfg.met.reg, s.Name(), cfg.gc.String())
+			so.MetricsRegistry = cfg.met.reg
+			so.MetricsLabel = s.Name()
+		}
+		rt, err := shard.New(s.Compiled(), so)
 		if err != nil {
 			return nil, err
 		}
 		m.rt = rt
 	default:
-		eng, err := monitor.New(s.Compiled(), monitor.Options{
+		mo := monitor.Options{
 			GC:            cfg.gc,
 			Creation:      cfg.creation,
 			OnVerdict:     handler,
 			SweepInterval: cfg.sweep,
-		})
+		}
+		if cfg.met != nil {
+			mo.Metrics = metrics.NewEngineSeries(cfg.met.reg, s.Name(), cfg.gc.String())
+		}
+		eng, err := monitor.New(s.Compiled(), mo)
 		if err != nil {
 			return nil, err
 		}
 		m.rt = eng
 	}
-	if cfg.recordPath != "" || m.flight != nil {
+	if cfg.recordPath != "" || m.flight != nil || cli != nil {
 		// The tap becomes the Monitor's runtime before anything resolves
 		// an Emitter, so every ingestion path is recorded.
-		t := &tap{rt: m.rt}
+		t := &tap{rt: m.rt, cli: cli}
 		if m.flight != nil {
 			t.ring = m.flight.ring
 		}
 		if cfg.recordPath != "" {
-			w, err := trace.CreateForSpec(cfg.recordPath, s.Compiled(), trace.WriterOptions{})
+			wo := trace.WriterOptions{}
+			if cfg.met != nil {
+				wo.Metrics = metrics.NewTraceSeries(cfg.met.reg, s.Name())
+			}
+			w, err := trace.CreateForSpec(cfg.recordPath, s.Compiled(), wo)
 			if err != nil {
 				m.rt.Close()
 				return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"rvgo/internal/metrics"
 	"rvgo/internal/monitor"
 	"rvgo/internal/param"
 	"rvgo/internal/trace"
@@ -16,8 +17,9 @@ import (
 // Dispatch, Emitter.Emit, Free, FreeAsync — passes through it.
 type tap struct {
 	rt   monitor.Runtime
-	rec  *trace.Writer // nil when not recording
-	ring *trace.Ring   // nil without a flight recorder
+	rec  *trace.Writer         // nil when not recording
+	ring *trace.Ring           // nil without a flight recorder
+	cli  *metrics.ClientSeries // nil unless remote + WithMetrics
 
 	mu  sync.Mutex
 	err error // first recording error, sticky
@@ -75,6 +77,9 @@ func (t *tap) EmitNamed(name string, vals ...Ref) error {
 }
 
 func (t *tap) Dispatch(sym int, theta Instance) {
+	if t.cli != nil {
+		t.cli.Events.Inc()
+	}
 	if t.ring != nil {
 		t.ring.RecordDispatch(sym, theta)
 	}
@@ -85,6 +90,9 @@ func (t *tap) Dispatch(sym int, theta Instance) {
 }
 
 func (t *tap) Free(refs ...Ref) {
+	if t.cli != nil {
+		t.cli.Frees.Inc()
+	}
 	if t.ring != nil {
 		t.ring.RecordFree(refs...)
 	}
@@ -98,6 +106,9 @@ func (t *tap) FreeAsync(die func(), refs ...Ref) {
 	// The record position is the call: the producer dispatches no later
 	// event mentioning the refs, so replay applying the death here
 	// reproduces exactly the liveness every recorded event observed.
+	if t.cli != nil {
+		t.cli.Frees.Inc()
+	}
 	if t.ring != nil {
 		t.ring.RecordFree(refs...)
 	}
