@@ -108,7 +108,7 @@ func main() {
 		return
 	}
 	if *live {
-		runLive(eval.LiveConfig{Scale: *scale, Shards: *shards}, *jsonOut)
+		runLive(eval.LiveConfig{Scale: *scale, Shards: *shards}, *jsonOut, *outPath)
 		return
 	}
 	if *retro {
@@ -183,34 +183,67 @@ func writeOut(path string, res *eval.Results) {
 	}
 }
 
-// runLive runs the live-object ingestion experiment and prints its table:
-// the Figure 10 counters per GC policy, with deaths delivered by the real
-// garbage collector at pinned collection points instead of simulated-heap
-// frees.
-func runLive(cfg eval.LiveConfig, jsonOut bool) {
+// runLive runs the live-object ingestion experiment and its scale tier,
+// and prints their tables: the Figure 10 counters per GC policy with
+// deaths delivered by the real garbage collector at pinned collection
+// points, then the slab store's host-GC cost a decade of live monitors
+// apart. With -out (or -json) the combined report is archived as the
+// -live artifact.
+func runLive(cfg eval.LiveConfig, jsonOut bool, outPath string) {
 	results, err := eval.RunLive(cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
+	scaleRes, err := eval.RunLiveScale(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	report := &eval.LiveReport{Policies: results, Scale: scaleRes}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
+		if err := enc.Encode(report); err != nil {
 			fatalf("%v", err)
 		}
 		return
 	}
 	fmt.Println("live-object ingestion (rv frontend, real Go GC; see DESIGN.md)")
-	fmt.Printf("%-10s %10s %10s %10s %10s %8s %8s %9s %8s\n",
-		"policy", "events", "created", "flagged", "collected", "live", "deaths", "gc-pinned", "sec")
+	fmt.Printf("%-10s %10s %10s %10s %10s %8s %8s %9s %8s %10s\n",
+		"policy", "events", "created", "flagged", "collected", "live", "deaths", "gc-pinned", "sec", "gc-pause")
 	for _, r := range results {
 		mark := ""
 		if !r.Settled {
 			mark = "  (unsettled: some cleanups never fired)"
 		}
-		fmt.Printf("%-10s %10d %10d %10d %10d %8d %8d %9d %8.2f%s\n",
+		fmt.Printf("%-10s %10d %10d %10d %10d %8d %8d %9d %8.2f %8.1fms%s\n",
 			r.Policy, r.Stats.Events, r.Stats.Created, r.Stats.Flagged, r.Stats.Collected,
-			r.Stats.Live, r.Delivered, r.GCPinned, r.RunSec, mark)
+			r.Stats.Live, r.Delivered, r.GCPinned, r.RunSec, r.GCPauseSec*1e3, mark)
+	}
+	s := scaleRes
+	fmt.Println("\nscale tier (slab arena store vs host collector, 5 forced GCs per point)")
+	fmt.Printf("%-14s %10s %12s %7s %10s %10s %10s\n",
+		"live monitors", "gc-pause", "pause/mon", "slabs", "arena-cap", "occupancy", "sublinear")
+	fmt.Printf("%-14d %8.2fms %10.1fns %7s %10s %10s %10s\n",
+		s.SmallMonitors, s.SmallPauseSec*1e3, s.SmallPauseSec*1e9/float64(s.SmallMonitors), "-", "-", "-", "-")
+	fmt.Printf("%-14d %8.2fms %10.1fns %7d %10d %9.1f%% %10v\n",
+		s.BigMonitors, s.BigPauseSec*1e3, s.BigPauseSec*1e9/float64(s.BigMonitors),
+		s.Arena.Slabs, s.Arena.Cap, s.Occupancy*100, s.Sublinear)
+	if !s.Sublinear {
+		fmt.Println("  WARNING: host-GC pause grew with monitor count; the store should be noscan")
 	}
 }
 

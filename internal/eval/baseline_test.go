@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+func loadBaseline(t *testing.T, path string) *Results {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var res Results
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	return &res
+}
+
+// TestBaselineCountersStable pins the arena migration's oracle at the
+// archive level: the committed pre-arena baseline (BENCH_PR4.json) and the
+// arena-store baseline (BENCH_PR8.json) ran the identical grid config, so
+// every shared Figure 10 counter must be bit-identical — the slab store
+// changed where monitors live, not what the engine computes. Micro timing
+// and the PR8-only telemetry fields are outside the comparison by
+// construction (Compare zeroes quantiles and skips sections absent from
+// the older run).
+func TestBaselineCountersStable(t *testing.T) {
+	pre := loadBaseline(t, "../../BENCH_PR4.json")
+	cur := loadBaseline(t, "../../BENCH_PR8.json")
+
+	if pre.Config.Scale != cur.Config.Scale || pre.Config.Shards != cur.Config.Shards {
+		t.Fatalf("baseline configs differ: %+v vs %+v", pre.Config, cur.Config)
+	}
+	cells := 0
+	for _, bench := range pre.Config.Benchmarks {
+		for _, prop := range pre.Config.Properties {
+			for _, sys := range pre.Config.Systems {
+				b, okB := lookup(pre, bench, prop, sys)
+				c, okC := lookup(cur, bench, prop, sys)
+				if !okB || !okC {
+					t.Errorf("%s/%s/%s: cell missing (pre %v, cur %v)", bench, prop, sys, okB, okC)
+					continue
+				}
+				cells++
+				if b.Stats != c.Stats {
+					t.Errorf("%s/%s/%s: counters diverged across the arena migration:\n  pre-arena %+v\n  arena     %+v",
+						bench, prop, sys, b.Stats, c.Stats)
+				}
+				if b.TMStats != c.TMStats {
+					t.Errorf("%s/%s/%s: tracematch counters diverged:\n  pre-arena %+v\n  arena     %+v",
+						bench, prop, sys, b.TMStats, c.TMStats)
+				}
+			}
+		}
+		b, okB := pre.All[bench]
+		c, okC := cur.All[bench]
+		if okB && okC && b.Stats != c.Stats {
+			t.Errorf("%s/ALL/RV: counters diverged:\n  pre-arena %+v\n  arena     %+v", bench, b.Stats, c.Stats)
+		}
+	}
+	if cells == 0 {
+		t.Fatal("no shared cells compared")
+	}
+
+	// The arena baseline must carry the occupancy columns CI now gates on.
+	if cur.Metrics == nil || cur.Metrics.ArenaCap == 0 || cur.Metrics.ArenaSlabs == 0 {
+		t.Errorf("BENCH_PR8.json telemetry section lacks arena occupancy: %+v", cur.Metrics)
+	}
+}

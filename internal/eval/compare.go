@@ -104,6 +104,11 @@ func Compare(base, cur *Results, tol float64) []string {
 			b, c := *bm, *cm
 			b.SweepP50Us, b.SweepP99Us = 0, 0
 			c.SweepP50Us, c.SweepP99Us = 0, 0
+			if b.ArenaSlabs == 0 && b.ArenaCap == 0 && b.ArenaFree == 0 {
+				// Baseline predates the arena-occupancy columns; don't
+				// fail it on fields it never recorded.
+				c.ArenaSlabs, c.ArenaCap, c.ArenaFree = 0, 0, 0
+			}
 			if b != c {
 				bad = append(bad, fmt.Sprintf("metrics: telemetry counters diverge:\n    baseline %+v\n    current  %+v", b, c))
 			}

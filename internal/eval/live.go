@@ -13,10 +13,16 @@ package eval
 
 import (
 	"fmt"
+	"math"
+	"runtime"
+	rtmetrics "runtime/metrics"
 	"time"
 
 	"rvgo"
+	"rvgo/internal/arena"
+	"rvgo/internal/heap"
 	"rvgo/internal/monitor"
+	"rvgo/internal/props"
 	"rvgo/rv"
 	"rvgo/spec"
 )
@@ -29,12 +35,38 @@ type LiveConfig struct {
 
 // LiveResult is one policy's outcome.
 type LiveResult struct {
-	Policy    monitor.GCPolicy
-	Stats     monitor.Stats
-	RunSec    float64
-	GCPinned  int  // pinned collection points (one per round)
-	Delivered int  // death signals delivered to the backend
-	Settled   bool // every dropped object's cleanup fired in time
+	Policy     monitor.GCPolicy
+	Stats      monitor.Stats
+	RunSec     float64
+	GCPauseSec float64 // host-collector STW pause accumulated over the run
+	GCPinned   int     // pinned collection points (one per round)
+	Delivered  int     // death signals delivered to the backend
+	Settled    bool    // every dropped object's cleanup fired in time
+}
+
+// gcPauseTotal approximates the cumulative stop-the-world pause time from
+// the runtime's /gc/pauses histogram (bucket-midpoint sum — exact totals
+// are not exported, but the approximation is consistent between reads, so
+// deltas compare fairly).
+func gcPauseTotal() float64 {
+	s := []rtmetrics.Sample{{Name: "/gc/pauses:seconds"}}
+	rtmetrics.Read(s)
+	if s[0].Value.Kind() != rtmetrics.KindFloat64Histogram {
+		return 0
+	}
+	h := s[0].Value.Float64Histogram()
+	total := 0.0
+	for i, count := range h.Counts {
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if math.IsInf(lo, -1) {
+			lo = hi
+		}
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		total += float64(count) * (lo + hi) / 2
+	}
+	return total
 }
 
 // liveColl and liveIter are the real parameter objects. Both carry a
@@ -119,6 +151,7 @@ func RunLivePolicy(gc monitor.GCPolicy, cfg LiveConfig) (LiveResult, error) {
 	for i := range colls {
 		colls[i] = &liveColl{id: i}
 	}
+	pauseBefore := gcPauseTotal()
 	start := time.Now()
 	for r := 0; r < rounds; r++ {
 		dropped, _, err := liveRound(s, colls, perColl)
@@ -136,6 +169,7 @@ func RunLivePolicy(gc monitor.GCPolicy, cfg LiveConfig) (LiveResult, error) {
 		}
 	}
 	res.RunSec = time.Since(start).Seconds()
+	res.GCPauseSec = gcPauseTotal() - pauseBefore
 	s.Flush()
 	res.Stats = s.Stats()
 	s.Close()
@@ -155,4 +189,94 @@ func RunLive(cfg LiveConfig) ([]LiveResult, error) {
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// LiveReport bundles the -live artifact: the per-policy ingestion results
+// and the scale tier, archived together by the bench CI job.
+type LiveReport struct {
+	Policies []LiveResult
+	Scale    *LiveScaleResult
+}
+
+// LiveScaleResult is the scale tier of the live experiment: the same
+// engine holding 10× more live monitors must not cost the host collector
+// proportionally more stop-the-world time — the slab store is pointer-free
+// (noscan), so pause time stays flat while occupancy scales. Pause numbers
+// are machine-dependent and reported, not CI-gated; the Sublinear verdict
+// uses a deliberately loose bound (5× over a floored baseline) so it holds
+// on noisy hosts whenever the store really is GC-invisible.
+type LiveScaleResult struct {
+	SmallMonitors int     // live monitors in the baseline population
+	BigMonitors   int     // live monitors in the 10× population
+	SmallPauseSec float64 // STW pause over 5 forced GCs, baseline
+	BigPauseSec   float64 // STW pause over 5 forced GCs, 10× population
+	Sublinear     bool    // big pause ≤ 5× floored baseline pause
+	Arena         arena.Stats
+	Occupancy     float64 // Arena live slots / capacity at the 10× peak
+}
+
+// RunLiveScale builds two UNSAFEITER monitor populations a decade apart
+// (GCNone, so nothing is reclaimed) and measures the host collector's
+// stop-the-world cost against each.
+func RunLiveScale(cfg LiveConfig) (*LiveScaleResult, error) {
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1.0
+	}
+	big := int(500_000 * scale)
+	if big < 20_000 {
+		big = 20_000
+	}
+	res := &LiveScaleResult{SmallMonitors: big / 10, BigMonitors: big}
+
+	measure := func(n int) (float64, *monitor.Engine, *heap.Heap, error) {
+		sp, err := props.Build("UnsafeIter")
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		eng, err := monitor.New(sp, monitor.Options{
+			GC:       monitor.GCNone,
+			Creation: monitor.CreateEnable,
+			// The population never dies; don't pay sweeps over it.
+			SweepInterval: 1 << 30,
+		})
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		create, _ := sp.Symbol("create")
+		h := heap.New()
+		c := h.Alloc("c")
+		for i := 0; i < n; i++ {
+			eng.Emit(create, c, h.Alloc(""))
+		}
+		runtime.GC() // let the build's floating garbage clear
+		before := gcPauseTotal()
+		for i := 0; i < 5; i++ {
+			runtime.GC()
+		}
+		return gcPauseTotal() - before, eng, h, nil
+	}
+
+	pause, eng, _, err := measure(res.SmallMonitors)
+	if err != nil {
+		return nil, err
+	}
+	res.SmallPauseSec = pause
+	eng.Close()
+
+	pause, eng, _, err = measure(res.BigMonitors)
+	if err != nil {
+		return nil, err
+	}
+	res.BigPauseSec = pause
+	res.Arena = eng.ArenaStats()
+	res.Occupancy = res.Arena.Occupancy()
+	eng.Close()
+
+	floored := res.SmallPauseSec
+	if floored < 2e-3 {
+		floored = 2e-3
+	}
+	res.Sublinear = res.BigPauseSec <= floored*5
+	return res, nil
 }

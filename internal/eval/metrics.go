@@ -25,6 +25,14 @@ type MetricsReport struct {
 	Sweeps      uint64  // timed expunge/compaction sweeps
 	SweepP50Us  float64 // sweep latency median, microseconds
 	SweepP99Us  float64 // sweep latency p99, microseconds
+
+	// Slab-arena occupancy at settle (after the final flush, before the
+	// store is torn down). The churn workload is fixed, so these are
+	// deterministic and CI-gated like the counters above: a change means
+	// the store's growth or recycling behavior changed.
+	ArenaSlabs int64 // slabs allocated
+	ArenaCap   int64 // record slots backed by those slabs
+	ArenaFree  int64 // recycled slots parked on the free list
 }
 
 // metricsChurnEvents sizes the report workload: enough generations that
@@ -68,6 +76,11 @@ func RunMetricsReport() (*MetricsReport, error) {
 		eng.Emit(update, c)
 	}
 	eng.Flush()
+	// Arena occupancy is read at settle, before Close: Close releases the
+	// slabs and zeroes the gauges (the store no longer exists).
+	arenaSlabs := series.ArenaSlabs.Value()
+	arenaCap := series.ArenaCap.Value()
+	arenaFree := series.ArenaFree.Value()
 	eng.Close() // settles the final publication deltas into the registry
 
 	rep := &MetricsReport{
@@ -79,6 +92,9 @@ func RunMetricsReport() (*MetricsReport, error) {
 		Sweeps:     series.Sweeps.Value(),
 		SweepP50Us: series.SweepSeconds.Quantile(0.50) * 1e6,
 		SweepP99Us: series.SweepSeconds.Quantile(0.99) * 1e6,
+		ArenaSlabs: arenaSlabs,
+		ArenaCap:   arenaCap,
+		ArenaFree:  arenaFree,
 	}
 	if rep.Created > 0 {
 		rep.PoolHitRate = float64(rep.Reused) / float64(rep.Created)

@@ -173,9 +173,11 @@ func (r *Results) MetricsTable(w io.Writer) {
 		return
 	}
 	fmt.Fprintln(w, "\nengine telemetry (fixed churn workload, coenable GC, metrics registry attached)")
-	fmt.Fprintf(w, "%-12s %-12s %-12s %-12s %-12s %-10s %-8s %-14s\n",
-		"events", "created", "collected", "recycled", "reused", "pool-hit", "sweeps", "p50/p99 µs")
-	fmt.Fprintf(w, "%-12d %-12d %-12d %-12d %-12d %-10s %-8d %.1f/%.1f\n",
+	fmt.Fprintf(w, "%-12s %-12s %-12s %-12s %-12s %-10s %-8s %-14s %-7s %-10s %-10s\n",
+		"events", "created", "collected", "recycled", "reused", "pool-hit", "sweeps", "p50/p99 µs", "slabs", "arena-cap", "free-slots")
+	fmt.Fprintf(w, "%-12d %-12d %-12d %-12d %-12d %-10s %-8d %-14s %-7d %-10d %-10d\n",
 		m.Events, m.Created, m.Collected, m.Recycled, m.Reused,
-		fmt.Sprintf("%.1f%%", m.PoolHitRate*100), m.Sweeps, m.SweepP50Us, m.SweepP99Us)
+		fmt.Sprintf("%.1f%%", m.PoolHitRate*100), m.Sweeps,
+		fmt.Sprintf("%.1f/%.1f", m.SweepP50Us, m.SweepP99Us),
+		m.ArenaSlabs, m.ArenaCap, m.ArenaFree)
 }

@@ -14,6 +14,17 @@
 //   - A monitor instance is "collected" once every container has dropped it
 //     (container refcounting plays the role of JVM reachability).
 //
+// Monitors are referenced by generation-tagged arena handles (see package
+// arena), not pointers: a leaf Set is a slice of uint64 handles whose
+// backing array contains no pointers, so the host garbage collector never
+// traverses the monitor store through the trees — at millions of live
+// monitors the trees contribute O(distinct parameter objects) to the mark
+// phase, not O(monitors). Monitor behavior (death notification, the
+// collectable check, container refcounting) is reached through a Resolver,
+// which the engine implements over its monitor arena; every container
+// operation takes the resolver explicitly so the containers themselves
+// stay pointer-free.
+//
 // The lookup path is allocation-free and monomorphic: entries hold their
 // child Map and leaf Set as concrete typed fields (exactly one non-nil), so
 // a tree walk is pointer chasing with no interface dispatch, and iteration
@@ -26,35 +37,41 @@
 package index
 
 import (
+	"rvgo/internal/arena"
 	"rvgo/internal/heap"
 	"rvgo/internal/param"
 )
 
-// Monitor is the view of a monitor instance the indexing trees need. It is
-// implemented by the engine's monitor type.
-type Monitor interface {
+// Handle identifies a monitor instance in the owning engine's arena.
+type Handle = arena.Handle
+
+// Resolver is the view of the monitor store the indexing trees need: it
+// maps a Handle to monitor behavior. The engine implements it over its
+// slab arena. Containers never hold monitor pointers — only handles — so
+// every operation that must touch a monitor takes the resolver explicitly.
+type Resolver interface {
 	// NotifyParamDeath tells the monitor that a parameter object below its
 	// mapping died; the monitor re-evaluates its ALIVENESS formula and may
 	// flag itself.
-	NotifyParamDeath()
+	NotifyParamDeath(h Handle)
 	// Collectable reports whether the monitor has been flagged as
 	// unnecessary (or terminated) and should be dropped from containers.
-	Collectable() bool
+	Collectable(h Handle) bool
 	// Retain/Release maintain the container refcount; Release must record
 	// "collected" when the count reaches zero.
-	Retain()
-	Release()
+	Retain(h Handle)
+	Release(h Handle)
 }
 
 // Value is a node in an indexing tree: either a *Map (next level) or a
 // *Set (leaf). It survives as the Put/Get currency; the internal tree walk
 // uses the typed entry fields directly.
 type Value interface {
-	// EachMonitor visits every monitor in the subtree.
-	EachMonitor(f func(Monitor))
+	// EachHandle visits every monitor handle in the subtree.
+	EachHandle(f func(Handle))
 	// detach releases all monitors contained in the subtree; called when
 	// the subtree's mapping is removed from its parent.
-	detach()
+	detach(r Resolver)
 	// isEmpty reports an empty substructure (droppable, §5.1.1).
 	isEmpty() bool
 }
@@ -92,10 +109,10 @@ func (e *entry) isEmpty() bool {
 	return e.leaf.isEmpty()
 }
 
-func (e *entry) notifyAndDetach() {
+func (e *entry) notifyAndDetach(r Resolver) {
 	v := e.value()
-	v.EachMonitor(func(mon Monitor) { mon.NotifyParamDeath() })
-	v.detach()
+	v.EachHandle(func(h Handle) { r.NotifyParamDeath(h) })
+	v.detach(r)
 }
 
 // Map is a weak-keyed hash map from parameter objects to Values (RVMap).
@@ -126,11 +143,11 @@ func (m *Map) slot(id uint64) int {
 
 // maybeExpunge charges one operation against the amortized expunge budget,
 // scanning quota buckets every expungeStride-th call.
-func (m *Map) maybeExpunge() {
+func (m *Map) maybeExpunge(r Resolver) {
 	m.ops++
 	if m.ops >= expungeStride {
 		m.ops = 0
-		m.expunge(m.quota)
+		m.expunge(r, m.quota)
 	}
 }
 
@@ -148,8 +165,8 @@ func (m *Map) find(id uint64) *entry {
 
 // Get looks up the value for the key, expunging some dead entries as an
 // amortized side effect (lazy notification, Figure 7A).
-func (m *Map) Get(k heap.Ref) (Value, bool) {
-	m.maybeExpunge()
+func (m *Map) Get(r Resolver, k heap.Ref) (Value, bool) {
+	m.maybeExpunge(r)
 	if e := m.find(k.ID()); e != nil {
 		return e.value(), true
 	}
@@ -157,10 +174,10 @@ func (m *Map) Get(k heap.Ref) (Value, bool) {
 }
 
 // Put inserts or replaces the value for the key.
-func (m *Map) Put(k heap.Ref, v Value) {
-	m.maybeExpunge()
+func (m *Map) Put(r Resolver, k heap.Ref, v Value) {
+	m.maybeExpunge(r)
 	if m.count >= len(m.buckets)*4 {
-		m.grow()
+		m.grow(r)
 	}
 	child, _ := v.(*Map)
 	leaf, _ := v.(*Set)
@@ -176,18 +193,18 @@ func (m *Map) Put(k heap.Ref, v Value) {
 // putMap and putLeaf are the monomorphic Put fast paths used by the tree
 // builder; they skip the interface split and do not charge the expunge
 // budget (GetOrCreate already charged for the operation).
-func (m *Map) putMap(k heap.Ref, child *Map) {
+func (m *Map) putMap(r Resolver, k heap.Ref, child *Map) {
 	if m.count >= len(m.buckets)*4 {
-		m.grow()
+		m.grow(r)
 	}
 	b := m.slot(k.ID())
 	m.buckets[b] = append(m.buckets[b], entry{key: k, id: k.ID(), child: child})
 	m.count++
 }
 
-func (m *Map) putLeaf(k heap.Ref, leaf *Set) {
+func (m *Map) putLeaf(r Resolver, k heap.Ref, leaf *Set) {
 	if m.count >= len(m.buckets)*4 {
-		m.grow()
+		m.grow(r)
 	}
 	b := m.slot(k.ID())
 	m.buckets[b] = append(m.buckets[b], entry{key: k, id: k.ID(), leaf: leaf})
@@ -197,7 +214,7 @@ func (m *Map) putLeaf(k heap.Ref, leaf *Set) {
 // grow doubles the table, sweeping every entry for dead keys on the way —
 // the paper expunges exhaustively "when the hash table underlying the map
 // needs to be expanded".
-func (m *Map) grow() {
+func (m *Map) grow(r Resolver) {
 	old := m.buckets
 	m.buckets = make([][]entry, len(old)*2)
 	m.count = 0
@@ -206,7 +223,7 @@ func (m *Map) grow() {
 		for i := range bucket {
 			e := &bucket[i]
 			if !e.key.Alive() {
-				e.notifyAndDetach()
+				e.notifyAndDetach(r)
 				continue
 			}
 			b := m.slot(e.id)
@@ -218,7 +235,7 @@ func (m *Map) grow() {
 
 // expunge scans up to n buckets (round-robin) for entries whose key died,
 // notifying the monitors below and removing the mapping.
-func (m *Map) expunge(n int) {
+func (m *Map) expunge(r Resolver, n int) {
 	for i := 0; i < n; i++ {
 		b := m.cursor
 		m.cursor = (m.cursor + 1) % len(m.buckets)
@@ -237,7 +254,7 @@ func (m *Map) expunge(n int) {
 				w++
 				continue
 			}
-			e.notifyAndDetach()
+			e.notifyAndDetach(r)
 			m.count--
 		}
 		if w != len(bucket) {
@@ -251,7 +268,7 @@ func (m *Map) expunge(n int) {
 
 // ExpungeAll sweeps the whole table once (used by tests and by the engine
 // when a property session ends).
-func (m *Map) ExpungeAll() { m.expunge(len(m.buckets)) }
+func (m *Map) ExpungeAll(r Resolver) { m.expunge(r, len(m.buckets)) }
 
 // EachEntry visits live entries (no expunge side effects).
 func (m *Map) EachEntry(f func(k heap.Ref, v Value)) {
@@ -266,8 +283,8 @@ func (m *Map) EachEntry(f func(k heap.Ref, v Value)) {
 
 // FlushAll expunges the whole subtree exhaustively and compacts every leaf
 // set: the end-of-session settling pass (used by the engine's Flush).
-func (m *Map) FlushAll() {
-	m.ExpungeAll()
+func (m *Map) FlushAll(r Resolver) {
+	m.ExpungeAll(r)
 	for _, bucket := range m.buckets {
 		for i := range bucket {
 			e := &bucket[i]
@@ -275,28 +292,28 @@ func (m *Map) FlushAll() {
 				continue
 			}
 			if e.child != nil {
-				e.child.FlushAll()
+				e.child.FlushAll(r)
 			} else {
-				e.leaf.Compact()
+				e.leaf.Compact(r)
 			}
 		}
 	}
-	m.ExpungeAll()
+	m.ExpungeAll(r)
 }
 
-// EachMonitor implements Value.
-func (m *Map) EachMonitor(f func(Monitor)) {
+// EachHandle implements Value.
+func (m *Map) EachHandle(f func(Handle)) {
 	for _, bucket := range m.buckets {
 		for i := range bucket {
-			bucket[i].value().EachMonitor(f)
+			bucket[i].value().EachHandle(f)
 		}
 	}
 }
 
-func (m *Map) detach() {
+func (m *Map) detach(r Resolver) {
 	for _, bucket := range m.buckets {
 		for i := range bucket {
-			bucket[i].value().detach()
+			bucket[i].value().detach(r)
 		}
 	}
 	m.buckets = make([][]entry, 1)
@@ -304,9 +321,10 @@ func (m *Map) detach() {
 	m.cursor = 0
 }
 
-// Set is a compacting slice of monitor instances (RVSet).
+// Set is a compacting slice of monitor handles (RVSet). Its backing array
+// is pointer-free: the collector never scans a leaf's members.
 type Set struct {
-	items []Monitor
+	items []Handle
 }
 
 // NewSet returns an empty set.
@@ -319,27 +337,24 @@ func (s *Set) Len() int { return len(s.items) }
 func (s *Set) isEmpty() bool { return len(s.items) == 0 }
 
 // Add appends a monitor and retains it.
-func (s *Set) Add(m Monitor) {
-	m.Retain()
-	s.items = append(s.items, m)
+func (s *Set) Add(r Resolver, h Handle) {
+	r.Retain(h)
+	s.items = append(s.items, h)
 }
 
 // ForEach visits live members, compacting away collectable ones in the same
 // pass (Figure 8). Visited monitors may become collectable during the pass
 // (e.g. by reaching a final verdict); they are still compacted next time.
-func (s *Set) ForEach(f func(Monitor)) {
+func (s *Set) ForEach(r Resolver, f func(Handle)) {
 	w := 0
-	for _, m := range s.items {
-		if m.Collectable() {
-			m.Release()
+	for _, h := range s.items {
+		if r.Collectable(h) {
+			r.Release(h)
 			continue
 		}
-		s.items[w] = m
+		s.items[w] = h
 		w++
-		f(m)
-	}
-	for j := w; j < len(s.items); j++ {
-		s.items[j] = nil
+		f(h)
 	}
 	s.items = s.items[:w]
 }
@@ -352,57 +367,51 @@ func (s *Set) ForEach(f func(Monitor)) {
 // the high-water mark. The returned members were all live at snapshot time;
 // a member flagged while the caller walks the buffer must be re-checked by
 // the caller (exactly as ForEach re-checks at visit time).
-func (s *Set) AppendLive(buf []Monitor) []Monitor {
+func (s *Set) AppendLive(r Resolver, buf []Handle) []Handle {
 	w := 0
-	for _, m := range s.items {
-		if m.Collectable() {
-			m.Release()
+	for _, h := range s.items {
+		if r.Collectable(h) {
+			r.Release(h)
 			continue
 		}
-		s.items[w] = m
+		s.items[w] = h
 		w++
-		buf = append(buf, m)
-	}
-	for j := w; j < len(s.items); j++ {
-		s.items[j] = nil
+		buf = append(buf, h)
 	}
 	s.items = s.items[:w]
 	return buf
 }
 
 // Compact removes collectable members without visiting.
-func (s *Set) Compact() { s.ForEach(func(Monitor) {}) }
+func (s *Set) Compact(r Resolver) { s.ForEach(r, func(Handle) {}) }
 
 // CompactWith removes collectable members and members for which drop
 // returns true (used by the engine's weak domain registries: a member
 // whose bound parameter object died would be unreachable through any weak
 // tree, so registries release it too).
-func (s *Set) CompactWith(drop func(Monitor) bool) {
+func (s *Set) CompactWith(r Resolver, drop func(Handle) bool) {
 	w := 0
-	for _, m := range s.items {
-		if m.Collectable() || drop(m) {
-			m.Release()
+	for _, h := range s.items {
+		if r.Collectable(h) || drop(h) {
+			r.Release(h)
 			continue
 		}
-		s.items[w] = m
+		s.items[w] = h
 		w++
-	}
-	for j := w; j < len(s.items); j++ {
-		s.items[j] = nil
 	}
 	s.items = s.items[:w]
 }
 
-// EachMonitor implements Value.
-func (s *Set) EachMonitor(f func(Monitor)) {
-	for _, m := range s.items {
-		f(m)
+// EachHandle implements Value.
+func (s *Set) EachHandle(f func(Handle)) {
+	for _, h := range s.items {
+		f(h)
 	}
 }
 
-func (s *Set) detach() {
-	for _, m := range s.items {
-		m.Release()
+func (s *Set) detach(r Resolver) {
+	for _, h := range s.items {
+		r.Release(h)
 	}
 	s.items = nil
 }
@@ -427,11 +436,11 @@ func (t *Tree) Params() []int { return t.params }
 // nil if no such mapping exists. θ must bind every tree parameter. The
 // pointer parameter keeps the per-event walk copy-free (instances are
 // interned by the engine).
-func (t *Tree) Lookup(inst *param.Instance) *Set {
+func (t *Tree) Lookup(r Resolver, inst *param.Instance) *Set {
 	m := t.root
 	last := len(t.params) - 1
 	for i, p := range t.params {
-		m.maybeExpunge()
+		m.maybeExpunge(r)
 		e := m.find(inst.Value(p).ID())
 		if e == nil {
 			return nil
@@ -446,7 +455,7 @@ func (t *Tree) Lookup(inst *param.Instance) *Set {
 
 // GetOrCreate returns the leaf set for θ, creating intermediate levels as
 // needed.
-func (t *Tree) GetOrCreate(inst *param.Instance) *Set {
+func (t *Tree) GetOrCreate(r Resolver, inst *param.Instance) *Set {
 	if len(t.params) == 0 {
 		panic("index: tree with no parameters")
 	}
@@ -454,16 +463,16 @@ func (t *Tree) GetOrCreate(inst *param.Instance) *Set {
 	last := len(t.params) - 1
 	for i, p := range t.params {
 		k := inst.Value(p)
-		m.maybeExpunge()
+		m.maybeExpunge(r)
 		e := m.find(k.ID())
 		if e == nil {
 			if i == last {
 				leaf := NewSet()
-				m.putLeaf(k, leaf)
+				m.putLeaf(r, k, leaf)
 				return leaf
 			}
 			next := NewMap()
-			m.putMap(k, next)
+			m.putMap(r, k, next)
 			m = next
 			continue
 		}

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"testing"
 
+	"rvgo/internal/arena"
 	"rvgo/internal/heap"
 	"rvgo/internal/index"
 	"rvgo/internal/param"
 )
 
-// fakeMon implements index.Monitor with observable counters.
+// fakeMon is one observable monitor record; fakeStore is the test Resolver
+// over an arena of them, mirroring how the engine resolves handles.
 type fakeMon struct {
 	notified  int
 	flagged   bool
@@ -17,10 +19,28 @@ type fakeMon struct {
 	collected bool
 }
 
-func (m *fakeMon) NotifyParamDeath() { m.notified++ }
-func (m *fakeMon) Collectable() bool { return m.flagged }
-func (m *fakeMon) Retain()           { m.refs++ }
-func (m *fakeMon) Release() {
+type fakeStore struct {
+	pool arena.Pool[fakeMon]
+}
+
+func (s *fakeStore) alloc() index.Handle {
+	h, _ := s.pool.Alloc()
+	return h
+}
+
+func (s *fakeStore) allocFlagged() index.Handle {
+	h, m := s.pool.Alloc()
+	m.flagged = true
+	return h
+}
+
+func (s *fakeStore) at(h index.Handle) *fakeMon { return s.pool.At(h) }
+
+func (s *fakeStore) NotifyParamDeath(h index.Handle) { s.pool.At(h).notified++ }
+func (s *fakeStore) Collectable(h index.Handle) bool { return s.pool.At(h).flagged }
+func (s *fakeStore) Retain(h index.Handle)           { s.pool.At(h).refs++ }
+func (s *fakeStore) Release(h index.Handle) {
+	m := s.pool.At(h)
 	m.refs--
 	if m.refs <= 0 {
 		m.collected = true
@@ -29,31 +49,32 @@ func (m *fakeMon) Release() {
 
 func TestMapPutGet(t *testing.T) {
 	h := heap.New()
+	r := &fakeStore{}
 	m := index.NewMap()
 	var keys []*heap.Object
 	mkSet := func() *index.Set {
 		s := index.NewSet()
-		s.Add(&fakeMon{})
+		s.Add(r, r.alloc())
 		return s
 	}
 	for i := 0; i < 100; i++ {
 		k := h.Alloc(fmt.Sprintf("k%d", i))
 		keys = append(keys, k)
-		m.Put(k, mkSet())
+		m.Put(r, k, mkSet())
 	}
 	if m.Len() != 100 {
 		t.Fatalf("len = %d", m.Len())
 	}
 	for _, k := range keys {
-		if _, ok := m.Get(k); !ok {
+		if _, ok := m.Get(r, k); !ok {
 			t.Fatalf("missing key %s", k.Label())
 		}
 	}
-	if _, ok := m.Get(h.Alloc("other")); ok {
+	if _, ok := m.Get(r, h.Alloc("other")); ok {
 		t.Fatal("phantom key")
 	}
 	// Replacement keeps a single entry.
-	m.Put(keys[0], mkSet())
+	m.Put(r, keys[0], mkSet())
 	if m.Len() != 100 {
 		t.Fatalf("len after replace = %d", m.Len())
 	}
@@ -63,10 +84,11 @@ func TestMapPutGet(t *testing.T) {
 // structures opportunistically (§5.1.1).
 func TestEmptyStructuresDropped(t *testing.T) {
 	h := heap.New()
+	r := &fakeStore{}
 	m := index.NewMap()
 	k := h.Alloc("k")
-	m.Put(k, index.NewSet()) // empty set
-	m.ExpungeAll()
+	m.Put(r, k, index.NewSet()) // empty set
+	m.ExpungeAll(r)
 	if m.Len() != 0 {
 		t.Fatalf("empty set mapping must be dropped, len = %d", m.Len())
 	}
@@ -77,27 +99,28 @@ func TestEmptyStructuresDropped(t *testing.T) {
 // broken mapping removed.
 func TestMapExpungeNotifies(t *testing.T) {
 	h := heap.New()
+	r := &fakeStore{}
 	m := index.NewMap()
 	k := h.Alloc("c2")
 	set := index.NewSet()
-	mon1, mon3 := &fakeMon{}, &fakeMon{}
-	set.Add(mon1)
-	set.Add(mon3)
-	m.Put(k, set)
+	mon1, mon3 := r.alloc(), r.alloc()
+	set.Add(r, mon1)
+	set.Add(r, mon3)
+	m.Put(r, k, set)
 
 	h.Free(k)
-	m.ExpungeAll()
-	if mon1.notified == 0 || mon3.notified == 0 {
+	m.ExpungeAll(r)
+	if r.at(mon1).notified == 0 || r.at(mon3).notified == 0 {
 		t.Fatal("monitors below a dead key must be notified")
 	}
-	if _, ok := m.Get(k); ok {
+	if _, ok := m.Get(r, k); ok {
 		t.Fatal("broken mapping must be removed")
 	}
 	if m.Len() != 0 {
 		t.Fatalf("len = %d", m.Len())
 	}
 	// Detaching released the containment.
-	if mon1.refs != 0 || !mon1.collected {
+	if r.at(mon1).refs != 0 || !r.at(mon1).collected {
 		t.Fatal("detach must release contained monitors")
 	}
 }
@@ -105,20 +128,21 @@ func TestMapExpungeNotifies(t *testing.T) {
 // TestSetCompaction reproduces Figure 8: iterating a set skips and removes
 // collectable monitors in one pass.
 func TestSetCompaction(t *testing.T) {
+	r := &fakeStore{}
 	s := index.NewSet()
-	var mons []*fakeMon
+	var mons []index.Handle
 	for i := 0; i < 10; i++ {
-		m := &fakeMon{}
+		m := r.alloc()
 		mons = append(mons, m)
-		s.Add(m)
+		s.Add(r, m)
 	}
 	for i, m := range mons {
 		if i%2 == 0 {
-			m.flagged = true
+			r.at(m).flagged = true
 		}
 	}
 	var visited int
-	s.ForEach(func(index.Monitor) { visited++ })
+	s.ForEach(r, func(index.Handle) { visited++ })
 	if visited != 5 {
 		t.Fatalf("visited %d, want 5", visited)
 	}
@@ -126,10 +150,10 @@ func TestSetCompaction(t *testing.T) {
 		t.Fatalf("len after compaction = %d", s.Len())
 	}
 	for i, m := range mons {
-		if i%2 == 0 && (!m.collected || m.refs != 0) {
+		if i%2 == 0 && (!r.at(m).collected || r.at(m).refs != 0) {
 			t.Fatal("flagged members must be released")
 		}
-		if i%2 == 1 && m.refs != 1 {
+		if i%2 == 1 && r.at(m).refs != 1 {
 			t.Fatal("live members must stay retained")
 		}
 	}
@@ -137,20 +161,21 @@ func TestSetCompaction(t *testing.T) {
 
 func TestMapGrowSweepsDeadKeys(t *testing.T) {
 	h := heap.New()
+	r := &fakeStore{}
 	m := index.NewMap()
 	dead := 0
 	for i := 0; i < 200; i++ {
 		k := h.Alloc("")
 		set := index.NewSet()
-		set.Add(&fakeMon{})
-		m.Put(k, set)
+		set.Add(r, r.alloc())
+		m.Put(r, k, set)
 		if i%3 == 0 {
 			h.Free(k)
 			dead++
 		}
 	}
 	// Growth sweeps exhaustively; remaining entries are only live ones.
-	m.ExpungeAll()
+	m.ExpungeAll(r)
 	if m.Len() != 200-dead {
 		t.Fatalf("len = %d, want %d", m.Len(), 200-dead)
 	}
@@ -158,6 +183,7 @@ func TestMapGrowSweepsDeadKeys(t *testing.T) {
 
 func TestTreeLookup(t *testing.T) {
 	h := heap.New()
+	r := &fakeStore{}
 	tree := index.NewTree(param.SetOf(0, 1))
 	c1, i1, i2 := h.Alloc("c1"), h.Alloc("i1"), h.Alloc("i2")
 
@@ -165,29 +191,29 @@ func TestTreeLookup(t *testing.T) {
 	v2 := param.Empty().Bind(0, c1).Bind(1, i2)
 	inst1, inst2 := &v1, &v2
 
-	if tree.Lookup(inst1) != nil {
+	if tree.Lookup(r, inst1) != nil {
 		t.Fatal("lookup before insert must be nil")
 	}
-	mon := &fakeMon{}
-	s1 := tree.GetOrCreate(inst1)
-	s1.Add(mon)
-	s2 := tree.GetOrCreate(inst2)
-	s2.Add(&fakeMon{})
+	mon := r.alloc()
+	s1 := tree.GetOrCreate(r, inst1)
+	s1.Add(r, mon)
+	s2 := tree.GetOrCreate(r, inst2)
+	s2.Add(r, r.alloc())
 	if s1 == s2 {
 		t.Fatal("distinct tuples must get distinct leaves")
 	}
-	if tree.GetOrCreate(inst1) != s1 {
+	if tree.GetOrCreate(r, inst1) != s1 {
 		t.Fatal("GetOrCreate must be stable")
 	}
-	if tree.Lookup(inst1) != s1 || tree.Lookup(inst2) != s2 {
+	if tree.Lookup(r, inst1) != s1 || tree.Lookup(r, inst2) != s2 {
 		t.Fatal("lookup after insert")
 	}
 	h.Free(c1)
-	tree.Root().ExpungeAll()
-	if tree.Lookup(inst1) != nil {
+	tree.Root().ExpungeAll(r)
+	if tree.Lookup(r, inst1) != nil {
 		t.Fatal("dead first-level key must break the path")
 	}
-	if mon.notified == 0 {
+	if r.at(mon).notified == 0 {
 		t.Fatal("monitor under the dead key must be notified")
 	}
 }
@@ -196,12 +222,13 @@ func TestTreeLookup(t *testing.T) {
 // operation only examines a bounded number of buckets.
 func TestLazyExpungeQuota(t *testing.T) {
 	h := heap.New()
+	r := &fakeStore{}
 	m := index.NewMap()
 	var keys []*heap.Object
 	for i := 0; i < 64; i++ {
 		k := h.Alloc("")
 		keys = append(keys, k)
-		m.Put(k, index.NewSet())
+		m.Put(r, k, index.NewSet())
 	}
 	before := m.Len()
 	for _, k := range keys {
@@ -211,29 +238,30 @@ func TestLazyExpungeQuota(t *testing.T) {
 		t.Fatal("no operation yet: nothing expunged")
 	}
 	// A single Get expunges at most ExpungeQuota buckets.
-	m.Get(keys[0])
+	m.Get(r, keys[0])
 	if before-m.Len() > 16 {
 		t.Fatalf("one op expunged %d entries; laziness broken", before-m.Len())
 	}
-	m.ExpungeAll()
+	m.ExpungeAll(r)
 	if m.Len() != 0 {
 		t.Fatalf("full sweep left %d entries", m.Len())
 	}
 }
 
-func TestEachMonitorWalksSubtrees(t *testing.T) {
+func TestEachHandleWalksSubtrees(t *testing.T) {
 	h := heap.New()
+	r := &fakeStore{}
 	outer := index.NewMap()
 	inner := index.NewMap()
 	set := index.NewSet()
-	set.Add(&fakeMon{})
-	set.Add(&fakeMon{})
-	inner.Put(h.Alloc("i"), set)
-	outer.Put(h.Alloc("c"), inner)
+	set.Add(r, r.alloc())
+	set.Add(r, r.alloc())
+	inner.Put(r, h.Alloc("i"), set)
+	outer.Put(r, h.Alloc("c"), inner)
 	count := 0
-	outer.EachMonitor(func(index.Monitor) { count++ })
+	outer.EachHandle(func(index.Handle) { count++ })
 	if count != 2 {
-		t.Fatalf("EachMonitor visited %d", count)
+		t.Fatalf("EachHandle visited %d", count)
 	}
 }
 
@@ -244,20 +272,21 @@ func TestEachMonitorWalksSubtrees(t *testing.T) {
 // of operations needed by the table size times the stride.
 func TestExpungeQuotaFinalBucket(t *testing.T) {
 	h := heap.New()
+	r := &fakeStore{}
 	m := index.NewMap()
 	var keys []*heap.Object
 	for i := 0; i < 64; i++ { // spread over all buckets, no resize after
 		k := h.Alloc("")
 		keys = append(keys, k)
 		set := index.NewSet()
-		set.Add(&fakeMon{})
-		m.Put(k, set)
+		set.Add(r, r.alloc())
+		m.Put(r, k, set)
 	}
 	probe := h.Alloc("probe")
-	mon := &fakeMon{}
+	mon := r.alloc()
 	set := index.NewSet()
-	set.Add(mon)
-	m.Put(probe, set)
+	set.Add(r, mon)
+	m.Put(r, probe, set)
 	h.Free(probe)
 
 	// Worst case: the cursor has just passed the probe's bucket, so a full
@@ -265,16 +294,16 @@ func TestExpungeQuotaFinalBucket(t *testing.T) {
 	// ExpungeQuota buckets and only every strideth operation scans at all;
 	// 4*64 live-key Gets overshoot any table size this test can have.
 	alive := keys[0]
-	for i := 0; i < 4*64 && mon.notified == 0; i++ {
-		m.Get(alive)
+	for i := 0; i < 4*64 && r.at(mon).notified == 0; i++ {
+		m.Get(r, alive)
 	}
-	if mon.notified == 0 {
+	if r.at(mon).notified == 0 {
 		t.Fatal("dead key in the cursor's last bucket never expunged")
 	}
-	if _, ok := m.Get(probe); ok {
+	if _, ok := m.Get(r, probe); ok {
 		t.Fatal("dead mapping still reachable after expunge")
 	}
-	if !mon.collected {
+	if !r.at(mon).collected {
 		t.Fatal("monitor under the dead key not released")
 	}
 }
@@ -283,29 +312,30 @@ func TestExpungeQuotaFinalBucket(t *testing.T) {
 // key is discovered by the resize itself, with no expunge quota involved.
 func TestResizeFullSweep(t *testing.T) {
 	h := heap.New()
+	r := &fakeStore{}
 	m := index.NewMap()
-	var dead []*fakeMon
+	var dead []index.Handle
 	// NewMap starts with 8 buckets and grows at 32 entries; insert the dead
 	// cohort first, kill it, then push past the resize threshold.
 	for i := 0; i < 16; i++ {
 		k := h.Alloc("")
-		mon := &fakeMon{}
+		mon := r.alloc()
 		set := index.NewSet()
-		set.Add(mon)
-		m.Put(k, set)
+		set.Add(r, mon)
+		m.Put(r, k, set)
 		dead = append(dead, mon)
 		h.Free(k)
 	}
 	for i := 0; i < 40; i++ { // crosses the 32-entry growth threshold
 		set := index.NewSet()
-		set.Add(&fakeMon{})
-		m.Put(h.Alloc(""), set)
+		set.Add(r, r.alloc())
+		m.Put(r, h.Alloc(""), set)
 	}
 	for i, mon := range dead {
-		if mon.notified == 0 {
+		if r.at(mon).notified == 0 {
 			t.Fatalf("dead key %d not notified by the resize sweep", i)
 		}
-		if !mon.collected {
+		if !r.at(mon).collected {
 			t.Fatalf("dead key %d's monitor not released by the resize sweep", i)
 		}
 	}
@@ -317,15 +347,16 @@ func TestResizeFullSweep(t *testing.T) {
 // TestSetCompactionAllFlagged: when every member is flagged, one iteration
 // releases everything and visits nothing.
 func TestSetCompactionAllFlagged(t *testing.T) {
+	r := &fakeStore{}
 	s := index.NewSet()
-	var mons []*fakeMon
+	var mons []index.Handle
 	for i := 0; i < 8; i++ {
-		m := &fakeMon{flagged: true}
+		m := r.allocFlagged()
 		mons = append(mons, m)
-		s.Add(m)
+		s.Add(r, m)
 	}
 	visited := 0
-	s.ForEach(func(index.Monitor) { visited++ })
+	s.ForEach(r, func(index.Handle) { visited++ })
 	if visited != 0 {
 		t.Fatalf("visited %d flagged members", visited)
 	}
@@ -333,7 +364,7 @@ func TestSetCompactionAllFlagged(t *testing.T) {
 		t.Fatalf("len = %d after all-flagged compaction", s.Len())
 	}
 	for i, m := range mons {
-		if !m.collected || m.refs != 0 {
+		if !r.at(m).collected || r.at(m).refs != 0 {
 			t.Fatalf("member %d not released", i)
 		}
 	}
@@ -342,22 +373,26 @@ func TestSetCompactionAllFlagged(t *testing.T) {
 // TestAppendLiveMatchesForEach: AppendLive is the closure-free ForEach —
 // same compaction, same survivors, appended to the caller's buffer.
 func TestAppendLiveMatchesForEach(t *testing.T) {
-	mk := func() (*index.Set, []*fakeMon) {
+	r := &fakeStore{}
+	mk := func() *index.Set {
 		s := index.NewSet()
-		var mons []*fakeMon
 		for i := 0; i < 10; i++ {
-			m := &fakeMon{flagged: i%3 == 0}
-			mons = append(mons, m)
-			s.Add(m)
+			var m index.Handle
+			if i%3 == 0 {
+				m = r.allocFlagged()
+			} else {
+				m = r.alloc()
+			}
+			s.Add(r, m)
 		}
-		return s, mons
+		return s
 	}
-	s1, _ := mk()
-	s2, _ := mk()
-	var viaForEach []index.Monitor
-	s1.ForEach(func(m index.Monitor) { viaForEach = append(viaForEach, m) })
-	buf := make([]index.Monitor, 0, 4)
-	buf = s2.AppendLive(buf)
+	s1 := mk()
+	s2 := mk()
+	var viaForEach []index.Handle
+	s1.ForEach(r, func(h index.Handle) { viaForEach = append(viaForEach, h) })
+	buf := make([]index.Handle, 0, 4)
+	buf = s2.AppendLive(r, buf)
 	if len(buf) != len(viaForEach) {
 		t.Fatalf("AppendLive returned %d members, ForEach visited %d", len(buf), len(viaForEach))
 	}
@@ -365,7 +400,7 @@ func TestAppendLiveMatchesForEach(t *testing.T) {
 		t.Fatalf("post-compaction lengths diverge: %d vs %d", s1.Len(), s2.Len())
 	}
 	// Appending must extend, not overwrite.
-	buf2 := s2.AppendLive(buf)
+	buf2 := s2.AppendLive(r, buf)
 	if len(buf2) != 2*len(buf) {
 		t.Fatalf("AppendLive did not append: %d, want %d", len(buf2), 2*len(buf))
 	}

@@ -85,6 +85,12 @@ func (g *Graph) state(i int) State {
 	return GraphState{G: g, S: i}
 }
 
+// State returns the boxed State for index i, preboxed (allocation-free)
+// when Box has run. Engines that store graph states as raw uint32 words
+// use this to rebox a word for State-typed consumers (verdict handlers,
+// dead-state checks, State()).
+func (g *Graph) State(i int) State { return g.state(i) }
+
 // NumStates returns the number of states in the graph.
 func (g *Graph) NumStates() int { return len(g.Next) }
 

@@ -26,6 +26,12 @@ type EngineSeries struct {
 	Sweeps    *Counter
 	Live      *Gauge
 	PeakLive  *Gauge
+	// Arena occupancy: the monitor store's slab arena, published as deltas
+	// like everything else. Occupancy and fragmentation are derived
+	// scrape-side (live/capacity, free/(live+free)) from these and Live.
+	ArenaSlabs *Gauge
+	ArenaCap   *Gauge
+	ArenaFree  *Gauge
 	// SweepSeconds is labeled by GC policy, not tenant: the collection
 	// latency distribution is a property of the policy's sweep algorithm,
 	// and pooling it across tenants is what makes the histogram useful.
@@ -36,17 +42,20 @@ type EngineSeries struct {
 // given GC policy name.
 func NewEngineSeries(r *Registry, tenant, gc string) *EngineSeries {
 	return &EngineSeries{
-		Events:    r.LabeledCounter("rv_engine_events_total", "Events dispatched into the slicing engine.", "tenant", tenant),
-		Steps:     r.LabeledCounter("rv_engine_steps_total", "Monitor transition steps taken.", "tenant", tenant),
-		Created:   r.LabeledCounter("rv_engine_monitors_created_total", "Monitor instances created.", "tenant", tenant),
-		Flagged:   r.LabeledCounter("rv_engine_monitors_flagged_total", "Monitors flagged unreachable by parameter death.", "tenant", tenant),
-		Collected: r.LabeledCounter("rv_engine_monitors_collected_total", "Monitors reclaimed by the GC policy.", "tenant", tenant),
-		Recycled:  r.LabeledCounter("rv_engine_monitors_recycled_total", "Collected monitors returned to the free pool.", "tenant", tenant),
-		Reused:    r.LabeledCounter("rv_engine_pool_reused_total", "Monitor creations satisfied from the free pool.", "tenant", tenant),
-		Verdicts:  r.LabeledCounter("rv_engine_verdicts_total", "Goal verdicts reached.", "tenant", tenant),
-		Sweeps:    r.LabeledCounter("rv_engine_sweeps_total", "Expunge sweep passes over the live set.", "tenant", tenant),
-		Live:      r.LabeledGauge("rv_engine_monitors_live", "Monitors currently live.", "tenant", tenant),
-		PeakLive:  r.LabeledGauge("rv_engine_monitors_peak_live", "Largest per-engine peak of live monitors.", "tenant", tenant),
+		Events:     r.LabeledCounter("rv_engine_events_total", "Events dispatched into the slicing engine.", "tenant", tenant),
+		Steps:      r.LabeledCounter("rv_engine_steps_total", "Monitor transition steps taken.", "tenant", tenant),
+		Created:    r.LabeledCounter("rv_engine_monitors_created_total", "Monitor instances created.", "tenant", tenant),
+		Flagged:    r.LabeledCounter("rv_engine_monitors_flagged_total", "Monitors flagged unreachable by parameter death.", "tenant", tenant),
+		Collected:  r.LabeledCounter("rv_engine_monitors_collected_total", "Monitors reclaimed by the GC policy.", "tenant", tenant),
+		Recycled:   r.LabeledCounter("rv_engine_monitors_recycled_total", "Collected monitors returned to the free pool.", "tenant", tenant),
+		Reused:     r.LabeledCounter("rv_engine_pool_reused_total", "Monitor creations satisfied from the free pool.", "tenant", tenant),
+		Verdicts:   r.LabeledCounter("rv_engine_verdicts_total", "Goal verdicts reached.", "tenant", tenant),
+		Sweeps:     r.LabeledCounter("rv_engine_sweeps_total", "Expunge sweep passes over the live set.", "tenant", tenant),
+		Live:       r.LabeledGauge("rv_engine_monitors_live", "Monitors currently live.", "tenant", tenant),
+		PeakLive:   r.LabeledGauge("rv_engine_monitors_peak_live", "Largest per-engine peak of live monitors.", "tenant", tenant),
+		ArenaSlabs: r.LabeledGauge("rv_engine_arena_slabs", "Slabs allocated in the monitor-store arena.", "tenant", tenant),
+		ArenaCap:   r.LabeledGauge("rv_engine_arena_capacity", "Record capacity of the monitor-store arena.", "tenant", tenant),
+		ArenaFree:  r.LabeledGauge("rv_engine_arena_free", "Records on the monitor-store arena free list.", "tenant", tenant),
 		SweepSeconds: r.LabeledHistogram("rv_engine_sweep_seconds",
 			"Expunge sweep pass duration by GC policy.", "gc", gc, SecondsBuckets),
 	}

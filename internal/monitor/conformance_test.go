@@ -10,12 +10,18 @@ import (
 
 // engineFactory builds a sequential engine for the conformance suites.
 func engineFactory(t *testing.T, prop string, onVerdict func(monitor.Verdict)) monitor.Runtime {
+	return enginePolicyFactory(t, prop, monitor.GCCoenable, onVerdict)
+}
+
+// enginePolicyFactory builds a sequential engine under an explicit GC
+// policy for the oracle matrix.
+func enginePolicyFactory(t *testing.T, prop string, gc monitor.GCPolicy, onVerdict func(monitor.Verdict)) monitor.Runtime {
 	spec, err := props.Build(prop)
 	if err != nil {
 		t.Fatal(err)
 	}
 	eng, err := monitor.New(spec, monitor.Options{
-		GC:        monitor.GCCoenable,
+		GC:        gc,
 		Creation:  monitor.CreateEnable,
 		OnVerdict: onVerdict,
 	})
@@ -35,4 +41,13 @@ func TestEngineConformance(t *testing.T) {
 // FreeAsync) on the sequential engine.
 func TestEngineFreeConformance(t *testing.T) {
 	conformance.RunFree(t, engineFactory)
+}
+
+// TestEngineArenaOracle replays the avrora trace under every GC policy on
+// a fresh engine and compares it against a reference engine run of the
+// same trace — the arena-store engine must be observationally identical
+// to itself across independent runs (determinism of the slab/handle
+// store) before the cross-backend cells mean anything.
+func TestEngineArenaOracle(t *testing.T) {
+	conformance.RunArenaOracle(t, enginePolicyFactory)
 }

@@ -2,8 +2,10 @@ package monitor
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"rvgo/internal/arena"
 	"rvgo/internal/heap"
 	"rvgo/internal/index"
 	"rvgo/internal/logic"
@@ -106,86 +108,31 @@ type Stats struct {
 	PeakLive     int64  // maximum of Live
 }
 
-// maxPool bounds the monitor free list; beyond it, collected monitors are
-// left to the Go GC (the pool only needs to cover the live working set).
-const maxPool = 1 << 16
+// Monitor record flags. A flagged monitor has been proven unnecessary by
+// ALIVENESS/termination; a collected monitor has been dropped by every
+// container; inExact reports that the engine's Δ map still references the
+// record — a slot is recycled only once it is both collected and out of Δ.
+const (
+	monFlagged uint8 = 1 << iota
+	monCollected
+	monInExact
+)
 
-// Mon is one monitor instance: a parameter instance θ (an interned
-// canonical pointer — see the engine's intern table), the state of its
-// trace slice, and GC bookkeeping.
+// Mon is one monitor-instance record: a handle to its parameter instance θ
+// (a slot in the engine's interner arena), the state of its trace slice,
+// and GC bookkeeping. Mon is deliberately pointer-free: monitor records
+// live in slab arenas (see package arena) whose slabs the host garbage
+// collector never scans, so ten million live monitors cost the collector
+// exactly as much as zero. Everything a Mon used to reach through pointers
+// — the engine, its instance, its boxed logic state — is reached through
+// the owning engine instead.
 type Mon struct {
-	eng        *Engine
-	inst       *param.Instance
-	state      logic.State
+	instH      arena.Handle // instance slot in the engine's interner arena
+	state      uint32       // graph-mode logic state word (see Engine.g)
 	lastSym    int32
+	refs       int32 // container refcount (reachability stand-in)
 	paramsSeen param.Set
-	flagged    bool
-	collected  bool
-	// inExact reports that the engine's Δ map still references the
-	// monitor; a monitor is recycled only once it is both collected (no
-	// container holds it) and out of Δ.
-	inExact bool
-	pooled  bool
-	refs    int32
-}
-
-// Inst returns the monitor's parameter instance.
-func (m *Mon) Inst() param.Instance { return *m.inst }
-
-// NotifyParamDeath implements index.Monitor: re-evaluate ALIVENESS under
-// the engine's GC policy (Figure 7A: monitors below a dead mapping are
-// notified and decide for themselves).
-func (m *Mon) NotifyParamDeath() {
-	if poolCheck && m.pooled {
-		panic("monitor: pooled monitor notified")
-	}
-	if m.flagged {
-		return
-	}
-	switch m.eng.opts.GC {
-	case GCNone:
-	case GCAllDead:
-		if m.inst.AliveMask().Empty() {
-			m.flag()
-		}
-	case GCCoenable:
-		m.eng.checkAliveness(m)
-	}
-}
-
-// Collectable implements index.Monitor.
-func (m *Mon) Collectable() bool { return m.flagged }
-
-// Retain implements index.Monitor.
-func (m *Mon) Retain() { m.refs++ }
-
-// Release implements index.Monitor.
-func (m *Mon) Release() {
-	m.refs--
-	if m.refs <= 0 && !m.collected {
-		m.collected = true
-		m.eng.stats.Collected++
-		m.eng.stats.Live--
-		if !m.inExact {
-			m.eng.recycle(m)
-		}
-	}
-}
-
-func (m *Mon) flag() {
-	if !m.flagged {
-		m.flagged = true
-		m.eng.stats.Flagged++
-	}
-}
-
-// domainReg indexes the monitor instances whose domain is exactly R, for
-// the creation joins: projections[O] maps θ|O to the instances agreeing on
-// O; all holds every instance (used when a join has empty overlap).
-type domainReg struct {
-	R           param.Set
-	projections map[param.Set]*index.Tree
-	all         *index.Set
+	flags      uint8
 }
 
 // Engine is the RV runtime for one specification.
@@ -194,24 +141,45 @@ type Engine struct {
 	an   *Analysis
 	opts Options
 	bp   logic.Blueprint
-	// botState is Δ(⊥): the state of the empty-domain slice. It only
-	// advances on propositional events (D(e) = ∅) and is the progenitor
-	// state for instances created from ⊥.
+	// g is the explored state graph when the runtime blueprint is
+	// graph-backed (every Explorable formalism: FSM, ERE, ptLTL). With g
+	// set, a monitor's logic state is the uint32 word Mon.state and a step
+	// is one array read — no interface values anywhere in the store. When
+	// g is nil (CFG monitors with unbounded state), per-monitor boxed
+	// states live in the boxState side slice instead.
+	g *logic.Graph
+	// botWord/botState is Δ(⊥): the state of the empty-domain slice, in
+	// whichever representation the blueprint uses. It only advances on
+	// propositional events (D(e) = ∅) and is the progenitor state for
+	// instances created from ⊥.
+	botWord  uint32
 	botState logic.State
 
 	// intern canonicalizes parameter instances: every θ the engine touches
-	// resolves to one *param.Instance, so instance identity is pointer
-	// identity and the per-event maps below key on 8 bytes. Entries are
-	// swept with the tombstones (retaining anything Δ still maps).
+	// resolves to one slab slot with a stable canonical pointer, so
+	// instance identity is pointer identity and the per-event maps below
+	// key on 8 bytes, while monitor records hold the slot's uint32-indexed
+	// handle. Entries are swept with the tombstones (retaining anything Δ
+	// still maps); slots stay pinned while a monitor holds their handle.
 	intern *param.Interner
+
+	// mons is the monitor store: a slab arena of pointer-free Mon records
+	// addressed by generation-tagged handles. Reclaimed monitors are a
+	// free-list push; creations pop the free list — the collected garbage
+	// literally becomes the allocator (and with it, PR 4's pooled-monitor
+	// free list generalizes to the whole store).
+	mons arena.Pool[Mon]
+	// boxState holds the per-monitor boxed logic state for non-graph
+	// blueprints, indexed by monitor slot; unused (empty) in graph mode.
+	boxState []logic.State
 
 	// trees are the dispatch indexing trees, one per event parameter set
 	// (Figure 6).
 	trees map[param.Set]*index.Tree
-	// exact is Δ's domain: interned instance → monitor (kept while flagged
-	// so a terminated instance is never re-materialized with a wrong
-	// slice).
-	exact map[*param.Instance]*Mon
+	// exact is Δ's domain: interned instance → monitor handle (kept while
+	// flagged so a terminated instance is never re-materialized with a
+	// wrong slice).
+	exact map[*param.Instance]arena.Handle
 	// regs are the per-domain join indexes (CreateEnable).
 	regs map[param.Set]*domainReg
 	// domains is every instance domain, descending popcount.
@@ -232,27 +200,33 @@ type Engine struct {
 
 	stats Stats
 
-	// met is Options.Metrics; pub/pubRecycled/pubReused are the counter
+	// met is Options.Metrics; pub/pubRecycled/pubReused/pubArena are the
 	// values already published into it, so each publish Adds only the
 	// delta accumulated since the last one.
 	met                    *metrics.EngineSeries
 	pub                    Stats
 	pubRecycled, pubReused uint64
+	pubArena               arena.Stats
 
-	// pool is the monitor free list: instances reclaimed by the coenable
-	// GC (collected and out of Δ) are recycled into the next creations —
-	// the collected garbage literally becomes the allocator.
-	pool     []*Mon
-	recycled uint64 // monitors pushed into the pool
-	reused   uint64 // creations served from the pool
+	// recycled counts monitors returned to the arena free list.
+	recycled uint64
 
 	// scratch, reused across events: the per-event processed set, the
 	// pending insertions, and the leaf-visit buffers for the closure-free
 	// dispatch loops.
 	processed map[*param.Instance]bool
-	pendAdd   []*Mon
-	visitBuf  []index.Monitor
-	monBuf    []*Mon
+	pendAdd   []arena.Handle
+	visitBuf  []index.Handle
+	monBuf    []arena.Handle
+}
+
+// domainReg indexes the monitor instances whose domain is exactly R, for
+// the creation joins: projections[O] maps θ|O to the instances agreeing on
+// O; all holds every instance (used when a join has empty overlap).
+type domainReg struct {
+	R           param.Set
+	projections map[param.Set]*index.Tree
+	all         *index.Set
 }
 
 type joinPlan struct {
@@ -284,12 +258,18 @@ func New(spec *Spec, opts Options) (*Engine, error) {
 		bp:        spec.RuntimeBlueprint(),
 		intern:    param.NewInterner(),
 		trees:     map[param.Set]*index.Tree{},
-		exact:     map[*param.Instance]*Mon{},
+		exact:     map[*param.Instance]arena.Handle{},
 		regs:      map[param.Set]*domainReg{},
 		seen:      map[uint64]seenRec{},
 		seenInst:  map[param.Key]param.Instance{},
 		processed: map[*param.Instance]bool{},
 		met:       opts.Metrics,
+	}
+	if gb, ok := e.bp.(logic.GraphBlueprint); ok {
+		e.g = gb.G
+	}
+	if poolCheck {
+		e.mons.SetChecks(poisonMon, verifyMon)
 	}
 	e.domBit = make([]uint16, len(spec.Events))
 	for sym, ev := range spec.Events {
@@ -306,7 +286,11 @@ func New(spec *Spec, opts Options) (*Engine, error) {
 		}
 		e.domBit[sym] = 1 << uint(found)
 	}
-	e.botState = e.bp.Start()
+	if e.g != nil {
+		e.botWord = 0 // the graph's start state is state 0 by construction
+	} else {
+		e.botState = e.bp.Start()
+	}
 
 	// Dispatch trees: one per distinct event parameter set.
 	for _, ev := range spec.Events {
@@ -389,12 +373,21 @@ func (e *Engine) Spec() *Spec { return e.spec }
 func (e *Engine) Stats() Stats { return e.stats }
 
 // PoolStats returns the monitor free-list counters: how many collected
-// monitors were recycled into the pool and how many creations were served
-// from it (tests, diagnostics).
-func (e *Engine) PoolStats() (recycled, reused uint64) { return e.recycled, e.reused }
+// monitors were recycled into the arena free list and how many creations
+// were served from it (tests, diagnostics).
+func (e *Engine) PoolStats() (recycled, reused uint64) { return e.recycled, e.mons.Reused() }
+
+// ArenaStats returns the monitor-store slab arena's occupancy snapshot.
+func (e *Engine) ArenaStats() arena.Stats { return e.mons.Stats() }
+
+// InstanceArenaStats returns the interner slab arena's occupancy snapshot.
+func (e *Engine) InstanceArenaStats() arena.Stats { return e.intern.Stats() }
 
 // InternedInstances returns the intern-table size (tests, diagnostics).
 func (e *Engine) InternedInstances() int { return e.intern.Len() }
+
+// instOf resolves a monitor record's parameter instance.
+func (e *Engine) instOf(m *Mon) *param.Instance { return e.intern.At(m.instH) }
 
 // EmitNamed dispatches an event by name; vals bind D(e)'s parameters in
 // ascending parameter-index order. Unknown names and arity mismatches are
@@ -438,40 +431,45 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 		// unflagged monitors even after a parameter death (see sweep), so
 		// membership here never depends on sweep timing.
 		ms := e.monBuf[:0]
-		for _, m := range e.exact {
-			if !m.flagged {
-				ms = append(ms, m)
+		for _, h := range e.exact {
+			if e.mons.At(h).flags&monFlagged == 0 {
+				ms = append(ms, h)
 			}
 		}
-		sortMons(ms)
-		for _, m := range ms {
-			if !e.observeDeaths(m) {
+		e.sortHandles(ms)
+		for _, h := range ms {
+			m := e.mons.At(h)
+			if !e.observeDeaths(h, m) {
 				continue
 			}
-			e.step(m, sym)
-			e.processed[m.inst] = true
+			e.step(h, m, sym)
+			e.processed[e.instOf(m)] = true
 		}
 		e.monBuf = ms[:0]
-		e.botState = e.botState.Step(sym)
+		if e.g != nil {
+			e.botWord = uint32(e.g.Next[e.botWord][sym])
+		} else {
+			e.botState = e.botState.Step(sym)
+		}
 		return
 	}
 
 	// Canonicalize θ: one intern lookup replaces every per-event Key
 	// computation; from here instance identity is pointer identity.
-	tp := e.intern.Intern(theta)
+	tp, _ := e.intern.Intern(theta)
 
-	if leaf := e.trees[evParams].Lookup(tp); leaf != nil {
+	if leaf := e.trees[evParams].Lookup(e, tp); leaf != nil {
 		// Closure-free leaf walk: AppendLive compacts exactly like
 		// ForEach and fills the reused scratch buffer; the flagged
 		// re-check below mirrors ForEach's visit-time Collectable check.
-		buf := leaf.AppendLive(e.visitBuf[:0])
-		for _, im := range buf {
-			m := im.(*Mon)
-			if m.flagged || !e.observeDeaths(m) {
+		buf := leaf.AppendLive(e, e.visitBuf[:0])
+		for _, h := range buf {
+			m := e.mons.At(h)
+			if m.flags&monFlagged != 0 || !e.observeDeaths(h, m) {
 				continue
 			}
-			e.step(m, sym)
-			e.processed[m.inst] = true
+			e.step(h, m, sym)
+			e.processed[e.instOf(m)] = true
 		}
 		e.visitBuf = buf[:0]
 	}
@@ -489,17 +487,17 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 		// first: because Θ is lub-closed under CreateFull, the first
 		// candidate producing a given lub is max{θ'' ∈ Θ | θ'' ⊑ θ'}.
 		cands := e.monBuf[:0]
-		for _, m := range e.exact {
-			if m.flagged || e.processed[m.inst] {
+		for p, h := range e.exact {
+			if e.mons.At(h).flags&monFlagged != 0 || e.processed[p] {
 				continue
 			}
-			if m.inst.Compatible(*tp) {
-				cands = append(cands, m)
+			if p.Compatible(*tp) {
+				cands = append(cands, h)
 			}
 		}
-		sortMonsByInformativeness(cands)
-		for _, m := range cands {
-			e.tryCreate(sym, tp, m)
+		e.sortByInformativeness(cands)
+		for _, h := range cands {
+			e.tryCreate(sym, tp, h)
 		}
 		e.monBuf = cands[:0]
 	case CreateEnable:
@@ -508,12 +506,12 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 			var leaf *index.Set
 			if jp.O.Empty() {
 				leaf = reg.all
-			} else if leaf = reg.projections[jp.O].Lookup(tp); leaf == nil {
+			} else if leaf = reg.projections[jp.O].Lookup(e, tp); leaf == nil {
 				continue
 			}
-			buf := leaf.AppendLive(e.visitBuf[:0])
-			for _, im := range buf {
-				e.tryCreate(sym, tp, im.(*Mon))
+			buf := leaf.AppendLive(e, e.visitBuf[:0])
+			for _, h := range buf {
+				e.tryCreate(sym, tp, h)
 			}
 			e.visitBuf = buf[:0]
 		}
@@ -524,16 +522,16 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 		if _, exists := e.exact[tp]; !exists {
 			switch {
 			case e.opts.Creation == CreateFull:
-				e.create(sym, tp, e.botState, 0)
+				e.createFromBot(sym, tp)
 			case e.an.Creation[sym] && e.priorEventsOK(tp, 0):
-				e.create(sym, tp, e.botState, 0)
+				e.createFromBot(sym, tp)
 			}
 		}
 	}
 
 	// 4. Insert the new monitors into the indexing structures.
-	for _, m := range e.pendAdd {
-		e.insert(m)
+	for _, h := range e.pendAdd {
+		e.insert(h)
 	}
 
 	// 5. Mark θ's objects as seen and sweep tombstones periodically.
@@ -554,6 +552,14 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 		e.sinceSwep = 0
 		e.timedSweep()
 	}
+}
+
+// createFromBot materializes θ from the empty-domain progenitor ⊥.
+func (e *Engine) createFromBot(sym int, tp *param.Instance) {
+	// Re-intern for the handle: the instance is already canonical, so this
+	// is one map read.
+	_, th := e.intern.Intern(*tp)
+	e.create(sym, tp, th, e.botWord, e.botState, 0)
 }
 
 // timedSweep runs a sweep pass, recording its duration in the per-policy
@@ -585,10 +591,74 @@ func (e *Engine) publishMetrics() {
 	m.Verdicts.Add(s.GoalVerdicts - p.GoalVerdicts)
 	m.Live.Add(s.Live - p.Live)
 	m.PeakLive.SetMax(s.PeakLive)
+	reused := e.mons.Reused()
 	m.Recycled.Add(e.recycled - e.pubRecycled)
-	m.Reused.Add(e.reused - e.pubReused)
+	m.Reused.Add(reused - e.pubReused)
+	ast := e.mons.Stats()
+	m.ArenaSlabs.Add(int64(ast.Slabs) - int64(e.pubArena.Slabs))
+	m.ArenaCap.Add(int64(ast.Cap) - int64(e.pubArena.Cap))
+	m.ArenaFree.Add(int64(ast.Free) - int64(e.pubArena.Free))
 	e.pub = *s
-	e.pubRecycled, e.pubReused = e.recycled, e.reused
+	e.pubRecycled, e.pubReused = e.recycled, reused
+	e.pubArena = ast
+}
+
+// --- index.Resolver ---------------------------------------------------
+//
+// The indexing trees hold generation-tagged handles, not pointers; the
+// engine is their Resolver, mapping a handle back to monitor behavior
+// through the slab arena. Every dereference is generation-checked, so a
+// container that somehow held a stale handle fails loudly at the point of
+// misuse instead of silently touching a recycled record.
+
+var _ index.Resolver = (*Engine)(nil)
+
+// NotifyParamDeath implements index.Resolver: re-evaluate ALIVENESS under
+// the engine's GC policy (Figure 7A: monitors below a dead mapping are
+// notified and decide for themselves).
+func (e *Engine) NotifyParamDeath(h index.Handle) {
+	m := e.mons.At(h)
+	if m.flags&monFlagged != 0 {
+		return
+	}
+	switch e.opts.GC {
+	case GCNone:
+	case GCAllDead:
+		if e.instOf(m).AliveMask().Empty() {
+			e.flagMon(m)
+		}
+	case GCCoenable:
+		e.checkAliveness(m)
+	}
+}
+
+// Collectable implements index.Resolver.
+func (e *Engine) Collectable(h index.Handle) bool {
+	return e.mons.At(h).flags&monFlagged != 0
+}
+
+// Retain implements index.Resolver.
+func (e *Engine) Retain(h index.Handle) { e.mons.At(h).refs++ }
+
+// Release implements index.Resolver.
+func (e *Engine) Release(h index.Handle) {
+	m := e.mons.At(h)
+	m.refs--
+	if m.refs <= 0 && m.flags&monCollected == 0 {
+		m.flags |= monCollected
+		e.stats.Collected++
+		e.stats.Live--
+		if m.flags&monInExact == 0 {
+			e.recycle(h, m)
+		}
+	}
+}
+
+func (e *Engine) flagMon(m *Mon) {
+	if m.flags&monFlagged == 0 {
+		m.flags |= monFlagged
+		e.stats.Flagged++
+	}
 }
 
 // observeDeaths delivers parameter-death notifications for a monitor at a
@@ -602,33 +672,35 @@ func (e *Engine) publishMetrics() {
 // expunge quotas and sweep intervals — the property that lets the sharded
 // runtime (internal/shard) compare its merged counters exactly against the
 // sequential engine. Reports whether the monitor may be stepped.
-func (e *Engine) observeDeaths(m *Mon) bool {
-	if m.flagged {
+func (e *Engine) observeDeaths(h arena.Handle, m *Mon) bool {
+	if m.flags&monFlagged != 0 {
 		return false
 	}
-	if !m.inst.AllAlive() {
-		m.NotifyParamDeath()
-		return !m.flagged
+	if !e.instOf(m).AllAlive() {
+		e.NotifyParamDeath(h)
+		return m.flags&monFlagged == 0
 	}
 	return true
 }
 
 // tryCreate materializes θ' = progenitor ⊔ θ if permitted.
-func (e *Engine) tryCreate(sym int, theta *param.Instance, prog *Mon) {
-	if prog.flagged {
+func (e *Engine) tryCreate(sym int, theta *param.Instance, progH arena.Handle) {
+	prog := e.mons.At(progH)
+	if prog.flags&monFlagged != 0 {
 		return
 	}
-	if e.opts.Creation == CreateEnable && !prog.inst.AllAlive() {
+	progInst := e.instOf(prog)
+	if e.opts.Creation == CreateEnable && !progInst.AllAlive() {
 		// The death of any bound object ends the progenitor role: in
 		// JavaMOP/RV a progenitor is only reachable through weak-keyed
 		// trees (see sweep). Observing the death here, instead of at the
 		// sweep that would compact the registry, makes the creation
 		// decision deterministic. CreateFull is exempt — it is the exact
 		// Figure 5 oracle, and Figure 5 has no notion of object death.
-		prog.NotifyParamDeath()
+		e.NotifyParamDeath(progH)
 		return
 	}
-	lub, ok := prog.inst.Lub(*theta)
+	lub, ok := progInst.Lub(*theta)
 	if !ok {
 		return
 	}
@@ -636,7 +708,7 @@ func (e *Engine) tryCreate(sym int, theta *param.Instance, prog *Mon) {
 	// below reject must leave no intern-table entry behind (its objects
 	// may live arbitrarily long), so canonicalization happens only once
 	// creation is certain.
-	lp, known := e.intern.Get(lub.Key())
+	lp, lh, known := e.intern.Get(lub.Key())
 	if known {
 		if e.processed[lp] {
 			return
@@ -654,14 +726,18 @@ func (e *Engine) tryCreate(sym int, theta *param.Instance, prog *Mon) {
 		if !e.an.EnableParams[sym][prog.paramsSeen] {
 			return
 		}
-		if !e.priorEventsOK(&lub, prog.inst.Mask()) {
+		if !e.priorEventsOK(&lub, progInst.Mask()) {
 			return
 		}
 	}
 	if !known {
-		lp = e.intern.Intern(lub)
+		lp, lh = e.intern.Intern(lub)
 	}
-	e.create(sym, lp, prog.state, prog.paramsSeen)
+	var baseBox logic.State
+	if e.g == nil {
+		baseBox = e.boxState[progH.Index()]
+	}
+	e.create(sym, lp, lh, prog.state, baseBox, prog.paramsSeen)
 }
 
 // priorEventsOK is the fresh-object creation guard of CreateEnable: θ' may
@@ -702,79 +778,94 @@ func (e *Engine) priorEventsOK(lub *param.Instance, progDom param.Set) bool {
 }
 
 // create builds a monitor for θ' from a progenitor state, steps it with the
-// current event, and queues it for insertion. Monitors come from the free
-// list when the coenable GC has recycled any.
-func (e *Engine) create(sym int, inst *param.Instance, base logic.State, seen param.Set) {
-	var m *Mon
-	if n := len(e.pool); n > 0 {
-		m = e.pool[n-1]
-		e.pool[n-1] = nil
-		e.pool = e.pool[:n-1]
-		e.reused++
-		if poolCheck {
-			checkPooled(m)
-		}
-		*m = Mon{}
-	} else {
-		m = &Mon{}
+// current event, and queues it for insertion. Records come from the arena:
+// slots reclaimed by the coenable GC are recycled into the next creations.
+// baseWord carries the progenitor state in graph mode, baseBox in box mode.
+func (e *Engine) create(sym int, inst *param.Instance, instH arena.Handle, baseWord uint32, baseBox logic.State, seen param.Set) {
+	h, m := e.mons.Alloc()
+	e.intern.Pin(instH)
+	m.instH = instH
+	m.state = baseWord
+	m.paramsSeen = seen
+	if e.g == nil {
+		e.setBox(h.Index(), baseBox)
 	}
-	m.eng, m.inst, m.state, m.paramsSeen = e, inst, base, seen
 	e.stats.Created++
 	e.stats.Live++
 	if e.stats.Live > e.stats.PeakLive {
 		e.stats.PeakLive = e.stats.Live
 	}
-	e.exact[inst] = m
-	m.inExact = true
+	e.exact[inst] = h
+	m.flags |= monInExact
 	e.processed[inst] = true
-	e.step(m, sym)
-	e.pendAdd = append(e.pendAdd, m)
+	e.step(h, m, sym)
+	e.pendAdd = append(e.pendAdd, h)
+}
+
+// setBox stores a monitor's boxed state (non-graph blueprints only).
+func (e *Engine) setBox(idx uint32, st logic.State) {
+	for int(idx) >= len(e.boxState) {
+		e.boxState = append(e.boxState, nil)
+	}
+	e.boxState[idx] = st
 }
 
 // recycle pushes a fully dead monitor — collected (no container reference)
-// and out of Δ — onto the free list. Under race/testing builds the monitor
-// is poisoned first, so any straggling reference that steps or notifies it
-// fails loudly instead of corrupting a future reuse.
-func (e *Engine) recycle(m *Mon) {
-	if m.refs > 0 || !m.collected || m.inExact || m.pooled {
+// and out of Δ — back to the arena free list. Its slot generation advances,
+// so every copy of the handle is stale from here on; under race/testing
+// builds the record is additionally poisoned (see pool.go), so a straggling
+// reference that dodged the generation check still fails loudly.
+func (e *Engine) recycle(h arena.Handle, m *Mon) {
+	if m.refs > 0 || m.flags&monCollected == 0 || m.flags&monInExact != 0 {
 		panic("monitor: recycling a monitor that is still referenced")
 	}
-	m.pooled = true
-	if poolCheck {
-		poison(m)
+	instH := m.instH
+	if e.g == nil && int(h.Index()) < len(e.boxState) {
+		e.boxState[h.Index()] = nil
 	}
-	if len(e.pool) < maxPool {
-		e.pool = append(e.pool, m)
-		e.recycled++
-	}
+	e.mons.Free(h)
+	e.intern.Unpin(instH)
+	e.recycled++
 }
 
 // step advances one monitor with an event, reports goal verdicts and
 // applies monitor termination.
-func (e *Engine) step(m *Mon, sym int) {
-	if poolCheck && m.pooled {
-		panic("monitor: pooled monitor stepped")
+func (e *Engine) step(h arena.Handle, m *Mon, sym int) {
+	var cat logic.Category
+	var st logic.State
+	if e.g != nil {
+		// Graph mode: a step is one array read on the state word; the
+		// verdict category another. No interface values are touched unless
+		// a verdict or the dead-state check needs a boxed state.
+		m.state = uint32(e.g.Next[m.state][sym])
+		cat = e.g.Cat[m.state]
+	} else {
+		idx := h.Index()
+		st = e.boxState[idx].Step(sym)
+		e.boxState[idx] = st
+		cat = st.Category()
 	}
-	m.state = m.state.Step(sym)
 	m.lastSym = int32(sym)
 	m.paramsSeen = m.paramsSeen.Union(e.spec.Events[sym].Params)
 	e.stats.Steps++
-	cat := m.state.Category()
 	if e.spec.goalSet[cat] {
 		e.stats.GoalVerdicts++
 		if e.opts.OnVerdict != nil {
-			e.opts.OnVerdict(Verdict{Spec: e.spec, Sym: sym, Cat: cat, Inst: *m.inst})
+			e.opts.OnVerdict(Verdict{Spec: e.spec, Sym: sym, Cat: cat, Inst: *e.instOf(m)})
 		}
 	}
 	if e.opts.GC == GCCoenable {
-		if e.an.Dead(m.state) {
-			m.flag()
+		if e.g != nil {
+			st = e.g.State(int(m.state)) // preboxed: no allocation
+		}
+		if e.an.Dead(st) {
+			e.flagMon(m)
 			return
 		}
 		if e.an.HasCoenable && len(e.an.CoenParams[sym]) == 0 {
 			// No suffix can reach G after this event (∅-only coenable
 			// family): terminate after the handler has run (§3).
-			m.flag()
+			e.flagMon(m)
 		}
 	}
 }
@@ -782,16 +873,17 @@ func (e *Engine) step(m *Mon, sym int) {
 // checkAliveness evaluates the ALIVENESS formula for the monitor's last
 // event (Figure 7 / §4.2.2).
 func (e *Engine) checkAliveness(m *Mon) {
+	inst := e.instOf(m)
 	if !e.an.HasCoenable {
 		// Fall back to the all-dead condition.
-		if m.inst.AliveMask().Empty() {
-			m.flag()
+		if inst.AliveMask().Empty() {
+			e.flagMon(m)
 		}
 		return
 	}
 	disjuncts := e.an.CoenParams[m.lastSym]
-	if !alive(disjuncts, *m.inst) {
-		m.flag()
+	if !alive(disjuncts, *inst) {
+		e.flagMon(m)
 	}
 }
 
@@ -809,17 +901,18 @@ func alive(disjuncts []param.Set, inst param.Instance) bool {
 
 // insert places a monitor into every dispatch tree over a subset of its
 // domain and into its domain registry.
-func (e *Engine) insert(m *Mon) {
-	dom := m.inst.Mask()
+func (e *Engine) insert(h arena.Handle) {
+	inst := e.instOf(e.mons.At(h))
+	dom := inst.Mask()
 	for ps, tree := range e.trees {
 		if ps.SubsetOf(dom) {
-			tree.GetOrCreate(m.inst).Add(m)
+			tree.GetOrCreate(e, inst).Add(e, h)
 		}
 	}
 	reg := e.regs[dom]
-	reg.all.Add(m)
+	reg.all.Add(e, h)
 	for _, tree := range reg.projections {
-		tree.GetOrCreate(m.inst).Add(m)
+		tree.GetOrCreate(e, inst).Add(e, h)
 	}
 }
 
@@ -835,6 +928,14 @@ func (e *Engine) insert(m *Mon) {
 //     Flagged monitors whose objects all live stay as tombstones: their
 //     instances can recur, and rebuilding them from a progenitor would
 //     resurrect them with a wrong slice.
+//   - Δ entries for *collected* instances with a dead bound object go too,
+//     flagged or not: collected means no container references the monitor,
+//     and the dead object's identity can never recur in an event, so the
+//     entry is unreachable — except under CreateFull, whose Figure 5
+//     oracle scans Δ for progenitors and has no notion of object death.
+//     (The coenable formula can keep such a monitor unflagged forever — a
+//     disjunct over unbound parameters stays satisfiable — which without
+//     this rule pinned its arena slot and intern entry unboundedly.)
 //   - Domain registries release members with dead bound objects: in
 //     JavaMOP/RV a progenitor is only reachable through weak-keyed trees,
 //     so the death of any of its objects ends its progenitor role.
@@ -842,21 +943,26 @@ func (e *Engine) insert(m *Mon) {
 //   - Intern-table entries for dead instances go once Δ no longer maps
 //     them (Δ membership pins the canonical pointer; see param.Interner).
 //   - A monitor that is now both collected and out of Δ is recycled into
-//     the free list.
+//     the arena free list.
 func (e *Engine) sweep() {
-	for p, m := range e.exact {
-		if !m.inst.AllAlive() {
-			if !m.flagged {
+	for p, h := range e.exact {
+		m := e.mons.At(h)
+		if !p.AllAlive() {
+			if m.flags&monFlagged == 0 {
 				// An object died without the trees noticing yet; give the
 				// monitor its notification now (equivalent to the paper's
 				// tree-access notification, just on the sweep path).
-				m.NotifyParamDeath()
+				e.NotifyParamDeath(h)
 			}
-			if m.flagged {
+			drop := m.flags&monFlagged != 0
+			if !drop && m.flags&monCollected != 0 && e.opts.Creation != CreateFull {
+				drop = true
+			}
+			if drop {
 				delete(e.exact, p)
-				m.inExact = false
-				if m.collected {
-					e.recycle(m)
+				m.flags &^= monInExact
+				if m.flags&monCollected != 0 {
+					e.recycle(h, m)
 				}
 			}
 		}
@@ -872,7 +978,7 @@ func (e *Engine) sweep() {
 		}
 	}
 	for _, reg := range e.regs {
-		reg.all.CompactWith(deadParam)
+		reg.all.CompactWith(e, e.deadParam)
 	}
 	e.intern.Sweep(e.internRetain)
 }
@@ -885,8 +991,10 @@ func (e *Engine) internRetain(p *param.Instance) bool {
 	return ok
 }
 
-func deadParam(im index.Monitor) bool {
-	return !im.(*Mon).inst.AllAlive()
+// deadParam reports a monitor with a dead bound parameter object (domain
+// registries drop such members; see sweep).
+func (e *Engine) deadParam(h index.Handle) bool {
+	return !e.instOf(e.mons.At(h)).AllAlive()
 }
 
 // Flush performs a full expunge/compaction pass over every structure; used
@@ -902,12 +1010,12 @@ func deadParam(im index.Monitor) bool {
 func (e *Engine) Flush() {
 	for pass := 0; pass < 2; pass++ {
 		for _, t := range e.trees {
-			t.Root().FlushAll()
+			t.Root().FlushAll(e)
 		}
 		for _, reg := range e.regs {
-			reg.all.Compact()
+			reg.all.Compact(e)
 			for _, t := range reg.projections {
-				t.Root().FlushAll()
+				t.Root().FlushAll(e)
 			}
 		}
 		e.timedSweep()
@@ -916,27 +1024,35 @@ func (e *Engine) Flush() {
 
 // Monitors returns the live (unflagged, uncollected) monitor instances,
 // for tests and diagnostics.
-func (e *Engine) Monitors() []*Mon {
-	var out []*Mon
-	for _, m := range e.exact {
-		if !m.flagged && !m.collected {
-			out = append(out, m)
+func (e *Engine) Monitors() []param.Instance {
+	var out []param.Instance
+	for p, h := range e.exact {
+		if e.mons.At(h).flags&(monFlagged|monCollected) == 0 {
+			out = append(out, *p)
 		}
 	}
-	sortMons(out)
+	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Key(), out[j].Key()) })
 	return out
 }
 
 // State returns the current base state for θ, or nil if no monitor exists.
 func (e *Engine) State(inst param.Instance) logic.State {
-	p, ok := e.intern.Get(inst.Key())
+	p, _, ok := e.intern.Get(inst.Key())
 	if !ok {
 		return nil
 	}
-	if m, ok := e.exact[p]; ok && !m.flagged {
-		return m.state
+	h, ok := e.exact[p]
+	if !ok {
+		return nil
 	}
-	return nil
+	m := e.mons.At(h)
+	if m.flags&monFlagged != 0 {
+		return nil
+	}
+	if e.g != nil {
+		return e.g.State(int(m.state))
+	}
+	return e.boxState[h.Index()]
 }
 
 func sortDomains(ds []param.Set) {
@@ -956,31 +1072,38 @@ func domLess(a, b param.Set) bool {
 	return a < b
 }
 
-func sortMons(ms []*Mon) {
-	keys := make([]param.Key, len(ms))
-	byKey := map[param.Key]*Mon{}
-	for i, m := range ms {
-		keys[i] = m.inst.Key()
-		byKey[keys[i]] = m
-	}
-	param.SortKeys(keys)
-	for i, k := range keys {
-		ms[i] = byKey[k]
-	}
+// sortHandles orders monitor handles by their instance key (mask, then
+// IDs), the deterministic order every backend shares.
+func (e *Engine) sortHandles(hs []arena.Handle) {
+	sort.Slice(hs, func(i, j int) bool {
+		return keyLess(e.instOf(e.mons.At(hs[i])).Key(), e.instOf(e.mons.At(hs[j])).Key())
+	})
 }
 
-// sortMonsByInformativeness orders monitors by descending domain size, then
+func keyLess(a, b param.Key) bool {
+	if a.Mask != b.Mask {
+		return a.Mask < b.Mask
+	}
+	for i := 0; i < param.MaxParams; i++ {
+		if a.IDs[i] != b.IDs[i] {
+			return a.IDs[i] < b.IDs[i]
+		}
+	}
+	return false
+}
+
+// sortByInformativeness orders monitors by descending domain size, then
 // by instance key for determinism.
-func sortMonsByInformativeness(ms []*Mon) {
-	sortMons(ms)
+func (e *Engine) sortByInformativeness(hs []arena.Handle) {
+	e.sortHandles(hs)
 	// Stable re-partition by popcount, descending.
-	var out []*Mon
+	var out []arena.Handle
 	for c := param.MaxParams; c >= 0; c-- {
-		for _, m := range ms {
-			if m.inst.Mask().Count() == c {
-				out = append(out, m)
+		for _, h := range hs {
+			if e.instOf(e.mons.At(h)).Mask().Count() == c {
+				out = append(out, h)
 			}
 		}
 	}
-	copy(ms, out)
+	copy(hs, out)
 }

@@ -1,28 +1,34 @@
 package monitor
 
-// Pool poisoning: under race builds (the -race test suite) a monitor
-// entering the free list is poisoned and a monitor leaving it is verified,
-// so a straggling container reference that steps, notifies or re-releases
-// a recycled monitor fails loudly at the point of misuse instead of
-// silently corrupting the slice state of whatever creation reuses the
-// allocation. poolCheck is a build-tag constant (see pool_race.go /
-// pool_norace.go), so in normal builds every check below compiles away.
+import "rvgo/internal/arena"
 
-// poison scrambles a pooled monitor so any use before reuse crashes:
-// Step on a nil state dereferences, and the sentinel symbol makes the
-// wreckage attributable in the panic.
-func poison(m *Mon) {
-	m.state = nil
+// Arena poisoning: under race builds (the -race test suite) a monitor
+// record entering the arena free list is poisoned and one leaving it is
+// verified, so a straggling dangling pointer that mutated a freed record
+// fails loudly at the recycle point even if it dodged the handle
+// generation check. poolCheck is a build-tag constant (see pool_race.go /
+// pool_norace.go); in normal builds the checks are never installed and the
+// arena's poison/verify hooks stay nil.
+
+// poisonState is an out-of-range logic state word: any graph step through
+// it indexes far outside Next and panics attributably.
+const poisonState uint32 = 0xDEAD7001
+
+// poisonMon scrambles a freed monitor record so any mutation before reuse
+// is detectable, and any use crashes: the state word is out of range for
+// every state graph, and the sentinel symbol makes the wreckage
+// attributable in the panic.
+func poisonMon(m *Mon) {
+	m.state = poisonState
 	m.lastSym = -0x7001 // "pooled" sentinel
-	m.eng = nil
+	m.instH = arena.Nil
+	m.refs = -1
 }
 
-// checkPooled verifies the invariants of a monitor leaving the free list.
-func checkPooled(m *Mon) {
-	if !m.pooled || m.refs != 0 || !m.collected || m.inExact {
-		panic("monitor: free-list monitor in impossible state")
-	}
-	if m.state != nil || m.lastSym != -0x7001 {
+// verifyMon asserts the poison is intact on a record leaving the free
+// list.
+func verifyMon(m *Mon) {
+	if m.state != poisonState || m.lastSym != -0x7001 || !m.instH.IsNil() || m.refs != -1 {
 		panic("monitor: free-list monitor was mutated while pooled")
 	}
 }

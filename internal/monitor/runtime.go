@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"rvgo/internal/arena"
 	"rvgo/internal/heap"
 	"rvgo/internal/param"
 )
@@ -74,9 +75,25 @@ func (e *Engine) FreeAsync(die func(), refs ...heap.Ref) {
 }
 
 // Close implements Runtime. The sequential engine holds no goroutines or
-// external resources; closing only settles any published telemetry.
+// external resources; closing settles any published telemetry and returns
+// the slab arenas (monitor records and interned instances) to the host
+// allocator in O(slabs) — the engine-side counterpart of the per-monitor
+// reclamation the GC policies do during the run. Dispatching after Close
+// is a programming error; with the store reset it fails fast on a stale
+// handle rather than corrupting state.
 func (e *Engine) Close() {
 	if e.met != nil {
 		e.publishMetrics()
+		// The arena gauges track a store that no longer exists; settle
+		// them to zero so shared series don't leak phantom capacity.
+		st := e.mons.Stats()
+		e.met.ArenaSlabs.Add(-int64(st.Slabs))
+		e.met.ArenaCap.Add(-int64(st.Cap))
+		e.met.ArenaFree.Add(-int64(st.Free))
+		e.pubArena = arena.Stats{}
 	}
+	e.mons.Reset()
+	e.intern.Reset()
+	e.boxState = nil
+	e.exact = map[*param.Instance]arena.Handle{}
 }

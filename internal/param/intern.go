@@ -1,56 +1,126 @@
 package param
 
+import "rvgo/internal/arena"
+
 // Interner canonicalizes parameter instances: identical bindings map to one
 // *Instance, so the engine's per-event bookkeeping (the processed set, the
 // Δ domain, monitor identity) can key on an 8-byte pointer instead of the
 // 72-byte Key, and instance equality becomes pointer equality.
 //
+// Instances are stored in a slab arena (package arena), not as individual
+// heap objects: the canonical pointer is an interior pointer into a slab,
+// stable for the slot's lifetime because slabs never move, and the slot is
+// addressed by a generation-tagged handle that monitor records (which are
+// pointer-free) can hold instead of a pointer. At millions of live
+// instances the host collector sees O(slabs) objects, not O(instances).
+//
+// Slot lifetime is governed by two independent claims:
+//
+//   - the table mapping (Key → slot) exists from Intern until Sweep drops
+//     it under the caller's retention rule, and
+//   - a pin count, taken by the engine for every monitor that stores the
+//     slot's handle, held until the monitor itself is recycled.
+//
+// A slot is recycled onto the arena free list only when both claims are
+// gone, so a monitor's instance handle can never dangle even if the table
+// entry was swept first.
+//
 // Steady state is allocation-free: an instance allocates once, the first
 // time its bindings are seen, and every later event carrying the same
 // bindings resolves to the same pointer through one map lookup. Interned
 // instances hold heap.Refs, so the table never keeps parameter objects
-// alive; entries whose objects died are dropped by Sweep under the caller's
-// retention rule.
+// alive.
 //
 // An Interner is not safe for concurrent use. Each engine owns one, matching
 // the engine's single-threaded dispatch discipline.
 type Interner struct {
-	m map[Key]*Instance
+	m    map[Key]arena.Handle
+	pool arena.Pool[islot]
+}
+
+// islot is one arena slot: the canonical instance plus its lifetime claims.
+type islot struct {
+	inst   Instance
+	pins   int32
+	mapped bool
 }
 
 // NewInterner returns an empty intern table.
-func NewInterner() *Interner { return &Interner{m: make(map[Key]*Instance)} }
+func NewInterner() *Interner { return &Interner{m: make(map[Key]arena.Handle)} }
 
-// Intern returns the canonical pointer for t, allocating it on first sight.
-func (in *Interner) Intern(t Instance) *Instance {
+// Intern returns the canonical pointer and slot handle for t, allocating a
+// slot on first sight.
+func (in *Interner) Intern(t Instance) (*Instance, arena.Handle) {
 	k := t.Key()
-	if p, ok := in.m[k]; ok {
-		return p
+	if h, ok := in.m[k]; ok {
+		return &in.pool.At(h).inst, h
 	}
-	p := new(Instance)
-	*p = t
-	in.m[k] = p
-	return p
+	h, s := in.pool.Alloc()
+	s.inst = t
+	s.mapped = true
+	in.m[k] = h
+	return &s.inst, h
 }
 
-// Get returns the canonical pointer for an identity without creating one.
-func (in *Interner) Get(k Key) (*Instance, bool) {
-	p, ok := in.m[k]
-	return p, ok
+// Get returns the canonical pointer and handle for an identity without
+// creating one.
+func (in *Interner) Get(k Key) (*Instance, arena.Handle, bool) {
+	h, ok := in.m[k]
+	if !ok {
+		return nil, arena.Nil, false
+	}
+	return &in.pool.At(h).inst, h, true
 }
 
-// Len returns the number of interned instances.
+// At returns the instance stored in a live slot. Panics on a stale handle —
+// a pinned slot is never stale, so a panic here means a monitor outlived
+// its pin (an engine bug).
+func (in *Interner) At(h arena.Handle) *Instance { return &in.pool.At(h).inst }
+
+// Pin adds a lifetime claim to the slot: it will survive Sweep (the table
+// mapping may still be dropped) until the matching Unpin.
+func (in *Interner) Pin(h arena.Handle) { in.pool.At(h).pins++ }
+
+// Unpin drops a pin; the slot is recycled once it is unpinned and the
+// table no longer maps it.
+func (in *Interner) Unpin(h arena.Handle) {
+	s := in.pool.At(h)
+	s.pins--
+	if s.pins <= 0 && !s.mapped {
+		in.pool.Free(h)
+	}
+}
+
+// Len returns the number of interned (table-mapped) instances.
 func (in *Interner) Len() int { return len(in.m) }
 
-// Sweep drops entries with a dead bound object, except those retain keeps.
-// Canonical pointers must outlive every holder: the caller's retain must
-// return true for any instance still referenced outside the table (the
-// engine retains instances its Δ domain still maps), or a recurrence of the
-// same bindings would intern a second, distinct pointer.
+// Stats returns the slot arena's occupancy snapshot (pinned-but-unmapped
+// slots count as live until their monitors release them).
+func (in *Interner) Stats() arena.Stats { return in.pool.Stats() }
+
+// Sweep drops table entries with a dead bound object, except those retain
+// keeps. Canonical pointers must outlive every holder: the caller's retain
+// must return true for any instance whose *pointer* is still used as a map
+// key outside the table (the engine retains instances its Δ domain still
+// maps), or a recurrence of the same bindings would intern a second,
+// distinct pointer. Slots that are still pinned by a monitor survive the
+// sweep unmapped and are recycled by the final Unpin.
 func (in *Interner) Sweep(retain func(*Instance) bool) {
-	for k, p := range in.m {
-		if !p.AllAlive() && (retain == nil || !retain(p)) {
+	for k, h := range in.m {
+		s := in.pool.At(h)
+		if !s.inst.AllAlive() && (retain == nil || !retain(&s.inst)) {
 			delete(in.m, k)
+			s.mapped = false
+			if s.pins <= 0 {
+				in.pool.Free(h)
+			}
 		}
 	}
+}
+
+// Reset drops the table and every slab, returning the store to the host
+// allocator in O(1) regardless of size. All handles become stale.
+func (in *Interner) Reset() {
+	in.m = make(map[Key]arena.Handle)
+	in.pool.Reset()
 }

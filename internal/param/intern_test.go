@@ -11,22 +11,25 @@ func TestInternerCanonicalizes(t *testing.T) {
 	a, b := h.Alloc("a"), h.Alloc("b")
 	in := NewInterner()
 
-	p1 := in.Intern(Of(SetOf(0, 1), a, b))
-	p2 := in.Intern(Of(SetOf(0, 1), a, b))
-	if p1 != p2 {
-		t.Fatalf("identical bindings interned to distinct pointers %p %p", p1, p2)
+	p1, h1 := in.Intern(Of(SetOf(0, 1), a, b))
+	p2, h2 := in.Intern(Of(SetOf(0, 1), a, b))
+	if p1 != p2 || h1 != h2 {
+		t.Fatalf("identical bindings interned to distinct slots %p %p", p1, p2)
 	}
-	p3 := in.Intern(Of(SetOf(0), a))
-	if p3 == p1 {
-		t.Fatalf("distinct bindings interned to one pointer")
+	p3, h3 := in.Intern(Of(SetOf(0), a))
+	if p3 == p1 || h3 == h1 {
+		t.Fatalf("distinct bindings interned to one slot")
 	}
 	if in.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", in.Len())
 	}
-	if got, ok := in.Get(p1.Key()); !ok || got != p1 {
-		t.Fatalf("Get(%v) = %v, %v", p1.Key(), got, ok)
+	if got, gh, ok := in.Get(p1.Key()); !ok || got != p1 || gh != h1 {
+		t.Fatalf("Get(%v) = %v, %v, %v", p1.Key(), got, gh, ok)
 	}
-	if _, ok := in.Get(Of(SetOf(1), b).Key()); ok {
+	if in.At(h1) != p1 {
+		t.Fatalf("At(%v) != canonical pointer", h1)
+	}
+	if _, _, ok := in.Get(Of(SetOf(1), b).Key()); ok {
 		t.Fatalf("Get invented an entry")
 	}
 }
@@ -35,30 +38,74 @@ func TestInternerSweep(t *testing.T) {
 	h := heap.New()
 	a, b, c := h.Alloc("a"), h.Alloc("b"), h.Alloc("c")
 	in := NewInterner()
-	pa := in.Intern(Of(SetOf(0), a))
-	pb := in.Intern(Of(SetOf(0), b))
-	pc := in.Intern(Of(SetOf(0), c))
+	pa, _ := in.Intern(Of(SetOf(0), a))
+	pb, _ := in.Intern(Of(SetOf(0), b))
+	pc, _ := in.Intern(Of(SetOf(0), c))
 
 	h.Free(b)
 	h.Free(c)
-	in.Sweep(func(p *Instance) bool { return p == pc }) // pc pinned by caller
+	in.Sweep(func(p *Instance) bool { return p == pc }) // pc retained by caller
 	if in.Len() != 2 {
 		t.Fatalf("Len = %d after sweep, want 2", in.Len())
 	}
-	if got, ok := in.Get(pa.Key()); !ok || got != pa {
+	if got, _, ok := in.Get(pa.Key()); !ok || got != pa {
 		t.Fatalf("live entry swept")
 	}
-	if got, ok := in.Get(pc.Key()); !ok || got != pc {
+	if got, _, ok := in.Get(pc.Key()); !ok || got != pc {
 		t.Fatalf("retained entry swept")
 	}
-	if _, ok := in.Get(pb.Key()); ok {
+	if _, _, ok := in.Get(pb.Key()); ok {
 		t.Fatalf("dead unretained entry kept")
 	}
 
 	// A recurrence of swept bindings gets a fresh canonical pointer; the
-	// pinned one keeps its identity.
-	if in.Intern(*pc) != pc {
-		t.Fatalf("pinned instance lost its canonical pointer")
+	// retained one keeps its identity.
+	if got, _ := in.Intern(*pc); got != pc {
+		t.Fatalf("retained instance lost its canonical pointer")
+	}
+}
+
+// TestInternerPins: a monitor's pin keeps the slot alive across a sweep
+// that drops the table mapping; the final Unpin recycles it.
+func TestInternerPins(t *testing.T) {
+	h := heap.New()
+	a := h.Alloc("a")
+	in := NewInterner()
+	pa, ha := in.Intern(Of(SetOf(0), a))
+	in.Pin(ha)
+
+	h.Free(a)
+	in.Sweep(nil)
+	if in.Len() != 0 {
+		t.Fatalf("Len = %d after sweep, want 0 (mapping dropped)", in.Len())
+	}
+	// The pinned slot survives: the canonical pointer still dereferences.
+	if in.At(ha) != pa {
+		t.Fatalf("pinned slot recycled under a live handle")
+	}
+	if live := in.Stats().Live; live != 1 {
+		t.Fatalf("arena live = %d, want 1 (the pinned slot)", live)
+	}
+	in.Unpin(ha)
+	if live := in.Stats().Live; live != 0 {
+		t.Fatalf("arena live = %d after final Unpin, want 0", live)
+	}
+}
+
+// TestInternerUnpinWhileMapped: dropping the last pin does not recycle a
+// slot the table still maps — Sweep owns the mapping claim.
+func TestInternerUnpinWhileMapped(t *testing.T) {
+	h := heap.New()
+	a := h.Alloc("a")
+	in := NewInterner()
+	pa, ha := in.Intern(Of(SetOf(0), a))
+	in.Pin(ha)
+	in.Unpin(ha)
+	if got, gh, ok := in.Get(pa.Key()); !ok || got != pa || gh != ha {
+		t.Fatalf("mapped slot recycled by Unpin")
+	}
+	if live := in.Stats().Live; live != 1 {
+		t.Fatalf("arena live = %d, want 1", live)
 	}
 }
 

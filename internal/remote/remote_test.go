@@ -88,6 +88,31 @@ func TestClientFreeConformance(t *testing.T) {
 	}
 }
 
+// TestClientArenaOracle replays the avrora trace over the network under
+// every GC policy, against sequential and 4-shard server sessions, and
+// requires per-slice verdicts and settled counters bit-identical to an
+// in-process sequential-engine reference.
+func TestClientArenaOracle(t *testing.T) {
+	addr := startServer(t, server.Options{})
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			conformance.RunArenaOracle(t, func(t *testing.T, prop string, gc monitor.GCPolicy, onVerdict func(monitor.Verdict)) monitor.Runtime {
+				cl, err := remote.Dial(addr, remote.Options{
+					Prop:      prop,
+					GC:        gc,
+					Creation:  monitor.CreateEnable,
+					Shards:    shards,
+					OnVerdict: onVerdict,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return cl
+			})
+		})
+	}
+}
+
 // gstep is one step of a backend-independent random trace: an event over
 // object ordinals, or (sym == -1) the death of objs[0].
 type gstep struct {

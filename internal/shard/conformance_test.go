@@ -11,13 +11,19 @@ import (
 
 // shardFactory builds a 4-shard runtime for the conformance suites.
 func shardFactory(t *testing.T, prop string, onVerdict func(monitor.Verdict)) monitor.Runtime {
+	return shardPolicyFactory(t, prop, monitor.GCCoenable, onVerdict)
+}
+
+// shardPolicyFactory builds a 4-shard runtime under an explicit GC policy
+// for the oracle matrix.
+func shardPolicyFactory(t *testing.T, prop string, gc monitor.GCPolicy, onVerdict func(monitor.Verdict)) monitor.Runtime {
 	spec, err := props.Build(prop)
 	if err != nil {
 		t.Fatal(err)
 	}
 	rt, err := shard.New(spec, shard.Options{
 		Options: monitor.Options{
-			GC:        monitor.GCCoenable,
+			GC:        gc,
 			Creation:  monitor.CreateEnable,
 			OnVerdict: onVerdict,
 		},
@@ -39,4 +45,11 @@ func TestShardConformance(t *testing.T) {
 // FreeAsync) on the sharded runtime.
 func TestShardFreeConformance(t *testing.T) {
 	conformance.RunFree(t, shardFactory)
+}
+
+// TestShardArenaOracle replays the avrora trace through the 4-shard
+// runtime under every GC policy and requires per-slice verdicts and
+// settled counters bit-identical to a sequential-engine reference.
+func TestShardArenaOracle(t *testing.T) {
+	conformance.RunArenaOracle(t, shardPolicyFactory)
 }

@@ -43,6 +43,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rvgo/internal/arena"
 	"rvgo/internal/heap"
 	"rvgo/internal/metrics"
 	"rvgo/internal/monitor"
@@ -373,6 +374,17 @@ func (rt *Runtime) ShardStats() []monitor.Stats {
 	}
 	out := make([]monitor.Stats, len(rt.workers))
 	rt.ctlAll(func(i int, e *monitor.Engine) { out[i] = e.Stats() })
+	return out
+}
+
+// ArenaStats returns each shard engine's monitor-arena occupancy. Every
+// worker owns its slab arena exclusively — records never migrate between
+// shards — so the snapshot, taken at the same control rendezvous as
+// ShardStats, must account each shard's live monitors exactly. After
+// Close the slabs have been released and the slice is all zeros.
+func (rt *Runtime) ArenaStats() []arena.Stats {
+	out := make([]arena.Stats, len(rt.workers))
+	rt.ctlAll(func(i int, e *monitor.Engine) { out[i] = e.ArenaStats() })
 	return out
 }
 
