@@ -1,6 +1,7 @@
 package rvgo
 
 import (
+	"rvgo/internal/cluster"
 	"rvgo/internal/heap"
 	"rvgo/internal/logic"
 	"rvgo/internal/monitor"
@@ -107,3 +108,21 @@ type ServerStats = server.Stats
 // NewServer builds a monitoring server; drive it with Serve and stop it
 // with Shutdown.
 func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+
+// Router is the cluster tier's front door: it accepts the same
+// wire-protocol sessions a Server does, but fans each one out across a
+// set of rvserve nodes, placing every slice by consistent-hashing its
+// pivot parameter and re-homing slots off failed or drained nodes. This
+// is what cmd/rvserve runs with -cluster; clients connect with plain
+// WithRemote and cannot tell a router from a node.
+type Router = cluster.Router
+
+// RouterOptions configures a Router.
+type RouterOptions = cluster.RouterOptions
+
+// RouterStatusz is the router's JSON status document (its /statusz).
+type RouterStatusz = cluster.Statusz
+
+// NewRouter builds a cluster router over the given nodes; drive it with
+// Serve and stop it with Shutdown.
+func NewRouter(opts RouterOptions) (*Router, error) { return cluster.NewRouter(opts) }

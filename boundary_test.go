@@ -87,6 +87,16 @@ func TestBoundary(t *testing.T) {
 				p.ImportPath+": new public (non-main) package outside internal/ — extend the façade instead, or add it here deliberately")
 			continue
 		}
+		// The cluster backend is façade-only: even the other public
+		// packages (rvgo/spec, the frontends) and the tool mains reach it
+		// through rvgo.WithCluster / client.DialCluster, never by import —
+		// its wire-level membership machinery is not a public surface.
+		for _, imp := range p.Imports {
+			if imp == "rvgo/internal/cluster" && p.ImportPath != "rvgo" {
+				violations = append(violations,
+					p.ImportPath+" imports rvgo/internal/cluster — the cluster backend is façade-only (use rvgo.WithCluster)")
+			}
+		}
 		if facadePackages[p.ImportPath] {
 			continue
 		}

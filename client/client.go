@@ -53,6 +53,27 @@ func Dial(addr string, opts Options) (*rvgo.Monitor, error) {
 	return rvgo.New(s, append(extra, rvgo.WithRemote(addr))...)
 }
 
+// DialCluster opens one logical monitoring session spread across a
+// cluster of servers: exactly
+//
+//	rvgo.New(spec, rvgo.WithCluster(addrs...), ...)
+//
+// Slices are placed by consistent-hashing the property's pivot parameter,
+// so the session requires enable-set creation (the zero Creation value)
+// and ignores Options.Shards semantics other than rejecting values above
+// one — the per-node sessions are always sequential.
+func DialCluster(addrs []string, opts Options) (*rvgo.Monitor, error) {
+	if opts.Shards > 1 {
+		return nil, errors.New("client: DialCluster shards by pivot across nodes; Shards must be 0 or 1")
+	}
+	opts.Shards = 0
+	s, extra, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	return rvgo.New(s, append(extra, rvgo.WithCluster(addrs...))...)
+}
+
 // NewSession runs the session handshake over an established connection
 // (Dial with a dialed TCP conn; tests may pass an in-process pipe). The
 // session owns the connection: it is closed on every error path.

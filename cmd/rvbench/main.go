@@ -6,8 +6,9 @@
 //
 //	rvbench [-table fig9a|fig9b|fig10|retained|micro|metrics|all] [-scale 0.1]
 //	        [-timeout 60s] [-bench bloat,pmd,...] [-prop HasNext,...]
-//	        [-backend seq|shard|remote] [-shards N] [-remote addr]
-//	        [-live] [-retro] [-json] [-out run.json]
+//	        [-backend seq|shard|remote|cluster] [-shards N] [-remote addr]
+//	        [-nodes a:7472,b:7472] [-live] [-retro]
+//	        [-cluster -min-speedup X] [-json] [-out run.json]
 //	        [-compare BENCH_X.json -tolerance T] [-v]
 //
 // -backend selects where the RV and MOP cells run: the sequential engine
@@ -32,6 +33,13 @@
 // settled counters verified bit-identical to the online run. Its JSON
 // (the grid's Retro section) is archived by the bench CI job like any
 // other run.
+// -cluster runs the cluster comparison tier instead: the same recorded
+// multi-pivot workload monitored through a single remote session and a
+// pivot-hashed cluster session over four in-process rvserve nodes, with
+// the two runs verified to settle identically; -min-speedup optionally
+// gates on the cluster/single speedup (its JSON is the grid's Cluster
+// section). A grid run can also place its RV/MOP cells on a real cluster
+// with -backend cluster -nodes.
 //
 // Scale 1.0 corresponds to roughly 1/50 of the paper's event volumes; the
 // default keeps the full grid under a few minutes. Absolute numbers are
@@ -55,25 +63,29 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "which table to print: fig9a, fig9b, fig10, retained, micro, metrics, all")
-		scale   = flag.Float64("scale", 0.1, "workload scale (1.0 ≈ paper/50)")
-		timeout = flag.Duration("timeout", 60*time.Second, "per-cell time budget (exceeded = ∞)")
-		benchs  = flag.String("bench", "", "comma-separated benchmark subset (default: all 15)")
-		prs     = flag.String("prop", "", "comma-separated property subset (default: the paper's five)")
-		backend = flag.String("backend", "", "RV/MOP backend: seq, shard, remote (default: inferred from -shards/-remote)")
-		shards  = flag.Int("shards", 1, "shard count for -backend shard")
-		remote  = flag.String("remote", "", "rvserve address for -backend remote")
-		live    = flag.Bool("live", false, "run the live-object ingestion experiment (rv frontend, real Go GC)")
-		retro   = flag.Bool("retro", false, "run the retroactive-monitoring tier (record, replay, verify identity)")
-		jsonOut = flag.Bool("json", false, "emit the result grid as JSON instead of tables")
-		outPath = flag.String("out", "", "also write the current run's JSON to this file (works with -compare; CI uploads it as an artifact)")
-		compare = flag.String("compare", "", "baseline JSON (from -json): rerun its config and fail on regressions")
-		tol     = flag.Float64("tolerance", 1.0, "with -compare: allowed relative runtime regression (1.0 = 2x)")
-		verbose = flag.Bool("v", false, "print per-cell progress")
+		table    = flag.String("table", "all", "which table to print: fig9a, fig9b, fig10, retained, micro, metrics, all")
+		scale    = flag.Float64("scale", 0.1, "workload scale (1.0 ≈ paper/50)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-cell time budget (exceeded = ∞)")
+		benchs   = flag.String("bench", "", "comma-separated benchmark subset (default: all 15)")
+		prs      = flag.String("prop", "", "comma-separated property subset (default: the paper's five)")
+		backend  = flag.String("backend", "", "RV/MOP backend: seq, shard, remote, cluster (default: inferred from -shards/-remote/-nodes)")
+		shards   = flag.Int("shards", 1, "shard count for -backend shard")
+		remote   = flag.String("remote", "", "rvserve address for -backend remote")
+		nodesFl  = flag.String("nodes", "", "comma-separated rvserve node addresses for -backend cluster")
+		clusterT = flag.Bool("cluster", false, "run the cluster comparison tier (N in-process nodes vs a single node) instead of the DaCapo grid")
+		minSpeed = flag.Float64("min-speedup", 0, "with -cluster: fail unless cluster/single speedup reaches this (0 = report only)")
+		live     = flag.Bool("live", false, "run the live-object ingestion experiment (rv frontend, real Go GC)")
+		retro    = flag.Bool("retro", false, "run the retroactive-monitoring tier (record, replay, verify identity)")
+		jsonOut  = flag.Bool("json", false, "emit the result grid as JSON instead of tables")
+		outPath  = flag.String("out", "", "also write the current run's JSON to this file (works with -compare; CI uploads it as an artifact)")
+		compare  = flag.String("compare", "", "baseline JSON (from -json): rerun its config and fail on regressions")
+		tol      = flag.Float64("tolerance", 1.0, "with -compare: allowed relative runtime regression (1.0 = 2x)")
+		verbose  = flag.Bool("v", false, "print per-cell progress")
 	)
 	flag.Parse()
 
-	if _, err := cliutil.ParseBackend(*backend, *shards, *remote); err != nil {
+	nodes := cliutil.SplitNodes(*nodesFl)
+	if _, err := cliutil.ParseBackend(*backend, *shards, *remote, nodes); err != nil {
 		fatalf("%v", err)
 	}
 	cfg := eval.DefaultConfig()
@@ -81,6 +93,7 @@ func main() {
 	cfg.Timeout = *timeout
 	cfg.Shards = *shards
 	cfg.Remote = *remote
+	cfg.Nodes = nodes
 	if *benchs != "" {
 		cfg.Benchmarks = splitList(*benchs)
 		for _, b := range cfg.Benchmarks {
@@ -109,6 +122,17 @@ func main() {
 	}
 	if *live {
 		runLive(eval.LiveConfig{Scale: *scale, Shards: *shards}, *jsonOut, *outPath)
+		return
+	}
+	if *clusterT {
+		ccfg := eval.ClusterConfig{Scale: *scale}
+		if len(cfg.Benchmarks) > 0 && *benchs != "" {
+			ccfg.Bench = cfg.Benchmarks[0]
+		}
+		if len(cfg.Properties) > 0 && *prs != "" {
+			ccfg.Prop = cfg.Properties[0]
+		}
+		runCluster(ccfg, cfg, *minSpeed, *jsonOut, *outPath)
 		return
 	}
 	if *retro {
@@ -284,6 +308,40 @@ func runRetro(rcfg eval.RetroConfig, cfg eval.Config, jsonOut bool, outPath stri
 	}
 	if rr.Selective != nil && !rr.Selective.Identical {
 		fatalf("selective query (pivot %d) diverged from the online run", rr.Selective.Pivot)
+	}
+}
+
+// runCluster runs the cluster comparison tier, prints its table, and
+// archives the result as a grid whose Cluster section carries the
+// measurements. A cluster run that does not settle identically to the
+// single-node run is a hard failure; the speedup gate is opt-in via
+// -min-speedup (single-core CI reports it without gating).
+func runCluster(ccfg eval.ClusterConfig, cfg eval.Config, minSpeedup float64, jsonOut bool, outPath string) {
+	cr, err := eval.RunCluster(ccfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res := &eval.Results{Config: cfg, Cluster: cr}
+	writeOut(outPath, res)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		fmt.Printf("cluster tier: %s/%s over %d in-process nodes (pivot-hashed; see DESIGN.md)\n",
+			cr.Bench, cr.Prop, cr.Nodes)
+		fmt.Printf("%-12s %12s %8s %12s %10s\n", "session", "events/s", "sec", "verdicts", "identical")
+		fmt.Printf("%-12s %12.0f %8.3f %12d %10s\n", "single", cr.SingleRate, cr.SingleSec, cr.Verdicts, "-")
+		fmt.Printf("%-12s %12.0f %8.3f %12d %10v\n", fmt.Sprintf("cluster×%d", cr.Nodes), cr.ClusterRate, cr.ClusterSec, cr.Verdicts, cr.Identical)
+		fmt.Printf("  speedup %.2fx over %d events\n", cr.Speedup, cr.Events)
+	}
+	if !cr.Identical {
+		fatalf("cluster run diverged from the single-node run")
+	}
+	if minSpeedup > 0 && cr.Speedup < minSpeedup {
+		fatalf("cluster speedup %.2fx below -min-speedup %.2f", cr.Speedup, minSpeedup)
 	}
 }
 

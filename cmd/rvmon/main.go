@@ -4,8 +4,8 @@
 // Usage:
 //
 //	rvmon -spec hasnext.rv [-trace trace.txt] [-gc coenable|alldead|none]
-//	      [-backend seq|shard|remote] [-shards N] [-remote addr]
-//	      [-record run.rvt] [-stats]
+//	      [-backend seq|shard|remote|cluster] [-shards N] [-remote addr]
+//	      [-nodes a:7472,b:7472] [-record run.rvt] [-stats]
 //
 // -record taps the monitored stream into a persistent trace (the segment
 // format cmd/rvquery replays), so the run can be re-checked later against
@@ -14,13 +14,14 @@
 //
 // -backend selects the monitoring backend: the in-process sequential
 // engine (seq, the default), the sharded concurrent runtime (shard, sized
-// by -shards), or a session against an rvserve monitoring server (remote,
+// by -shards), a session against an rvserve monitoring server (remote,
 // addressed by -remote; the spec must define a single property, which
-// both ends compile and verify in the handshake). Left unset, the backend
-// is inferred from the modifier flags. Trace semantics are identical on
-// every backend — the runtime is barriered before every "free" line so
-// deaths land at their trace positions, exactly as the sequential engine
-// observes them.
+// both ends compile and verify in the handshake), or one logical session
+// spread across a cluster of rvserve nodes (cluster, addressed by -nodes;
+// slices are placed by pivot hash). Left unset, the backend is inferred
+// from the modifier flags. Trace semantics are identical on every backend
+// — the runtime is barriered before every "free" line so deaths land at
+// their trace positions, exactly as the sequential engine observes them.
 //
 // The trace is read from the file or stdin, one step per line:
 //
@@ -70,9 +71,10 @@ func main() {
 		specPath  = flag.String("spec", "", "path to the .rv specification (required)")
 		tracePath = flag.String("trace", "", "path to the trace file (default: stdin)")
 		gcMode    = flag.String("gc", "coenable", "monitor GC policy: coenable, alldead, none")
-		backendFl = flag.String("backend", "", "monitoring backend: seq, shard, remote (default: inferred from -shards/-remote)")
+		backendFl = flag.String("backend", "", "monitoring backend: seq, shard, remote, cluster (default: inferred from -shards/-remote/-nodes)")
 		shards    = flag.Int("shards", 1, "shard count for -backend shard")
 		remoteFl  = flag.String("remote", "", "rvserve address for -backend remote")
+		nodesFl   = flag.String("nodes", "", "comma-separated rvserve node addresses for -backend cluster")
 		record    = flag.String("record", "", "record the monitored stream to this trace file (rvquery replays it)")
 		stats     = flag.Bool("stats", false, "print monitoring statistics at the end")
 	)
@@ -92,7 +94,8 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	backend, err := cliutil.ParseBackend(*backendFl, *shards, *remoteFl)
+	nodes := cliutil.SplitNodes(*nodesFl)
+	backend, err := cliutil.ParseBackend(*backendFl, *shards, *remoteFl, nodes)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -112,7 +115,7 @@ func main() {
 	for _, sp := range specs {
 		sp := sp
 		handlers := sp.Handlers()
-		m, err := cliutil.NewMonitor(sp, backend, *shards, *remoteFl,
+		m, err := cliutil.NewMonitor(sp, backend, *shards, *remoteFl, nodes,
 			append(recordOpts,
 				rvgo.WithGC(gc),
 				rvgo.WithVerdictHandler(func(v rvgo.Verdict) {

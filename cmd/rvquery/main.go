@@ -53,12 +53,12 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	bk, err := cliutil.ParseBackend(*backend, *shards, "")
+	bk, err := cliutil.ParseBackend(*backend, *shards, "", nil)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if bk == cliutil.BackendRemote {
-		fatalf("-backend remote: retroactive queries replay in-process")
+	if bk == cliutil.BackendRemote || bk == cliutil.BackendCluster {
+		fatalf("-backend %v: retroactive queries replay in-process", bk)
 	}
 	workers := 1
 	if bk == cliutil.BackendShard {

@@ -41,6 +41,7 @@ func startFacadeServer(t testing.TB) string {
 // sequential reference — no matter which options selected it.
 func TestFacadeConformance(t *testing.T) {
 	addr := startFacadeServer(t)
+	addr2 := startFacadeServer(t)
 	backends := []struct {
 		name string
 		opts func() []rvgo.Option
@@ -48,6 +49,7 @@ func TestFacadeConformance(t *testing.T) {
 		{"seq", func() []rvgo.Option { return nil }},
 		{"shard4", func() []rvgo.Option { return []rvgo.Option{rvgo.WithShards(4)} }},
 		{"remote", func() []rvgo.Option { return []rvgo.Option{rvgo.WithRemote(addr)} }},
+		{"cluster2", func() []rvgo.Option { return []rvgo.Option{rvgo.WithCluster(addr, addr2)} }},
 	}
 	policies := []rvgo.GCPolicy{rvgo.GCCoenable, rvgo.GCAllDead, rvgo.GCNone}
 	for _, bk := range backends {
@@ -198,6 +200,14 @@ func TestOptionValidation(t *testing.T) {
 		{"BadCreation", builtin, []rvgo.Option{rvgo.WithCreation(rvgo.CreationStrategy(9))}, "creation strategy"},
 		{"RemoteNeedsProvenance", built, []rvgo.Option{rvgo.WithRemote("127.0.0.1:1")}, "provenance"},
 		{"FullCreationSharded", builtin, []rvgo.Option{rvgo.WithShards(4), rvgo.WithCreation(rvgo.CreateFull)}, "single shard"},
+		{"EmptyCluster", builtin, []rvgo.Option{rvgo.WithCluster()}, "WithCluster"},
+		{"ClusterEmptyAddr", builtin, []rvgo.Option{rvgo.WithCluster("a:1", "")}, "WithCluster"},
+		{"ClusterAndRemote", builtin, []rvgo.Option{rvgo.WithCluster("a:1"), rvgo.WithRemote("b:1")}, "mutually exclusive"},
+		{"ClusterAndConn", builtin, []rvgo.Option{rvgo.WithCluster("a:1"), rvgo.WithRemoteConn(c1)}, "mutually exclusive"},
+		{"ClusterShards", builtin, []rvgo.Option{rvgo.WithCluster("a:1"), rvgo.WithShards(2)}, "WithShards"},
+		{"SeedLocal", builtin, []rvgo.Option{rvgo.WithHashSeed(7)}, "WithHashSeed"},
+		{"ClusterNeedsProvenance", built, []rvgo.Option{rvgo.WithCluster("127.0.0.1:1")}, "provenance"},
+		{"ClusterSweep", builtin, []rvgo.Option{rvgo.WithCluster("a:1"), rvgo.WithSweepInterval(64)}, "WithSweepInterval"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,70 @@
+package cliutil_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rvgo/internal/cliutil"
+)
+
+// TestParseBackend pins the unified -backend flag's inference and
+// mismatch rules: the empty name infers the backend from its modifiers,
+// an explicit name must agree with them, and -nodes follows the same
+// agreement discipline as -shards and -remote.
+func TestParseBackend(t *testing.T) {
+	nodes := []string{"n1:7472", "n2:7472"}
+	cases := []struct {
+		name    string
+		backend string
+		shards  int
+		remote  string
+		nodes   []string
+		want    cliutil.Backend
+		errSub  string // non-empty: expect an error containing it
+	}{
+		{name: "InferSeq", shards: 1, want: cliutil.BackendSeq},
+		{name: "InferShard", shards: 4, want: cliutil.BackendShard},
+		{name: "InferRemote", shards: 1, remote: "h:1", want: cliutil.BackendRemote},
+		{name: "InferCluster", shards: 1, nodes: nodes, want: cliutil.BackendCluster},
+		{name: "InferAmbiguous", shards: 1, remote: "h:1", nodes: nodes, errSub: "-backend"},
+		{name: "ExplicitCluster", backend: "cluster", shards: 1, nodes: nodes, want: cliutil.BackendCluster},
+		{name: "ClusterNoNodes", backend: "cluster", shards: 1, errSub: "-nodes"},
+		{name: "ClusterShards", backend: "cluster", shards: 4, nodes: nodes, errSub: "-shards"},
+		{name: "ClusterRemote", backend: "cluster", shards: 1, remote: "h:1", nodes: nodes, errSub: "-remote"},
+		{name: "SeqNodes", backend: "seq", shards: 1, nodes: nodes, errSub: "-nodes"},
+		{name: "ShardNodes", backend: "shard", shards: 4, nodes: nodes, errSub: "-nodes"},
+		{name: "RemoteNodes", backend: "remote", shards: 1, remote: "h:1", nodes: nodes, errSub: "-nodes"},
+		{name: "SeqShards", backend: "seq", shards: 4, errSub: "-shards"},
+		{name: "RemoteNoAddr", backend: "remote", shards: 1, errSub: "-remote"},
+		{name: "Unknown", backend: "mesh", shards: 1, errSub: "cluster"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := cliutil.ParseBackend(tc.backend, tc.shards, tc.remote, tc.nodes)
+			if tc.errSub != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.errSub) {
+					t.Fatalf("got (%v, %v), want error containing %q", got, err, tc.errSub)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSplitNodes pins the -nodes list syntax: comma-separated, whitespace
+// and empty entries tolerated.
+func TestSplitNodes(t *testing.T) {
+	if got := cliutil.SplitNodes(" a:1, b:2 ,,c:3,"); !reflect.DeepEqual(got, []string{"a:1", "b:2", "c:3"}) {
+		t.Fatalf("got %q", got)
+	}
+	if got := cliutil.SplitNodes(""); got != nil {
+		t.Fatalf("empty list: got %q, want nil", got)
+	}
+}

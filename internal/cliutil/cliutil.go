@@ -67,6 +67,9 @@ const (
 	BackendShard
 	// BackendRemote is a session against an rvserve monitoring server.
 	BackendRemote
+	// BackendCluster is one logical session spread across a cluster of
+	// rvserve nodes, with slices placed by pivot hash.
+	BackendCluster
 )
 
 func (b Backend) String() string {
@@ -77,37 +80,63 @@ func (b Backend) String() string {
 		return "shard"
 	case BackendRemote:
 		return "remote"
+	case BackendCluster:
+		return "cluster"
 	}
 	return fmt.Sprintf("Backend(%d)", int(b))
 }
 
+// SplitNodes splits a comma-separated -nodes list into addresses,
+// trimming whitespace and dropping empty entries, so "a:1, b:2," and
+// "a:1,b:2" parse the same.
+func SplitNodes(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 // ParseBackend resolves the unified -backend flag against its modifier
 // flags: -shards sizes the sharded backend (or a remote session's
-// server-side backend), -remote addresses the monitoring server. The
-// empty name infers the backend from the modifiers, keeping the historic
-// flag spellings working: -remote selects remote, -shards N>1 selects
+// server-side backend), -remote addresses the monitoring server, -nodes
+// lists a cluster's node addresses. The empty name infers the backend
+// from the modifiers, keeping the historic flag spellings working:
+// -nodes selects cluster, -remote selects remote, -shards N>1 selects
 // shard, otherwise seq. An explicit name must agree with its modifiers —
-// a -backend seq run with -shards 4, or a -backend remote run without
-// -remote, is rejected rather than silently reinterpreted.
-func ParseBackend(name string, shards int, remote string) (Backend, error) {
+// a -backend seq run with -shards 4, a -backend remote run without
+// -remote, or a -backend cluster run with -shards 4, is rejected rather
+// than silently reinterpreted.
+func ParseBackend(name string, shards int, remote string, nodes []string) (Backend, error) {
 	if err := ValidateShards(shards); err != nil {
 		return 0, err
 	}
+	if name == "" {
+		switch {
+		case len(nodes) > 0 && remote != "":
+			return 0, fmt.Errorf("-nodes selects the cluster backend and -remote the single-server one; set -backend to disambiguate")
+		case len(nodes) > 0:
+			name = "cluster"
+		case remote != "":
+			name = "remote"
+		case shards > 1:
+			name = "shard"
+		default:
+			name = "seq"
+		}
+	}
 	switch name {
-	case "":
-		if remote != "" {
-			return BackendRemote, nil
-		}
-		if shards > 1 {
-			return BackendShard, nil
-		}
-		return BackendSeq, nil
 	case "seq":
 		if shards > 1 {
 			return 0, fmt.Errorf("-backend seq is the sequential engine; it cannot take -shards %d (use -backend shard)", shards)
 		}
 		if remote != "" {
 			return 0, fmt.Errorf("-backend seq is in-process; it cannot take -remote %q (use -backend remote)", remote)
+		}
+		if len(nodes) > 0 {
+			return 0, fmt.Errorf("-backend seq is in-process; it cannot take -nodes (use -backend cluster)")
 		}
 		return BackendSeq, nil
 	case "shard":
@@ -117,26 +146,46 @@ func ParseBackend(name string, shards int, remote string) (Backend, error) {
 		if remote != "" {
 			return 0, fmt.Errorf("-backend shard is in-process; it cannot take -remote %q (use -backend remote)", remote)
 		}
+		if len(nodes) > 0 {
+			return 0, fmt.Errorf("-backend shard is in-process; it cannot take -nodes (use -backend cluster)")
+		}
 		return BackendShard, nil
 	case "remote":
 		if remote == "" {
 			return 0, fmt.Errorf("-backend remote needs -remote with the rvserve address")
 		}
+		if len(nodes) > 0 {
+			return 0, fmt.Errorf("-backend remote is a single-server session; it cannot take -nodes (use -backend cluster)")
+		}
 		return BackendRemote, nil
+	case "cluster":
+		if len(nodes) == 0 {
+			return 0, fmt.Errorf("-backend cluster needs -nodes with the rvserve node addresses")
+		}
+		if remote != "" {
+			return 0, fmt.Errorf("-backend cluster addresses its nodes with -nodes; it cannot take -remote %q", remote)
+		}
+		if shards > 1 {
+			return 0, fmt.Errorf("-backend cluster shards by pivot across nodes; it cannot take -shards %d (per-node sessions are sequential)", shards)
+		}
+		return BackendCluster, nil
 	}
-	return 0, fmt.Errorf("unknown -backend %q (want seq, shard or remote)", name)
+	return 0, fmt.Errorf("unknown -backend %q (want seq, shard, remote or cluster)", name)
 }
 
 // NewMonitor builds the façade monitor a tool's flags select. The shards
 // modifier sizes the sharded backend, or — for a remote backend — the
-// per-session backend on the server.
-func NewMonitor(s *spec.Spec, backend Backend, shards int, remote string, extra ...rvgo.Option) (*rvgo.Monitor, error) {
+// per-session backend on the server; the nodes modifier lists a cluster
+// backend's rvserve addresses.
+func NewMonitor(s *spec.Spec, backend Backend, shards int, remote string, nodes []string, extra ...rvgo.Option) (*rvgo.Monitor, error) {
 	opts := extra
 	switch backend {
 	case BackendShard:
 		opts = append(opts, rvgo.WithShards(shards))
 	case BackendRemote:
 		opts = append(opts, rvgo.WithRemote(remote), rvgo.WithShards(shards))
+	case BackendCluster:
+		opts = append(opts, rvgo.WithCluster(nodes...))
 	}
 	return rvgo.New(s, opts...)
 }

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"rvgo/internal/metrics"
+)
+
+// Statusz is the JSON document served at the router's /statusz: the
+// aggregate, node health, every ready session with its slot placement,
+// and the full metrics snapshot. Field names are a stable contract for
+// scripts (the CI cluster smoke asserts on nodes and handoffs).
+type Statusz struct {
+	UptimeSec      float64                  `json:"uptime_sec"`
+	Active         int                      `json:"active_sessions"`
+	Total          uint64                   `json:"total_sessions"`
+	Events         uint64                   `json:"events"`
+	Verdicts       uint64                   `json:"verdicts"`
+	Handoffs       uint64                   `json:"handoffs"`
+	HandoffRecords uint64                   `json:"handoff_records"`
+	Nodes          []NodeHealth             `json:"nodes"`
+	Sessions       []RouterSessionStatus    `json:"sessions"`
+	Metrics        []metrics.FamilySnapshot `json:"metrics"`
+}
+
+// NodeHealth is one configured node's health state.
+type NodeHealth struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+}
+
+// RouterSessionStatus is one active session's point-in-time state.
+type RouterSessionStatus struct {
+	ID        uint64       `json:"id"`
+	Tenant    string       `json:"tenant"`
+	Window    int          `json:"window"`
+	Events    uint64       `json:"events"`
+	UptimeSec float64      `json:"uptime_sec"`
+	Nodes     []NodeStatus `json:"nodes"`
+}
+
+// Statusz assembles the snapshot. Session slot placement takes each
+// fanout's lock briefly; everything else reads atomics.
+func (r *Router) Statusz() Statusz {
+	out := Statusz{
+		UptimeSec:      time.Since(r.started).Seconds(),
+		Total:          r.accepted.Load(),
+		Events:         r.events.Load(),
+		Verdicts:       r.verdicts.Load(),
+		Handoffs:       r.handoffs.Load(),
+		HandoffRecords: r.handoffRecords.Load(),
+	}
+	r.mu.Lock()
+	out.Active = len(r.sessions)
+	for _, n := range r.opts.Nodes {
+		out.Nodes = append(out.Nodes, NodeHealth{Addr: n, Healthy: r.health[n]})
+	}
+	live := make([]*rsession, 0, len(r.sessions))
+	for s := range r.sessions {
+		live = append(live, s)
+	}
+	r.mu.Unlock()
+	for _, s := range live {
+		if !s.ready.Load() {
+			continue
+		}
+		out.Sessions = append(out.Sessions, RouterSessionStatus{
+			ID:        s.id,
+			Tenant:    s.tenant,
+			Window:    s.window,
+			Events:    s.events.Load(),
+			UptimeSec: time.Since(s.opened).Seconds(),
+			Nodes:     s.f.Nodes(),
+		})
+	}
+	sort.Slice(out.Sessions, func(a, b int) bool { return out.Sessions[a].ID < out.Sessions[b].ID })
+	out.Metrics = r.reg.Snapshot()
+	return out
+}
+
+// DebugHandler returns the router's introspection surface, for serving on
+// a side listener (rvserve -cluster -metrics):
+//
+//	/metrics        Prometheus text exposition (rv_cluster_* families)
+//	/statusz        the Statusz JSON snapshot
+//	/debug/pprof/*  the standard Go profiling endpoints
+func (r *Router) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.reg.WriteProm(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Statusz())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,368 @@
+// link.go: one downstream slot session — the router side of a marked
+// (NodeHello) wire session against an rvserve node. A link is the
+// cluster's unit of ordered delivery: every frame written to it is
+// processed by the node in order, which is what lets a slot's slices see
+// events and deaths exactly as the upstream client positioned them.
+//
+// The link mirrors internal/remote's Client at the frame level: writes
+// are serialized and pipelined under wmu, a background reader drains
+// verdicts, credit and acks, and sync operations round-trip tokens
+// through a pending map. It stays below the ref/instance layer — IDs in,
+// IDs out — because the router never materializes objects; translation to
+// heap.Refs happens only at the true client (Client in this package, or
+// the upstream session's own tables).
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"rvgo/internal/monitor"
+	"rvgo/internal/param"
+	"rvgo/internal/wire"
+)
+
+// link is one slot session on a node.
+type link struct {
+	addr string
+	slot int
+	conn net.Conn
+
+	// wmu serializes frame writes and flushes; the reader never takes it.
+	wmu sync.Mutex
+	w   *wire.Writer
+
+	// cmu guards the credit window; credit arrivals signal cond.
+	cmu     sync.Mutex
+	cond    *sync.Cond
+	credits int64
+
+	// pmu guards the pending sync map and the sticky error.
+	pmu     sync.Mutex
+	pending map[uint64]chan wire.Msg
+	token   uint64
+	err     error
+
+	onVerdict func(wire.Verdict) // reader goroutine; must not call back
+	onDown    func(*link)        // invoked once, on reader death with error
+
+	readerDone chan struct{}
+	downOnce   sync.Once
+}
+
+// byeToken is the reserved pending-map key for the ByeAck.
+const byeToken = 0
+
+// openLink dials a node, marks the session with a NodeHello, and runs the
+// ordinary Hello handshake, verifying the node compiled the same spec.
+func openLink(dial func(string) (net.Conn, error), addr string, router uint64, slot int,
+	spec *monitor.Spec, hello wire.Hello, onVerdict func(wire.Verdict), onDown func(*link)) (*link, error) {
+	conn, err := dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %s: %w", addr, err)
+	}
+	l := &link{
+		addr:       addr,
+		slot:       slot,
+		conn:       conn,
+		w:          wire.NewWriter(conn),
+		pending:    map[uint64]chan wire.Msg{},
+		onVerdict:  onVerdict,
+		onDown:     onDown,
+		readerDone: make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.cmu)
+
+	if err := l.w.WriteNodeHello(wire.NodeHello{Router: router, Slot: uint64(slot)}); err == nil {
+		err = l.w.WriteHello(hello)
+	}
+	if err == nil {
+		err = l.w.Flush()
+	}
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: node %s: %w", addr, err)
+	}
+	r := wire.NewReader(conn)
+	var msg wire.Msg
+	if err := r.Next(&msg); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: node %s: reading HelloAck: %w", addr, err)
+	}
+	switch msg.Type {
+	case wire.THelloAck:
+	case wire.TError:
+		conn.Close()
+		return nil, fmt.Errorf("cluster: node %s refused slot session: %s", addr, msg.Error.Msg)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("cluster: node %s: expected HelloAck, got message type %d", addr, msg.Type)
+	}
+	if err := verifyAck(spec, msg.HelloAck); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: node %s: %w", addr, err)
+	}
+	l.credits = int64(msg.HelloAck.Window)
+	go l.readLoop(r)
+	return l, nil
+}
+
+// verifyAck checks the node compiled the same spec the router did —
+// version skew between nodes would silently misroute symbols.
+func verifyAck(spec *monitor.Spec, a wire.HelloAck) error {
+	if a.SpecName != spec.Name {
+		return fmt.Errorf("spec negotiation: node compiled %q, router %q", a.SpecName, spec.Name)
+	}
+	if len(a.Events) != len(spec.Events) {
+		return fmt.Errorf("spec negotiation: node has %d events, router %d", len(a.Events), len(spec.Events))
+	}
+	for i, ev := range spec.Events {
+		if a.Events[i].Name != ev.Name || param.Set(a.Events[i].Params) != ev.Params {
+			return fmt.Errorf("spec negotiation: event %d is %s on the node, %s here", i, a.Events[i].Name, ev.Name)
+		}
+	}
+	return nil
+}
+
+// readLoop drains the inbound stream: verdicts to the fanout, credit to
+// the window, acks to their waiters.
+func (l *link) readLoop(r *wire.Reader) {
+	defer close(l.readerDone)
+	defer l.drainPending()
+	var msg wire.Msg
+	for {
+		if err := r.Next(&msg); err != nil {
+			l.fatal(fmt.Errorf("cluster: node %s: connection lost: %w", l.addr, err))
+			return
+		}
+		switch msg.Type {
+		case wire.TVerdict:
+			l.onVerdict(msg.Verdict)
+		case wire.TCredit:
+			l.cmu.Lock()
+			l.credits += int64(msg.Credit.N)
+			l.cmu.Unlock()
+			l.cond.Broadcast()
+		case wire.TBarrierAck, wire.TFlushAck:
+			l.complete(msg.Sync.Token, msg)
+		case wire.TStats, wire.THandoffAck:
+			l.complete(msg.Stats.Token, msg)
+		case wire.TByeAck:
+			l.complete(byeToken, msg)
+			return
+		case wire.TError:
+			l.fatal(fmt.Errorf("cluster: node %s: %s", l.addr, msg.Error.Msg))
+			return
+		default:
+			l.fatal(fmt.Errorf("cluster: node %s: unexpected message type %d", l.addr, msg.Type))
+			return
+		}
+	}
+}
+
+func (l *link) complete(token uint64, msg wire.Msg) {
+	l.pmu.Lock()
+	ch := l.pending[token]
+	delete(l.pending, token)
+	l.pmu.Unlock()
+	if ch != nil {
+		ch <- msg
+	}
+}
+
+// fatal records the sticky error, releases every waiter and credit-blocked
+// producer, and reports the link down exactly once.
+func (l *link) fatal(err error) {
+	l.pmu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.pmu.Unlock()
+	l.drainPending()
+	l.cmu.Lock()
+	l.credits = 1 << 40
+	l.cmu.Unlock()
+	l.cond.Broadcast()
+	if l.onDown != nil {
+		l.downOnce.Do(func() { l.onDown(l) })
+	}
+}
+
+func (l *link) drainPending() {
+	l.pmu.Lock()
+	chans := make([]chan wire.Msg, 0, len(l.pending))
+	for tok, ch := range l.pending {
+		chans = append(chans, ch)
+		delete(l.pending, tok)
+	}
+	l.pmu.Unlock()
+	for _, ch := range chans {
+		close(ch)
+	}
+}
+
+// dead reports whether the link's session has failed.
+func (l *link) dead() bool {
+	l.pmu.Lock()
+	defer l.pmu.Unlock()
+	return l.err != nil
+}
+
+// spendCredit takes one event credit, flushing the pipeline and blocking
+// while the window is empty. ok is false when the link died (the fatal
+// path floods the window so no producer hangs on a dead node); stalled
+// reports whether the caller had to wait for the node.
+func (l *link) spendCredit() (ok, stalled bool) {
+	l.cmu.Lock()
+	for l.credits <= 0 {
+		stalled = true
+		l.cmu.Unlock()
+		l.wmu.Lock()
+		err := l.w.Flush()
+		l.wmu.Unlock()
+		if err != nil {
+			l.fatal(err)
+		}
+		l.cmu.Lock()
+		if l.credits > 0 {
+			break
+		}
+		l.cond.Wait()
+	}
+	l.credits--
+	l.cmu.Unlock()
+	return !l.dead(), stalled
+}
+
+// refundCredit returns an acquired-but-unused credit to the window (the
+// all-or-nothing broadcast path refunds slots whose copy of the event was
+// delivered by a handoff replay instead).
+func (l *link) refundCredit() {
+	l.cmu.Lock()
+	l.credits++
+	l.cmu.Unlock()
+	l.cond.Broadcast()
+}
+
+// event writes one event frame (the caller has already spent credit).
+func (l *link) event(sym int, ids []uint64) bool {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if err := l.w.WriteEvent(sym, ids); err != nil {
+		l.fatal(err)
+		return false
+	}
+	return true
+}
+
+// free writes and flushes a free frame (credit-exempt; deaths drive the
+// node's monitor GC and must be timely even when the pipeline is idle).
+func (l *link) free(ids []uint64) bool {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if err := l.w.WriteFree(ids); err != nil {
+		l.fatal(err)
+		return false
+	}
+	if err := l.w.Flush(); err != nil {
+		l.fatal(err)
+		return false
+	}
+	return true
+}
+
+// handoffBegin opens a handoff bracket on the link (no ack).
+func (l *link) handoffBegin(skip uint64) bool {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if err := l.w.WriteHandoffBegin(wire.HandoffBegin{Skip: skip}); err != nil {
+		l.fatal(err)
+		return false
+	}
+	return true
+}
+
+// roundTrip issues a token frame and waits for its ack.
+func (l *link) roundTrip(t byte) (wire.Msg, bool) {
+	l.pmu.Lock()
+	if l.err != nil {
+		l.pmu.Unlock()
+		return wire.Msg{}, false
+	}
+	l.token++
+	tok := l.token
+	ch := make(chan wire.Msg, 1)
+	l.pending[tok] = ch
+	l.pmu.Unlock()
+
+	l.wmu.Lock()
+	err := l.w.WriteSync(t, tok)
+	if err == nil {
+		err = l.w.Flush()
+	}
+	l.wmu.Unlock()
+	if err != nil {
+		l.fatal(err)
+		return wire.Msg{}, false
+	}
+	msg, ok := <-ch
+	return msg, ok
+}
+
+func (l *link) barrier() bool { _, ok := l.roundTrip(wire.TBarrier); return ok }
+func (l *link) flush() bool   { _, ok := l.roundTrip(wire.TFlush); return ok }
+
+func (l *link) stats() (wire.Stats, bool) {
+	msg, ok := l.roundTrip(wire.TStatsReq)
+	return msg.Stats, ok
+}
+
+// handoffEnd closes the handoff bracket: the node flushes its backend and
+// acks with the settled counters.
+func (l *link) handoffEnd() (wire.Stats, bool) {
+	msg, ok := l.roundTrip(wire.THandoffEnd)
+	return msg.Stats, ok
+}
+
+// close performs the orderly Bye → ByeAck shutdown and returns the node's
+// final settled counters. The ByeAck is ordered behind every verdict on
+// the stream, so after close returns the slot's verdict count is settled.
+func (l *link) close() (wire.Stats, bool) {
+	l.pmu.Lock()
+	if l.err != nil {
+		l.pmu.Unlock()
+		l.conn.Close()
+		<-l.readerDone
+		return wire.Stats{}, false
+	}
+	ch := make(chan wire.Msg, 1)
+	l.pending[byeToken] = ch
+	l.pmu.Unlock()
+
+	l.wmu.Lock()
+	err := l.w.WriteBye()
+	if err == nil {
+		err = l.w.Flush()
+	}
+	l.wmu.Unlock()
+	var final wire.Stats
+	ok := false
+	if err == nil {
+		if msg, chOK := <-ch; chOK {
+			final, ok = msg.Stats, true
+		}
+	} else {
+		l.fatal(err)
+	}
+	l.conn.Close()
+	<-l.readerDone
+	return final, ok
+}
+
+// shutdown abandons the link without the Bye handshake (the crash path —
+// the node is gone, or the slot has been journal-replayed elsewhere).
+func (l *link) shutdown() {
+	l.conn.Close()
+	<-l.readerDone
+}

@@ -1,0 +1,560 @@
+// router.go: the router tier — a wire-protocol server whose backend is a
+// fanout. A monitored program speaks the ordinary single-server protocol
+// to the router (internal/remote.Client works unchanged); the router
+// pivot-hashes the stream across the nodes, merges verdicts and counters
+// back, and heals around node failures with journal-replay handoffs, all
+// invisible to the upstream session.
+//
+// Credit is end-to-end: the router replenishes an upstream credit only
+// after the fanout has placed the event — which for a broadcast means
+// every slot granted a credit. One refusing node therefore stalls the
+// upstream producer exactly as a slow single server would.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rvgo/internal/metrics"
+	"rvgo/internal/monitor"
+	"rvgo/internal/wire"
+)
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Nodes are the rvserve addresses the router spreads sessions over.
+	Nodes []string
+	// Seed perturbs the pivot→slot and slot→node hashes.
+	Seed uint64
+	// Slots is the per-session virtual-shard ring size (0 = default).
+	Slots int
+	// Window is the upstream event-credit window granted to each session
+	// (default 4096). A client may request a smaller one in its Hello.
+	Window int
+	// NodeWindow caps each downstream slot window (0 = node default).
+	NodeWindow int
+	// Probe is the health re-probe interval for unhealthy nodes (default
+	// 1s). A revived node is re-admitted into every active session.
+	Probe time.Duration
+	// Dial overrides the node transport (tests use in-process pipes).
+	Dial func(addr string) (net.Conn, error)
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Router accepts and runs cluster-routed monitoring sessions.
+type Router struct {
+	opts RouterOptions
+
+	mu       sync.Mutex
+	listener net.Listener
+	sessions map[*rsession]struct{}
+	nextID   uint64
+	draining bool
+	health   map[string]bool
+
+	wg        sync.WaitGroup
+	probeDone chan struct{}
+
+	// Aggregate counters across all sessions, past and present.
+	events         atomic.Uint64
+	verdicts       atomic.Uint64
+	accepted       atomic.Uint64
+	handoffs       atomic.Uint64
+	handoffRecords atomic.Uint64
+
+	reg     *metrics.Registry
+	started time.Time
+}
+
+// NewRouter builds a router over a fixed node set.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	if len(opts.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one node")
+	}
+	if opts.Window <= 0 {
+		opts.Window = 4096
+	}
+	if opts.Probe <= 0 {
+		opts.Probe = time.Second
+	}
+	if opts.Dial == nil {
+		opts.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	r := &Router{
+		opts:     opts,
+		sessions: map[*rsession]struct{}{},
+		health:   map[string]bool{},
+		reg:      metrics.NewRegistry(),
+		started:  time.Now(),
+	}
+	for _, n := range opts.Nodes {
+		r.health[n] = true
+	}
+	return r, nil
+}
+
+// Metrics returns the router's metrics registry.
+func (r *Router) Metrics() *metrics.Registry { return r.reg }
+
+func (r *Router) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+// healthyNodes snapshots the addresses currently believed up, in the
+// configured order (placement must not depend on map iteration).
+func (r *Router) healthyNodes() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.opts.Nodes))
+	for _, n := range r.opts.Nodes {
+		if r.health[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// markDown records a node eviction reported by a session's fanout. Called
+// with that fanout's lock held; takes only the router lock (the router
+// never holds its lock while calling into a fanout).
+func (r *Router) markDown(addr string) {
+	r.mu.Lock()
+	was := r.health[addr]
+	r.health[addr] = false
+	r.mu.Unlock()
+	if was {
+		r.logf("router: node %s marked down", addr)
+	}
+}
+
+// probeNode reports whether addr currently accepts connections.
+func (r *Router) probeNode(addr string) bool {
+	conn, err := r.opts.Dial(addr)
+	if err != nil {
+		return false
+	}
+	conn.Close()
+	return true
+}
+
+// probeLoop re-probes unhealthy nodes and re-admits revived ones into
+// every active session's membership.
+func (r *Router) probeLoop() {
+	defer close(r.probeDone)
+	tick := time.NewTicker(r.opts.Probe)
+	defer tick.Stop()
+	for {
+		<-tick.C
+		r.mu.Lock()
+		if r.draining {
+			r.mu.Unlock()
+			return
+		}
+		var down []string
+		for _, n := range r.opts.Nodes {
+			if !r.health[n] {
+				down = append(down, n)
+			}
+		}
+		r.mu.Unlock()
+		for _, addr := range down {
+			if !r.probeNode(addr) {
+				continue
+			}
+			r.mu.Lock()
+			r.health[addr] = true
+			live := make([]*rsession, 0, len(r.sessions))
+			for s := range r.sessions {
+				live = append(live, s)
+			}
+			r.mu.Unlock()
+			r.logf("router: node %s revived", addr)
+			for _, s := range live {
+				if s.ready.Load() {
+					if err := s.f.AddNode(addr); err != nil {
+						r.logf("router: session %d: re-admitting %s: %v", s.id, addr, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Serve accepts sessions on l until the listener is closed by Shutdown.
+func (r *Router) Serve(l net.Listener) error {
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		return errors.New("cluster: Serve after Shutdown")
+	}
+	r.listener = l
+	if r.probeDone == nil {
+		r.probeDone = make(chan struct{})
+		go r.probeLoop()
+	}
+	r.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			r.mu.Lock()
+			draining := r.draining
+			r.mu.Unlock()
+			if draining || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		r.mu.Lock()
+		if r.draining {
+			r.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		r.nextID++
+		sess := &rsession{rtr: r, id: r.nextID, conn: conn}
+		r.sessions[sess] = struct{}{}
+		r.accepted.Add(1)
+		r.wg.Add(1)
+		r.mu.Unlock()
+		go func() {
+			defer r.wg.Done()
+			sess.run()
+			r.mu.Lock()
+			delete(r.sessions, sess)
+			r.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown drains the router: stop accepting, wait up to timeout for
+// sessions to finish, then force-close stragglers.
+func (r *Router) Shutdown(timeout time.Duration) {
+	r.mu.Lock()
+	r.draining = true
+	l := r.listener
+	probing := r.probeDone
+	r.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		r.mu.Lock()
+		for sess := range r.sessions {
+			sess.conn.Close()
+		}
+		r.mu.Unlock()
+		<-done
+	}
+	if probing != nil {
+		<-probing
+	}
+}
+
+// Close force-closes the listener and every active session.
+func (r *Router) Close() { r.Shutdown(0) }
+
+// rsession is one upstream connection: the protocol surface of a server
+// session, the routing machinery of a fanout.
+type rsession struct {
+	rtr  *Router
+	id   uint64
+	conn net.Conn
+
+	wmu sync.Mutex
+	w   *wire.Writer
+
+	f    *fanout
+	spec *specInfo
+
+	window  int
+	ungrant int
+
+	tenant string
+	opened time.Time
+	ready  atomic.Bool
+	events atomic.Uint64
+}
+
+// specInfo is the slice of the compiled spec the ingest path needs for
+// validation (the fanout holds the full spec).
+type specInfo struct {
+	name   string
+	arity  []int
+	events int
+}
+
+// run executes the session to completion.
+func (s *rsession) run() {
+	defer s.conn.Close()
+	defer func() {
+		if s.f != nil {
+			s.f.Close()
+		}
+	}()
+	r := wire.NewReader(s.conn)
+	s.w = wire.NewWriter(s.conn)
+
+	var msg wire.Msg
+	if err := r.Next(&msg); err != nil {
+		s.rtr.logf("session %d: reading hello: %v", s.id, err)
+		return
+	}
+	if msg.Type != wire.THello {
+		s.fail("expected Hello, got message type %d", msg.Type)
+		return
+	}
+	if err := s.handshake(msg.Hello); err != nil {
+		s.fail("%v", err)
+		return
+	}
+	s.rtr.logf("session %d: open spec=%s nodes=%d window=%d", s.id, s.tenant, len(s.f.Nodes()), s.window)
+
+	for {
+		if err := r.Next(&msg); err != nil {
+			if err != io.EOF {
+				s.rtr.logf("session %d: read: %v", s.id, err)
+			}
+			return
+		}
+		for {
+			stop, err := s.handle(&msg)
+			if err != nil {
+				s.fail("%v", err)
+				return
+			}
+			if stop {
+				return
+			}
+			if !r.FrameBuffered() {
+				break
+			}
+			if err := r.Next(&msg); err != nil {
+				if err != io.EOF {
+					s.rtr.logf("session %d: read: %v", s.id, err)
+				}
+				return
+			}
+		}
+		if s.ungrant > 0 {
+			if err := s.grantCredit(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// handshake validates the Hello and builds the fanout over the currently
+// healthy nodes (after a synchronous re-probe when the first attempt
+// fails — a router must not refuse sessions because one node is down).
+func (s *rsession) handshake(h wire.Hello) error {
+	if h.Version != wire.Version {
+		return fmt.Errorf("protocol version %d not supported (router speaks %d)", h.Version, wire.Version)
+	}
+	if h.Shards > 1 {
+		return fmt.Errorf("cluster router shards by pivot across nodes; request Shards<=1 (got %d)", h.Shards)
+	}
+	var prop, source string
+	switch h.SpecKind {
+	case wire.SpecProp:
+		prop = h.Spec
+	case wire.SpecSource:
+		source = h.Spec
+	default:
+		return fmt.Errorf("unknown spec kind %d", h.SpecKind)
+	}
+	compiled, kind, ref, err := resolveSpec(prop, source)
+	if err != nil {
+		return err
+	}
+	window := s.rtr.opts.Window
+	if h.Window > 0 && int(h.Window) < window {
+		window = int(h.Window)
+	}
+
+	gc := monitor.GCPolicy(h.GC)
+	if gc < monitor.GCNone || gc > monitor.GCCoenable {
+		return fmt.Errorf("unknown GC policy %d", h.GC)
+	}
+	creation := monitor.CreationStrategy(h.Creation)
+	if creation != monitor.CreateEnable && creation != monitor.CreateFull {
+		return fmt.Errorf("unknown creation strategy %d", h.Creation)
+	}
+	cfg := fanoutConfig{
+		kind:     kind,
+		ref:      ref,
+		gc:       gc,
+		creation: creation,
+		seed:     s.rtr.opts.Seed,
+		slots:    s.rtr.opts.Slots,
+		window:   s.rtr.opts.NodeWindow,
+		dial:     s.rtr.opts.Dial,
+		logf:     s.rtr.logf,
+		met:      metrics.NewClusterSeries(s.rtr.reg, compiled.Name),
+		onVerdict: func(v wire.Verdict) {
+			// IDs pass through untouched: the nodes echo the very IDs the
+			// upstream client chose, so no translation table is needed.
+			s.rtr.verdicts.Add(1)
+			s.writeLocked(func() error { return s.w.WriteVerdict(v) })
+		},
+		onHandoff: func(records int) {
+			s.rtr.handoffs.Add(1)
+			s.rtr.handoffRecords.Add(uint64(records))
+		},
+		onNodeDown: s.rtr.markDown,
+	}
+	cfg.nodes = s.rtr.healthyNodes()
+	f, err := newFanout(compiled, cfg)
+	if err != nil {
+		// Refresh the health map the hard way and retry once: the failed
+		// open is itself the probe.
+		for _, n := range s.rtr.opts.Nodes {
+			up := s.rtr.probeNode(n)
+			s.rtr.mu.Lock()
+			s.rtr.health[n] = up
+			s.rtr.mu.Unlock()
+		}
+		cfg.nodes = s.rtr.healthyNodes()
+		if len(cfg.nodes) == 0 {
+			return fmt.Errorf("cluster: no healthy nodes")
+		}
+		f, err = newFanout(compiled, cfg)
+		if err != nil {
+			return err
+		}
+	}
+	s.f = f
+	s.spec = &specInfo{name: compiled.Name, events: len(compiled.Events)}
+	for _, ev := range compiled.Events {
+		s.spec.arity = append(s.spec.arity, ev.Params.Count())
+	}
+	s.window = window
+	s.tenant = compiled.Name
+	s.opened = time.Now()
+	s.ready.Store(true)
+
+	ack := wire.HelloAck{
+		Session:  s.id,
+		Window:   uint64(window),
+		SpecName: compiled.Name,
+		Params:   compiled.Params,
+	}
+	for _, ev := range compiled.Events {
+		ack.Events = append(ack.Events, wire.EventDef{Name: ev.Name, Params: uint64(ev.Params)})
+	}
+	return s.writeLocked(func() error { return s.w.WriteHelloAck(ack) })
+}
+
+// handle processes one decoded frame.
+func (s *rsession) handle(msg *wire.Msg) (stop bool, err error) {
+	switch msg.Type {
+	case wire.TEvent:
+		ev := msg.Event
+		if ev.Sym < 0 || ev.Sym >= s.spec.events {
+			return false, fmt.Errorf("event symbol %d out of range (spec %s has %d events)", ev.Sym, s.spec.name, s.spec.events)
+		}
+		if len(ev.IDs) != s.spec.arity[ev.Sym] {
+			return false, fmt.Errorf("event %d takes %d objects, got %d", ev.Sym, s.spec.arity[ev.Sym], len(ev.IDs))
+		}
+		if err := s.f.Event(ev.Sym, ev.IDs); err != nil {
+			return false, err
+		}
+		s.events.Add(1)
+		s.rtr.events.Add(1)
+		s.ungrant++
+		if s.ungrant >= s.window/2 || s.window < 2 {
+			return false, s.grantCredit()
+		}
+	case wire.TFree:
+		if err := s.f.Free(msg.Free.IDs); err != nil {
+			return false, err
+		}
+	case wire.TBarrier:
+		if err := s.f.Barrier(); err != nil {
+			return false, err
+		}
+		s.writeLocked(func() error { return s.w.WriteSync(wire.TBarrierAck, msg.Sync.Token) })
+	case wire.TFlush:
+		if err := s.f.Flush(); err != nil {
+			return false, err
+		}
+		s.writeLocked(func() error { return s.w.WriteSync(wire.TFlushAck, msg.Sync.Token) })
+	case wire.TStatsReq:
+		st := s.f.Stats()
+		if err := s.f.Err(); err != nil {
+			return false, err
+		}
+		token := msg.Sync.Token
+		s.writeLocked(func() error { return s.w.WriteStats(toWireStats(token, st)) })
+	case wire.TBye:
+		st, err := s.f.Close()
+		if err != nil {
+			return false, err
+		}
+		s.writeLocked(func() error { return s.w.WriteByeAck(wire.ByeAck{Stats: toWireStats(0, st)}) })
+		s.rtr.logf("session %d: closed after %d events", s.id, s.events.Load())
+		return true, nil
+	default:
+		return false, fmt.Errorf("unexpected message type %d", msg.Type)
+	}
+	return false, nil
+}
+
+// grantCredit flushes the accumulated event credit upstream.
+func (s *rsession) grantCredit() error {
+	n := uint64(s.ungrant)
+	if n == 0 {
+		return nil
+	}
+	s.ungrant = 0
+	return s.writeLocked(func() error { return s.w.WriteCredit(n) })
+}
+
+// fail sends a fatal Error frame and logs; the caller closes the session.
+func (s *rsession) fail(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	s.rtr.logf("session %d: %s", s.id, msg)
+	s.writeLocked(func() error { return s.w.WriteError(msg) })
+}
+
+// writeLocked runs one or more frame writes under the write mutex and
+// flushes (verdict forwards from link readers and protocol acks from the
+// session goroutine must never interleave mid-frame).
+func (s *rsession) writeLocked(f func() error) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := f(); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+func toWireStats(token uint64, st monitor.Stats) wire.Stats {
+	return wire.Stats{
+		Token:        token,
+		Events:       st.Events,
+		Created:      st.Created,
+		Flagged:      st.Flagged,
+		Collected:    st.Collected,
+		GoalVerdicts: st.GoalVerdicts,
+		Steps:        st.Steps,
+		Live:         st.Live,
+		PeakLive:     st.PeakLive,
+	}
+}

@@ -1,0 +1,125 @@
+package conformance
+
+import (
+	"testing"
+
+	"rvgo/internal/monitor"
+	"rvgo/internal/param"
+	"rvgo/internal/props"
+)
+
+// ClusterHarness is a cluster-backed runtime plus the membership levers
+// the oracle pulls mid-trace. Any nil lever is skipped.
+type ClusterHarness struct {
+	// RT is the cluster-backed monitor.Runtime under test (a
+	// cluster.Client, or a remote.Client dialed into a cluster router).
+	RT monitor.Runtime
+	// Join admits a fresh node to the membership (graceful slot moves).
+	Join func() error
+	// Kill abruptly destroys a live node — no Bye, no drain — forcing the
+	// crash-handoff path: journals replayed onto survivors with verdict
+	// skip counts covering exactly what was already delivered.
+	Kill func() error
+	// Leave gracefully drains a node out of the membership.
+	Leave func() error
+}
+
+// ClusterFactory builds one cluster harness for the given property and GC
+// policy. The oracle closes the runtime it returns.
+type ClusterFactory func(t *testing.T, prop string, gc monitor.GCPolicy, onVerdict func(monitor.Verdict)) ClusterHarness
+
+// membershipRuntime interposes on Dispatch to fire the harness levers at
+// fixed points in the event stream: Join at 1/3, Kill at 1/2, Leave at
+// 2/3 of the reference run's event count. The avrora driver is
+// single-threaded, so the count needs no synchronization.
+type membershipRuntime struct {
+	monitor.Runtime
+	t       *testing.T
+	n       uint64
+	joinAt  uint64
+	killAt  uint64
+	leaveAt uint64
+	join    func() error
+	kill    func() error
+	leave   func() error
+}
+
+func (m *membershipRuntime) Dispatch(sym int, theta param.Instance) {
+	m.Runtime.Dispatch(sym, theta)
+	m.n++
+	switch {
+	case m.n == m.joinAt && m.join != nil:
+		if err := m.join(); err != nil {
+			m.t.Errorf("join at event %d: %v", m.n, err)
+		}
+	case m.n == m.killAt && m.kill != nil:
+		if err := m.kill(); err != nil {
+			m.t.Errorf("kill at event %d: %v", m.n, err)
+		}
+	case m.n == m.leaveAt && m.leave != nil:
+		if err := m.leave(); err != nil {
+			m.t.Errorf("leave at event %d: %v", m.n, err)
+		}
+	}
+}
+
+// RunClusterOracle is the cluster-vs-sequential oracle matrix: the seeded
+// avrora trace replayed through a cluster harness under every GC policy,
+// with a node join, a node crash, and a graceful leave injected mid-trace,
+// must produce per-slice verdict sequences and settled Figure 10 counters
+// bit-identical to the sequential engine's reference run — the same bar
+// RunArenaOracle sets for in-process backends. PeakLive is excluded, as in
+// the sharded runtime's equivalence tests: each slot engine samples its
+// peak on its own maintenance clock, so the sum is not comparable to the
+// sequential peak. Every other counter is exact: each slice lives in
+// exactly one slot, crash recovery replays a slot's journal
+// deterministically, and graceful moves are counter-verified against the
+// donor's ByeAck inside the cluster layer itself.
+func RunClusterOracle(t *testing.T, build ClusterFactory) {
+	for _, gc := range []monitor.GCPolicy{monitor.GCNone, monitor.GCAllDead, monitor.GCCoenable} {
+		t.Run(gc.String(), func(t *testing.T) {
+			spec, err := props.Build(oracleProp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wantV sliceVerdicts
+			ref, err := monitor.New(spec, monitor.Options{
+				GC:        gc,
+				Creation:  monitor.CreateEnable,
+				OnVerdict: wantV.handler(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := avroraReplay(t, ref)
+
+			var gotV sliceVerdicts
+			h := build(t, oracleProp, gc, gotV.handler())
+			wrapped := &membershipRuntime{
+				Runtime: h.RT,
+				t:       t,
+				joinAt:  want.Events / 3,
+				killAt:  want.Events / 2,
+				leaveAt: 2 * want.Events / 3,
+				join:    h.Join,
+				kill:    h.Kill,
+				leave:   h.Leave,
+			}
+			got := avroraReplay(t, wrapped)
+
+			if d := gotV.diff(&wantV); d != "" {
+				t.Error(d)
+			}
+			if got.PeakLive <= 0 {
+				t.Errorf("PeakLive = %d, want positive", got.PeakLive)
+			}
+			want.PeakLive, got.PeakLive = 0, 0
+			if got != want {
+				t.Errorf("settled counters diverge:\n  got  %+v\n  want %+v", got, want)
+			}
+			if gc != monitor.GCNone && got.Collected == 0 {
+				t.Error("no monitor collected over the avrora trace")
+			}
+		})
+	}
+}

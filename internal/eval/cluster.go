@@ -1,0 +1,188 @@
+package eval
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"rvgo/internal/cluster"
+	"rvgo/internal/dacapo"
+	"rvgo/internal/heap"
+	"rvgo/internal/monitor"
+	"rvgo/internal/remote"
+	"rvgo/internal/server"
+)
+
+// ClusterConfig controls the cluster comparison tier.
+type ClusterConfig struct {
+	// Scale is the workload scale of the recorded trace (default 0.05).
+	Scale float64
+	// Bench is the DaCapo profile (default avrora — its iterator churn
+	// spreads slices across many pivots, so the hash actually fans out).
+	Bench string
+	// Prop is the monitored property (default UnsafeIter).
+	Prop string
+	// Nodes is the in-process rvserve node count (default 4).
+	Nodes int
+}
+
+// ClusterReport is the cluster tier of a result grid: the same recorded
+// multi-pivot workload monitored once through a single remote session and
+// once through a pivot-hashed cluster session over N in-process rvserve
+// nodes, with the cluster's settled counters and verdict count verified
+// against the single-node run (PeakLive excluded — per-slot peaks are
+// sampled on independent maintenance clocks and do not sum comparably).
+type ClusterReport struct {
+	Bench string
+	Prop  string
+	Nodes int
+	// Events is the per-run monitored event count (identical by
+	// construction: both runs replay the same recorded trace).
+	Events uint64
+	// Verdicts is the goal-verdict count, identical across runs when
+	// Identical holds.
+	Verdicts uint64
+	// SingleSec/SingleRate measure the single remote session.
+	SingleSec  float64
+	SingleRate float64
+	// ClusterSec/ClusterRate measure the N-node cluster session.
+	ClusterSec  float64
+	ClusterRate float64
+	// Speedup is SingleSec / ClusterSec (>1: the cluster was faster; on a
+	// single-core host expect ≈1 or below — the tier is a correctness and
+	// plumbing gate first, a scaling measurement second).
+	Speedup float64
+	// Identical reports whether the cluster run's settled counters
+	// (PeakLive excluded) and verdict count matched the single-node run.
+	Identical bool
+}
+
+// clusterNodes starts n in-process rvserve nodes on loopback listeners
+// and returns their addresses plus a shutdown func.
+func clusterNodes(n int) ([]string, func(), error) {
+	addrs := make([]string, 0, n)
+	var stops []func()
+	stop := func() {
+		for _, s := range stops {
+			s()
+		}
+	}
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		srv := server.New(server.Options{})
+		go srv.Serve(l)
+		addrs = append(addrs, l.Addr().String())
+		stops = append(stops, func() { srv.Shutdown(time.Second) })
+	}
+	return addrs, stop, nil
+}
+
+// replayThrough drives the recorded workload through one monitoring
+// runtime (heap deaths forwarded as protocol frees) and returns the wall
+// time and settled stats.
+func replayThrough(tr *dacapo.Trace, prop string, rt monitor.Runtime) (float64, monitor.Stats, error) {
+	sink, err := dacapo.Adapt(prop, rt)
+	if err != nil {
+		return 0, monitor.Stats{}, err
+	}
+	h := heap.New()
+	h.SetFreeHook(func(o *heap.Object) { rt.Free(o) })
+	start := time.Now()
+	tr.Replay(h, sink, nil)
+	rt.Flush()
+	sec := time.Since(start).Seconds()
+	return sec, rt.Stats(), nil
+}
+
+// RunCluster runs the cluster comparison tier: it records the workload
+// once, monitors it through a single remote session against one node,
+// then through a pivot-hashed cluster session across all nodes, and
+// verifies the two runs settle identically.
+func RunCluster(cfg ClusterConfig) (*ClusterReport, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.05
+	}
+	if cfg.Bench == "" {
+		cfg.Bench = "avrora"
+	}
+	if cfg.Prop == "" {
+		cfg.Prop = "UnsafeIter"
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 4
+	}
+	p, ok := dacapo.Get(cfg.Bench)
+	if !ok {
+		return nil, fmt.Errorf("eval: unknown benchmark %q", cfg.Bench)
+	}
+	tr, err := p.Record(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	addrs, stop, err := clusterNodes(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+
+	rep := &ClusterReport{Bench: cfg.Bench, Prop: cfg.Prop, Nodes: cfg.Nodes}
+
+	var singleVerdicts uint64
+	single, err := remote.Dial(addrs[0], remote.Options{
+		Prop:      cfg.Prop,
+		GC:        monitor.GCCoenable,
+		Creation:  monitor.CreateEnable,
+		Shards:    1,
+		OnVerdict: func(monitor.Verdict) { singleVerdicts++ },
+	})
+	if err != nil {
+		return nil, err
+	}
+	singleSec, singleStats, err := replayThrough(tr, cfg.Prop, single)
+	single.Close()
+	if err != nil {
+		return nil, err
+	}
+	if err := single.Err(); err != nil {
+		return nil, fmt.Errorf("single-node session: %w", err)
+	}
+
+	var clusterVerdicts uint64
+	clu, err := cluster.Open(cluster.Options{
+		Prop:      cfg.Prop,
+		GC:        monitor.GCCoenable,
+		Creation:  monitor.CreateEnable,
+		Nodes:     addrs,
+		OnVerdict: func(monitor.Verdict) { clusterVerdicts++ },
+	})
+	if err != nil {
+		return nil, err
+	}
+	clusterSec, clusterStats, err := replayThrough(tr, cfg.Prop, clu)
+	clu.Close()
+	if err != nil {
+		return nil, err
+	}
+	if err := clu.Err(); err != nil {
+		return nil, fmt.Errorf("cluster session: %w", err)
+	}
+
+	rep.Events = singleStats.Events
+	rep.Verdicts = singleVerdicts
+	rep.SingleSec = singleSec
+	rep.ClusterSec = clusterSec
+	if singleSec > 0 {
+		rep.SingleRate = float64(singleStats.Events) / singleSec
+	}
+	if clusterSec > 0 {
+		rep.ClusterRate = float64(clusterStats.Events) / clusterSec
+		rep.Speedup = singleSec / clusterSec
+	}
+	singleStats.PeakLive, clusterStats.PeakLive = 0, 0
+	rep.Identical = singleStats == clusterStats && singleVerdicts == clusterVerdicts
+	return rep, nil
+}

@@ -1,0 +1,60 @@
+package eval_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"rvgo/internal/eval"
+	"rvgo/internal/server"
+)
+
+// TestRunCluster: the cluster comparison tier runs end to end at tiny
+// scale and settles identically to the single-node session. Exact
+// verdict-stream equivalence (including mid-trace membership changes) is
+// covered by internal/cluster's oracle tests; this pins the harness
+// plumbing and the report shape.
+func TestRunCluster(t *testing.T) {
+	cr, err := eval.RunCluster(eval.ClusterConfig{Scale: 0.05, Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Identical {
+		t.Fatalf("cluster run diverged from single-node: %+v", cr)
+	}
+	if cr.Events == 0 {
+		t.Fatalf("no monitoring activity: %+v", cr)
+	}
+	if cr.Nodes != 3 || cr.SingleSec <= 0 || cr.ClusterSec <= 0 || cr.Speedup <= 0 {
+		t.Fatalf("report shape off: %+v", cr)
+	}
+}
+
+// TestRunCellCluster: a grid cell placed on a cluster backend
+// (Config.Nodes) runs end to end with sane counters.
+func TestRunCellCluster(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(server.Options{})
+		go srv.Serve(l)
+		defer srv.Shutdown(time.Second)
+		addrs = append(addrs, l.Addr().String())
+	}
+	cfg := smallConfig()
+	cfg.Nodes = addrs
+	base, err := eval.RunBaseline("avrora", cfg.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := eval.RunCell("avrora", "UnsafeIter", eval.SysRV, base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Stats.Events == 0 || cell.Stats.Created == 0 || cell.Stats.Collected == 0 {
+		t.Fatalf("cluster cell saw no monitoring activity: %+v", cell.Stats)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rvgo/internal/cliutil"
+	"rvgo/internal/cluster"
 	"rvgo/internal/dacapo"
 	"rvgo/internal/heap"
 	"rvgo/internal/monitor"
@@ -46,6 +47,12 @@ type Config struct {
 	// as protocol-level free messages. Shards then selects the backend on
 	// the server side, per session.
 	Remote string
+	// Nodes, when non-empty, lists the rvserve node addresses of a
+	// monitoring cluster: the RV and MOP cells run as one logical session
+	// each, spread across the nodes by pivot hash (rvgo.WithCluster's
+	// backend). Mutually exclusive with Remote; Shards must stay 0 or 1 —
+	// the cluster's per-node sessions are sequential.
+	Nodes []string `json:",omitempty"`
 }
 
 // DefaultConfig returns the full Figure 9/10 grid at a CI-friendly scale.
@@ -98,6 +105,11 @@ type Results struct {
 	// quantiles are reported only. Baselines archived before the section
 	// existed are not gated.
 	Metrics *MetricsReport `json:",omitempty"`
+	// Cluster, when present, is the cluster comparison tier: the same
+	// recorded workload monitored through a single remote session and a
+	// pivot-hashed multi-node cluster session, verified to settle
+	// identically (see RunCluster; rvbench -cluster produces it).
+	Cluster *ClusterReport `json:",omitempty"`
 }
 
 // memSampler tracks peak heap usage on a fixed cadence.
@@ -183,12 +195,21 @@ func RunBaseline(bench string, scale float64) (Baseline, error) {
 }
 
 // newEngine builds the RV/MOP monitoring backend: the sequential engine,
-// the sharded runtime when cfg.Shards > 1, or a remote session against
-// cfg.Remote when set.
+// the sharded runtime when cfg.Shards > 1, a remote session against
+// cfg.Remote when set, or a pivot-hashed cluster session across cfg.Nodes
+// when set.
 func newEngine(spec *monitor.Spec, prop string, gc monitor.GCPolicy, cfg Config) (monitor.Runtime, error) {
 	shards := cfg.Shards
 	if shards == 0 {
 		shards = 1
+	}
+	if len(cfg.Nodes) > 0 {
+		return cluster.Open(cluster.Options{
+			Prop:     prop,
+			GC:       gc,
+			Creation: monitor.CreateEnable,
+			Nodes:    cfg.Nodes,
+		})
 	}
 	if cfg.Remote != "" {
 		return remote.Dial(cfg.Remote, remote.Options{
@@ -221,7 +242,7 @@ func sessionErr(eng monitor.Runtime) error {
 // barriers its mailboxes, and a remote session sends a protocol-level
 // free that the server barriers against.
 func setFreeHook(rt *dacapo.Runtime, engines []monitor.Runtime, cfg Config) {
-	if cfg.Remote == "" && cfg.Shards <= 1 {
+	if cfg.Remote == "" && len(cfg.Nodes) == 0 && cfg.Shards <= 1 {
 		return
 	}
 	rt.Heap.SetFreeHook(func(o *heap.Object) {

@@ -141,6 +141,36 @@ func NewTraceSeries(r *Registry, writer string) *TraceSeries {
 	}
 }
 
+// ClusterSeries is the router-tier telemetry for one tenant: event
+// routing shape, handoff activity, and downstream flow control of the
+// pivot-hashed cluster fanout (internal/cluster).
+type ClusterSeries struct {
+	Events         *Counter // events routed to a single pivot-owned slot
+	Broadcasts     *Counter // events broadcast to every slot (no pivot bound)
+	Frees          *Counter // free rendezvous broadcast to every slot
+	Verdicts       *Counter // verdicts merged back upstream
+	Handoffs       *Counter // slot moves completed (join, leave, crash)
+	HandoffRecords *Counter // journal records replayed during handoffs
+	CreditStalls   *Counter // dispatches that blocked on an empty slot window
+	Nodes          *Gauge   // healthy downstream nodes
+	Slots          *Gauge   // slots (virtual shards) in the fanout
+}
+
+// NewClusterSeries interns the cluster families for one tenant.
+func NewClusterSeries(r *Registry, tenant string) *ClusterSeries {
+	return &ClusterSeries{
+		Events:         r.LabeledCounter("rv_cluster_events_total", "Events routed to their pivot-owned slot.", "tenant", tenant),
+		Broadcasts:     r.LabeledCounter("rv_cluster_broadcasts_total", "Events broadcast to every slot.", "tenant", tenant),
+		Frees:          r.LabeledCounter("rv_cluster_frees_total", "Free rendezvous broadcast to every slot.", "tenant", tenant),
+		Verdicts:       r.LabeledCounter("rv_cluster_verdicts_total", "Verdicts merged back to the upstream session.", "tenant", tenant),
+		Handoffs:       r.LabeledCounter("rv_cluster_handoffs_total", "Slot handoffs completed between nodes.", "tenant", tenant),
+		HandoffRecords: r.LabeledCounter("rv_cluster_handoff_records_total", "Journal records replayed during slot handoffs.", "tenant", tenant),
+		CreditStalls:   r.LabeledCounter("rv_cluster_credit_stalls_total", "Dispatches blocked on an exhausted slot credit window.", "tenant", tenant),
+		Nodes:          r.LabeledGauge("rv_cluster_nodes", "Healthy downstream nodes serving this tenant.", "tenant", tenant),
+		Slots:          r.LabeledGauge("rv_cluster_slots", "Slots (virtual shards) in the tenant's fanout.", "tenant", tenant),
+	}
+}
+
 // ClientSeries is the façade-side telemetry for a remote-backed Monitor,
 // counting traffic as it crosses into the client runtime (the engine —
 // and its EngineSeries — lives server-side).

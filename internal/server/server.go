@@ -248,6 +248,18 @@ type session struct {
 	window  int
 	ungrant int // events accepted since the last credit grant
 
+	// Node mode (cluster tier): a router marks the session with a
+	// NodeHello before the ordinary Hello, which authorizes the handoff
+	// frames. vskip is the number of verdict forwards still to suppress
+	// inside a handoff bracket — the replayed journal regenerates verdicts
+	// the upstream client already received, and the engine must count them
+	// (its settled counters are checked against the donor's) without the
+	// router delivering them twice.
+	node       bool
+	nodeRouter uint64
+	nodeSlot   uint64
+	vskip      atomic.Int64
+
 	// Telemetry. tenant/met/opened are written during the handshake and
 	// published by ready.Store(true); the /statusz scraper reads them only
 	// after a positive ready.Load(), and reads the counters below with
@@ -275,6 +287,16 @@ func (s *session) run() {
 	if err := r.Next(&msg); err != nil {
 		s.srv.logf("session %d: reading hello: %v", s.id, err)
 		return
+	}
+	if msg.Type == wire.TNodeHello {
+		// A cluster router owns this session: remember the marker (it
+		// authorizes the handoff frames) and read the ordinary Hello next.
+		s.node = true
+		s.nodeRouter, s.nodeSlot = msg.NodeHello.Router, msg.NodeHello.Slot
+		if err := r.Next(&msg); err != nil {
+			s.srv.logf("session %d: reading hello: %v", s.id, err)
+			return
+		}
 	}
 	if msg.Type != wire.THello {
 		s.fail("expected Hello, got message type %d", msg.Type)
@@ -352,6 +374,27 @@ func (s *session) handle(msg *wire.Msg) (stop bool, err error) {
 		s.writeLocked(func() error { return s.w.WriteByeAck(wire.ByeAck{Stats: toWireStats(0, st)}) })
 		s.srv.logf("session %d: closed after %d events", s.id, s.events.Load())
 		return true, nil
+	case wire.THandoffBegin:
+		if !s.node {
+			return false, fmt.Errorf("HandoffBegin on a session without a NodeHello")
+		}
+		s.vskip.Store(int64(msg.HandoffBegin.Skip))
+		s.srv.logf("session %d: handoff begin (router %d slot %d, skipping %d verdicts)",
+			s.id, s.nodeRouter, s.nodeSlot, msg.HandoffBegin.Skip)
+	case wire.THandoffEnd:
+		if !s.node {
+			return false, fmt.Errorf("HandoffEnd on a session without a NodeHello")
+		}
+		// Settle the replayed state, stop suppressing (a correct replay
+		// consumed the skip budget exactly; a leftover budget would
+		// silently swallow live verdicts), and ack with the counters the
+		// router verifies against the donor's ByeAck.
+		s.rt.Flush()
+		s.vskip.Store(0)
+		st := s.rt.Stats()
+		token := msg.Sync.Token
+		s.writeLocked(func() error { return s.w.WriteHandoffAck(toWireStats(token, st)) })
+		s.srv.logf("session %d: handoff settled after %d events", s.id, s.events.Load())
 	default:
 		return false, fmt.Errorf("unexpected message type %d", msg.Type)
 	}
@@ -654,6 +697,14 @@ func (s *session) free(ids []uint64) {
 // by the shard runtime's verdict mutex) — never concurrently with itself,
 // which is what lets it reuse the session's verdict-ID scratch.
 func (s *session) onVerdict(v monitor.Verdict) {
+	// Inside a handoff bracket the first vskip verdicts are replays the
+	// upstream client already has; the engine counted them, the wire must
+	// not carry them again. onVerdict invocations are serialized, so the
+	// check-then-decrement pair never races itself.
+	if s.vskip.Load() > 0 {
+		s.vskip.Add(-1)
+		return
+	}
 	s.srv.verdicts.Add(1)
 	s.met.Verdicts.Inc()
 	wv := wire.Verdict{Sym: v.Sym, Cat: string(v.Cat), Mask: uint64(v.Inst.Mask())}

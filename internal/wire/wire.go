@@ -36,6 +36,40 @@
 // queue. Free, Barrier, Flush, StatsReq and Bye are credit-exempt: a
 // death or a drain must never be blocked behind the window it is meant to
 // help clear.
+//
+// # Cluster sessions
+//
+// A cluster router (internal/cluster) terminates ordinary sessions from
+// clients and opens one downstream session per slot (virtual shard) on the
+// rvserve nodes it manages. Three rules extend the protocol there:
+//
+//   - Node sessions are marked: the router sends a NodeHello frame before
+//     the ordinary Hello. Only sessions so marked may use the handoff
+//     frames below; on any other session they are a protocol error.
+//
+//   - Broadcast credit is all-or-nothing. An event that does not bind the
+//     pivot parameter must reach every slot, and the router writes it to
+//     none of them until it holds one event credit from each. A single
+//     slot with an empty window therefore withholds the whole broadcast —
+//     and, because the router's ingest stalls, withholds the upstream
+//     client's credit end-to-end. This mirrors the in-process sharded
+//     runtime, whose TryDispatch refuses a broadcast unless every shard
+//     mailbox has room; partial acceptance would let slots observe
+//     different event prefixes at a barrier. See the all-or-nothing
+//     broadcast test in internal/cluster.
+//
+//   - Handoff is journal replay. Moving a slot to another node opens a
+//     fresh marked session there and replays the slot's event/free journal
+//     between HandoffBegin and HandoffEnd. The engine's step and creation
+//     decisions are a pure function of the per-slice sequence, so the
+//     replay reconstructs the donor's monitor state and counters exactly.
+//     HandoffBegin carries Skip, the number of verdicts the upstream
+//     client already received from the donor: the node suppresses that
+//     many verdict forwards (the engine still counts them), then forwards
+//     the rest — which after a crash is precisely the tail the dead donor
+//     never delivered. HandoffEnd flushes the backend and is acknowledged
+//     by HandoffAck with the settled counters, which the router checks
+//     against the donor's ByeAck on a graceful move.
 package wire
 
 import (
@@ -72,6 +106,13 @@ const (
 	TError      byte = 13 // s→c: fatal session error (connection closes)
 	TBye        byte = 14 // c→s: orderly shutdown
 	TByeAck     byte = 15 // s→c: final stats, session closed
+
+	// Cluster-tier types (see "Cluster sessions" above). All four are
+	// valid only on router↔node links.
+	TNodeHello    byte = 16 // r→n: mark a router-owned slot session (precedes Hello)
+	THandoffBegin byte = 17 // r→n: slot journal replay follows; suppress Skip verdict forwards
+	THandoffEnd   byte = 18 // r→n: replay complete; flush and ack with settled stats
+	THandoffAck   byte = 19 // n→r: handoff settled, counters attached
 )
 
 // SpecKind says how Hello.Spec is to be interpreted.
@@ -179,6 +220,24 @@ type ByeAck struct {
 	Stats Stats
 }
 
+// NodeHello marks a session as router-owned, naming the router instance
+// and the slot (virtual shard) whose slices the session will carry. It is
+// sent before the ordinary Hello and is what authorizes the handoff
+// frames on this session.
+type NodeHello struct {
+	Router uint64
+	Slot   uint64
+}
+
+// HandoffBegin opens a slot-handoff bracket: the frames that follow, up
+// to HandoffEnd, replay the slot's journal. Skip is the number of verdicts
+// the upstream client already received from the slot's previous owner; the
+// node suppresses that many verdict forwards (its engine still counts
+// them) and forwards the rest.
+type HandoffBegin struct {
+	Skip uint64
+}
+
 // Writer encodes frames onto a buffered stream. Frames accumulate in the
 // buffer (pipelining) until Flush; the buffer also drains to the
 // connection whenever it fills, so sustained event streams do not require
@@ -273,7 +332,8 @@ func (w *Writer) WriteFree(ids []uint64) error {
 }
 
 // WriteSync encodes one of the token-only frame types (TBarrier,
-// TBarrierAck, TFlush, TFlushAck, TStatsReq, TCredit uses WriteCredit).
+// TBarrierAck, TFlush, TFlushAck, TStatsReq, THandoffEnd; TCredit uses
+// WriteCredit).
 func (w *Writer) WriteSync(t byte, token uint64) error {
 	w.frame()
 	w.b(t)
@@ -345,20 +405,48 @@ func (w *Writer) WriteByeAck(a ByeAck) error {
 	return w.emit()
 }
 
+// WriteNodeHello encodes a NodeHello frame.
+func (w *Writer) WriteNodeHello(h NodeHello) error {
+	w.frame()
+	w.b(TNodeHello)
+	w.u(h.Router)
+	w.u(h.Slot)
+	return w.emit()
+}
+
+// WriteHandoffBegin encodes a HandoffBegin frame.
+func (w *Writer) WriteHandoffBegin(h HandoffBegin) error {
+	w.frame()
+	w.b(THandoffBegin)
+	w.u(h.Skip)
+	return w.emit()
+}
+
+// WriteHandoffAck encodes a HandoffAck frame (the settled counters of a
+// completed handoff; Token echoes the HandoffEnd's).
+func (w *Writer) WriteHandoffAck(s Stats) error {
+	w.frame()
+	w.b(THandoffAck)
+	w.writeStatsBody(s)
+	return w.emit()
+}
+
 // Msg is one decoded frame: Type plus the fields of the matching struct.
 // A single sum type keeps the hot read loop allocation-light (the decoder
 // reuses one Msg and its ID slice across frames when the caller permits).
 type Msg struct {
-	Type     byte
-	Hello    Hello
-	HelloAck HelloAck
-	Event    Event
-	Free     Free
-	Sync     Sync
-	Stats    Stats
-	Verdict  Verdict
-	Credit   Credit
-	Error    Error
+	Type         byte
+	Hello        Hello
+	HelloAck     HelloAck
+	Event        Event
+	Free         Free
+	Sync         Sync
+	Stats        Stats
+	Verdict      Verdict
+	Credit       Credit
+	Error        Error
+	NodeHello    NodeHello
+	HandoffBegin HandoffBegin
 }
 
 // Reader decodes frames from a buffered stream.
@@ -478,6 +566,23 @@ func (r *Reader) Next(msg *Msg) error {
 			return r.decodeStats(&msg.Stats)
 		}
 		return nil
+	case TNodeHello:
+		var err error
+		if msg.NodeHello.Router, err = r.ru(); err != nil {
+			return err
+		}
+		msg.NodeHello.Slot, err = r.ru()
+		return err
+	case THandoffBegin:
+		skip, err := r.ru()
+		msg.HandoffBegin.Skip = skip
+		return err
+	case THandoffEnd:
+		tok, err := r.ru()
+		msg.Sync.Token = tok
+		return err
+	case THandoffAck:
+		return r.decodeStats(&msg.Stats)
 	default:
 		return fmt.Errorf("wire: unknown message type %d", t)
 	}

@@ -38,6 +38,11 @@ func encodeAll(t testing.TB) ([]byte, []Msg) {
 		{Type: TError, Error: Error{Msg: "unknown property \"Nope\""}},
 		{Type: TBye},
 		{Type: TByeAck, Stats: Stats{Events: 8, Created: 2, Live: 1, PeakLive: 2}},
+		{Type: TNodeHello, NodeHello: NodeHello{Router: 3, Slot: 11}},
+		{Type: THandoffBegin, HandoffBegin: HandoffBegin{Skip: 17}},
+		{Type: THandoffBegin},
+		{Type: THandoffEnd, Sync: Sync{Token: 5}},
+		{Type: THandoffAck, Stats: Stats{Token: 5, Events: 120, Created: 9, Collected: 4, Steps: 240, Live: 5, PeakLive: 9}},
 	}
 	for _, m := range want {
 		var err error
@@ -50,7 +55,7 @@ func encodeAll(t testing.TB) ([]byte, []Msg) {
 			err = w.WriteEvent(m.Event.Sym, m.Event.IDs)
 		case TFree:
 			err = w.WriteFree(m.Free.IDs)
-		case TBarrier, TBarrierAck, TFlush, TFlushAck, TStatsReq:
+		case TBarrier, TBarrierAck, TFlush, TFlushAck, TStatsReq, THandoffEnd:
 			err = w.WriteSync(m.Type, m.Sync.Token)
 		case TStats:
 			err = w.WriteStats(m.Stats)
@@ -64,6 +69,12 @@ func encodeAll(t testing.TB) ([]byte, []Msg) {
 			err = w.WriteBye()
 		case TByeAck:
 			err = w.WriteByeAck(ByeAck{Stats: m.Stats})
+		case TNodeHello:
+			err = w.WriteNodeHello(m.NodeHello)
+		case THandoffBegin:
+			err = w.WriteHandoffBegin(m.HandoffBegin)
+		case THandoffAck:
+			err = w.WriteHandoffAck(m.Stats)
 		}
 		if err != nil {
 			t.Fatalf("encoding %d: %v", m.Type, err)

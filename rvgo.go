@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 
+	"rvgo/internal/cluster"
 	"rvgo/internal/metrics"
 	"rvgo/internal/monitor"
 	"rvgo/internal/remote"
@@ -23,13 +24,14 @@ import (
 // all backends to the same observable behavior.
 //
 // Concurrency: with the sequential backend (the default) a Monitor is
-// single-threaded. With WithShards(n > 1) or WithRemote, Emit, EmitNamed,
-// Dispatch, Emitter.Emit, Free, FreeAsync, Barrier, Flush and Stats are
-// safe for concurrent use.
+// single-threaded. With WithShards(n > 1), WithRemote or WithCluster,
+// Emit, EmitNamed, Dispatch, Emitter.Emit, Free, FreeAsync, Barrier,
+// Flush and Stats are safe for concurrent use.
 type Monitor struct {
 	rt     monitor.Runtime
 	sp     *spec.Spec
 	rem    *remote.Client
+	clu    *cluster.Client
 	tp     *tap            // non-nil with WithRecord/WithFlightRecorder/remote WithMetrics
 	flight *flightRecorder // non-nil with WithFlightRecorder
 	met    *Metrics        // non-nil with WithMetrics
@@ -47,6 +49,9 @@ type config struct {
 	depth      int
 	remoteAddr string
 	remoteConn net.Conn
+	nodes      []string
+	hashSeed   uint64
+	hasSeed    bool
 	window     int
 	handler    func(Verdict)
 	streamBuf  int
@@ -151,6 +156,45 @@ func WithRemoteConn(conn net.Conn) Option {
 			return errors.New("rvgo: WithRemoteConn: nil connection")
 		}
 		c.remoteConn = conn
+		return nil
+	}
+}
+
+// WithCluster monitors across a cluster of monitoring servers: the
+// Monitor becomes one logical session whose slices are spread over the
+// given rvserve nodes by consistent-hashing the property's pivot
+// parameter. Everything WithRemote requires applies (transferable spec
+// provenance, explicit Free/FreeAsync deaths); additionally the session
+// must use enable-set creation — the guarantee that every monitor binds
+// the pivot is what makes the slice placement sound. Events that do not
+// bind the pivot broadcast to every node under an all-or-nothing credit
+// discipline, nodes may join and leave mid-run (see Monitor.Nodes), and a
+// node crash re-homes its slices onto the survivors by deterministic
+// journal replay, preserving exact verdict and counter semantics.
+// WithCluster(addr) with a single node is equivalent in observable
+// behavior to WithRemote(addr).
+func WithCluster(addrs ...string) Option {
+	return func(c *config) error {
+		if len(addrs) == 0 {
+			return errors.New("rvgo: WithCluster: no node addresses")
+		}
+		for _, a := range addrs {
+			if a == "" {
+				return errors.New("rvgo: WithCluster: empty node address")
+			}
+		}
+		c.nodes = append([]string(nil), addrs...)
+		return nil
+	}
+}
+
+// WithHashSeed perturbs the cluster's pivot→slot and slot→node hashes.
+// Sessions that must agree on slice placement should share a seed; a
+// single session can leave it unset. Cluster sessions only.
+func WithHashSeed(seed uint64) Option {
+	return func(c *config) error {
+		c.hashSeed = seed
+		c.hasSeed = true
 		return nil
 	}
 }
@@ -274,17 +318,28 @@ func New(s *spec.Spec, opts ...Option) (*Monitor, error) {
 		}
 	}
 	remote := cfg.remoteAddr != "" || cfg.remoteConn != nil
+	clustered := len(cfg.nodes) > 0
+	networked := remote || clustered
 	if cfg.remoteAddr != "" && cfg.remoteConn != nil {
 		return fail(errors.New("rvgo: WithRemote and WithRemoteConn are mutually exclusive"))
 	}
-	if cfg.window != 0 && !remote {
-		return fail(errors.New("rvgo: WithWindow applies only to remote sessions"))
+	if clustered && remote {
+		return fail(errors.New("rvgo: WithCluster and WithRemote/WithRemoteConn are mutually exclusive"))
 	}
-	if (cfg.batch != 0 || cfg.depth != 0) && (remote || cfg.shards <= 1) {
+	if cfg.hasSeed && !clustered {
+		return fail(errors.New("rvgo: WithHashSeed applies only to cluster sessions (WithCluster)"))
+	}
+	if clustered && cfg.shards != 0 {
+		return fail(errors.New("rvgo: WithShards does not apply to cluster sessions: the cluster already shards by pivot across nodes, and its per-node sessions must stay sequential"))
+	}
+	if cfg.window != 0 && !networked {
+		return fail(errors.New("rvgo: WithWindow applies only to remote and cluster sessions"))
+	}
+	if (cfg.batch != 0 || cfg.depth != 0) && (networked || cfg.shards <= 1) {
 		return fail(errors.New("rvgo: WithBatch requires a local sharded backend (WithShards(n > 1))"))
 	}
-	if cfg.sweep != 0 && remote {
-		return fail(errors.New("rvgo: WithSweepInterval is not supported for remote sessions"))
+	if cfg.sweep != 0 && networked {
+		return fail(errors.New("rvgo: WithSweepInterval is not supported for remote or cluster sessions"))
 	}
 
 	m := &Monitor{sp: s}
@@ -320,7 +375,7 @@ func New(s *spec.Spec, opts ...Option) (*Monitor, error) {
 	// local registry carries rv_client_* totals instead, counted at the tap.
 	var cli *metrics.ClientSeries
 	switch {
-	case remote:
+	case networked:
 		if cfg.met != nil {
 			cli = metrics.NewClientSeries(cfg.met.reg, s.Name())
 			cs, user := cli, handler
@@ -330,6 +385,14 @@ func New(s *spec.Spec, opts ...Option) (*Monitor, error) {
 					user(v)
 				}
 			}
+		}
+		if clustered {
+			cl, err := m.dialCluster(cfg, handler)
+			if err != nil {
+				return fail(err)
+			}
+			m.rt, m.clu = cl, cl
+			break
 		}
 		cl, err := m.dialRemote(cfg, handler)
 		if err != nil {
@@ -429,6 +492,33 @@ func (m *Monitor) dialRemote(cfg config, handler func(Verdict)) (*remote.Client,
 	return remote.Dial(cfg.remoteAddr, ropts)
 }
 
+func (m *Monitor) dialCluster(cfg config, handler func(Verdict)) (*cluster.Client, error) {
+	kind, ref, ok := m.sp.Source()
+	if !ok {
+		return nil, fmt.Errorf("rvgo: property %q cannot back a cluster session: the nodes need transferable provenance (build the spec with spec.Builtin or from .rv source)", m.sp.Name())
+	}
+	copts := cluster.Options{
+		GC:        cfg.gc,
+		Creation:  cfg.creation,
+		Nodes:     cfg.nodes,
+		Seed:      cfg.hashSeed,
+		Window:    cfg.window,
+		OnVerdict: handler,
+	}
+	if cfg.met != nil {
+		copts.Metrics = metrics.NewClusterSeries(cfg.met.reg, m.sp.Name())
+	}
+	switch kind {
+	case spec.SourceBuiltin:
+		copts.Prop = ref
+	case spec.SourceFile:
+		copts.SpecSource = ref
+	default:
+		return nil, fmt.Errorf("rvgo: unknown spec provenance %q", kind)
+	}
+	return cluster.Open(copts)
+}
+
 var _ monitor.Runtime = (*Monitor)(nil)
 
 // Property returns the specification being monitored.
@@ -486,14 +576,63 @@ func (m *Monitor) Stats() Stats { return m.rt.Stats() }
 // or nil. The channel is closed by Close.
 func (m *Monitor) Verdicts() <-chan Verdict { return m.verdicts }
 
-// Err returns the Monitor's sticky error: for a remote Monitor the
-// session error — connection loss, a server error, a protocol violation —
+// NodeInfo describes one member of a cluster Monitor's node set.
+type NodeInfo struct {
+	// Addr is the node address as given to WithCluster or AddNode.
+	Addr string
+	// Slots is the number of slots (virtual shards) whose live session the
+	// node currently hosts.
+	Slots int
+}
+
+// Nodes reports a cluster Monitor's membership and per-node slot
+// placement. For non-cluster backends it returns nil.
+func (m *Monitor) Nodes() []NodeInfo {
+	if m.clu == nil {
+		return nil
+	}
+	ns := m.clu.Nodes()
+	out := make([]NodeInfo, len(ns))
+	for i, n := range ns {
+		out[i] = NodeInfo{Addr: n.Addr, Slots: n.Slots}
+	}
+	return out
+}
+
+// AddNode admits a node to a cluster Monitor's membership; the slots the
+// consistent-hash assignment places on it migrate over gracefully while
+// monitoring continues. Cluster sessions only.
+func (m *Monitor) AddNode(addr string) error {
+	if m.clu == nil {
+		return errors.New("rvgo: AddNode applies only to cluster sessions (WithCluster)")
+	}
+	return m.clu.AddNode(addr)
+}
+
+// RemoveNode gracefully drains a node out of a cluster Monitor's
+// membership, migrating its slots to the remaining nodes. Cluster
+// sessions only; the last node cannot be removed.
+func (m *Monitor) RemoveNode(addr string) error {
+	if m.clu == nil {
+		return errors.New("rvgo: RemoveNode applies only to cluster sessions (WithCluster)")
+	}
+	return m.clu.RemoveNode(addr)
+}
+
+// Err returns the Monitor's sticky error: for a remote or cluster Monitor
+// the session error — connection loss, a server error, a protocol
+// violation, total node loss —
 // after which the event methods degrade to no-ops; for a recording
 // Monitor (WithRecord) the first trace-write failure, after which
 // monitoring continues but the trace is incomplete. Otherwise nil.
 func (m *Monitor) Err() error {
 	if m.rem != nil {
 		if err := m.rem.Err(); err != nil {
+			return err
+		}
+	}
+	if m.clu != nil {
+		if err := m.clu.Err(); err != nil {
 			return err
 		}
 	}
