@@ -70,6 +70,25 @@ const (
 	CreateFull = monitor.CreateFull
 )
 
+// AvoidMode selects the creation-avoidance mode (see WithAvoidance).
+type AvoidMode = monitor.AvoidMode
+
+const (
+	// AvoidOff disables the creation-avoidance guards. The default.
+	AvoidOff = monitor.AvoidOff
+	// AvoidAudit evaluates the guards and counts would-be-suppressed
+	// creations in Stats.Avoided, but still materializes every monitor.
+	AvoidAudit = monitor.AvoidAudit
+	// AvoidEnforce suppresses guarded creations; per-slice verdicts stay
+	// bit-identical to the unguarded engine.
+	AvoidEnforce = monitor.AvoidEnforce
+)
+
+// CreationProfile accumulates per-creation-site statistics during a run
+// (see WithCreationProfile); its Guards method synthesizes a profile-guard
+// vector for WithProfileGuards.
+type CreationProfile = monitor.CreationProfile
+
 // Heap is the deterministic simulated heap: monitored objects are
 // allocated with Alloc and die when the workload calls Free, which is the
 // death signal driving monitor GC. Use it for traces and tests; monitor

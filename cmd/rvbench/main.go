@@ -7,8 +7,8 @@
 //	rvbench [-table fig9a|fig9b|fig10|retained|micro|metrics|all] [-scale 0.1]
 //	        [-timeout 60s] [-bench bloat,pmd,...] [-prop HasNext,...]
 //	        [-backend seq|shard|remote|cluster] [-shards N] [-remote addr]
-//	        [-nodes a:7472,b:7472] [-live] [-retro]
-//	        [-cluster -min-speedup X] [-json] [-out run.json]
+//	        [-nodes a:7472,b:7472] [-guard off|audit|enforce] [-live] [-retro]
+//	        [-avoid] [-cluster -min-speedup X] [-json] [-out run.json]
 //	        [-compare BENCH_X.json -tolerance T] [-v]
 //
 // -backend selects where the RV and MOP cells run: the sequential engine
@@ -33,6 +33,14 @@
 // settled counters verified bit-identical to the online run. Its JSON
 // (the grid's Retro section) is archived by the bench CI job like any
 // other run.
+// -avoid runs the creation-avoidance tier instead: one monitored workload
+// recorded to the trace store and replayed under every creation-guard
+// configuration — static guards in audit and enforce modes under both
+// creation strategies, plus the profile-guided mode fed by the recorded
+// trace's per-creation-site statistics — with the suppression contract
+// (verdicts preserved, Created + Avoided == unguarded Created) verified
+// on every leg. -guard applies the static guards to the DaCapo grid's
+// RV/MOP cells themselves (any backend; audit is bit-identical).
 // -cluster runs the cluster comparison tier instead: the same recorded
 // multi-pivot workload monitored through a single remote session and a
 // pivot-hashed cluster session over four in-process rvserve nodes, with
@@ -76,6 +84,8 @@ func main() {
 		minSpeed = flag.Float64("min-speedup", 0, "with -cluster: fail unless cluster/single speedup reaches this (0 = report only)")
 		live     = flag.Bool("live", false, "run the live-object ingestion experiment (rv frontend, real Go GC)")
 		retro    = flag.Bool("retro", false, "run the retroactive-monitoring tier (record, replay, verify identity)")
+		avoid    = flag.Bool("avoid", false, "run the creation-avoidance tier (record, replay under every guard configuration, verify the suppression contract)")
+		guard    = flag.String("guard", "off", "creation-guard mode for the grid's RV/MOP cells: off, audit, enforce")
 		jsonOut  = flag.Bool("json", false, "emit the result grid as JSON instead of tables")
 		outPath  = flag.String("out", "", "also write the current run's JSON to this file (works with -compare; CI uploads it as an artifact)")
 		compare  = flag.String("compare", "", "baseline JSON (from -json): rerun its config and fail on regressions")
@@ -88,12 +98,17 @@ func main() {
 	if _, err := cliutil.ParseBackend(*backend, *shards, *remote, nodes); err != nil {
 		fatalf("%v", err)
 	}
+	guardMode, err := cliutil.ParseAvoid(*guard)
+	if err != nil {
+		fatalf("-guard: %v", err)
+	}
 	cfg := eval.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Timeout = *timeout
 	cfg.Shards = *shards
 	cfg.Remote = *remote
 	cfg.Nodes = nodes
+	cfg.Avoid = guardMode
 	if *benchs != "" {
 		cfg.Benchmarks = splitList(*benchs)
 		for _, b := range cfg.Benchmarks {
@@ -147,6 +162,17 @@ func main() {
 			rcfg.Workers = []int{1, *shards}
 		}
 		runRetro(rcfg, cfg, *jsonOut, *outPath)
+		return
+	}
+	if *avoid {
+		acfg := eval.AvoidConfig{Scale: *scale}
+		if len(cfg.Benchmarks) > 0 && *benchs != "" {
+			acfg.Bench = cfg.Benchmarks[0]
+		}
+		if len(cfg.Properties) > 0 && *prs != "" {
+			acfg.Prop = cfg.Properties[0]
+		}
+		runAvoid(acfg, cfg, *jsonOut, *outPath)
 		return
 	}
 
@@ -311,6 +337,55 @@ func runRetro(rcfg eval.RetroConfig, cfg eval.Config, jsonOut bool, outPath stri
 	}
 }
 
+// runAvoid runs the creation-avoidance tier, prints its tables, and
+// archives the result as a grid whose Avoid section carries the
+// measurements. A guarded replay that breaks the suppression contract —
+// or a full-strategy enforce leg whose guard never fires — is a hard
+// failure: the tier exists to show a measurable Created reduction with
+// every verdict preserved.
+func runAvoid(acfg eval.AvoidConfig, cfg eval.Config, jsonOut bool, outPath string) {
+	ar, err := eval.RunAvoid(acfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res := &eval.Results{Config: cfg, Avoid: ar}
+	writeOut(outPath, res)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		fmt.Printf("creation avoidance: %s/%s (%d/%d automaton states doomed; trace %.2f MB, %d segments; see DESIGN.md)\n",
+			ar.Bench, ar.Prop, ar.DoomedStates, ar.TotalStates, ar.TraceMB, ar.Segments)
+		fmt.Printf("%-24s %10s %10s %10s %10s %9s %8s %10s\n",
+			"configuration", "created", "avoided", "peak-live", "verdicts", "cut", "sec", "identical")
+		for _, run := range ar.Runs {
+			cut := "-"
+			if run.Avoid == "enforce" {
+				cut = fmt.Sprintf("%.1f%%", run.CreatedCut*100)
+			}
+			fmt.Printf("%-24s %10d %10d %10d %10d %9s %8.3f %10v\n",
+				run.Label, run.Stats.Created, run.Stats.Avoided, run.Stats.PeakLive,
+				run.Stats.GoalVerdicts, cut, run.Sec, run.Identical)
+		}
+		fmt.Printf("  creation sites (profiled over the recorded trace):\n")
+		fmt.Printf("  %-12s %9s %9s %12s %12s %8s %8s\n",
+			"event", "creation", "static", "created", "restepped", "goaled", "profile")
+		for _, s := range ar.Sites {
+			fmt.Printf("  %-12s %9v %9v %12d %12d %8d %8v\n",
+				s.Event, s.Creation, s.StaticGuard, s.Created, s.Restepped, s.ReachedGoal, s.ProfileGuard)
+		}
+	}
+	if bad := ar.Verify(); len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintf(os.Stderr, "rvbench: %s\n", b)
+		}
+		fatalf("creation-avoidance tier failed verification")
+	}
+}
+
 // runCluster runs the cluster comparison tier, prints its table, and
 // archives the result as a grid whose Cluster section carries the
 // measurements. A cluster run that does not settle identically to the
@@ -365,6 +440,15 @@ func compareBaseline(path string, tol float64, cur eval.Config, outPath string, 
 	res, err := eval.Run(cfg, progress)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	// A baseline carrying the creation-avoidance section reruns that tier
+	// too, at the recorded scale, so Compare can gate the avoided-creation
+	// counters of every guard configuration.
+	if ba := base.Avoid; ba != nil {
+		res.Avoid, err = eval.RunAvoid(eval.AvoidConfig{Scale: ba.Scale, Bench: ba.Bench, Prop: ba.Prop})
+		if err != nil {
+			fatalf("%v", err)
+		}
 	}
 	writeOut(outPath, res)
 	bad := eval.Compare(&base, res, tol)

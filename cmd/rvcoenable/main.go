@@ -1,19 +1,22 @@
 // Command rvcoenable prints the static analyses of the paper's Section 3
 // for a specification: the coenable sets per event, their parameter images
 // (Definition 11), the minimized ALIVENESS boolean formulas evaluated at
-// runtime (§4.2.2), and the enable sets with creation events.
+// runtime (§4.2.2), the enable sets with creation events, and the creation
+// guards of the doomed-monitor analysis (DESIGN.md "Static creation
+// avoidance").
 //
 // With no -spec argument it prints the analysis for the built-in
 // UNSAFEITER property, reproducing the worked example of Section 3.
 //
 // Usage:
 //
-//	rvcoenable [-spec file.rv | -prop UnsafeIter]
+//	rvcoenable [-spec file.rv | -prop UnsafeIter] [-guards]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,6 +27,7 @@ func main() {
 	var (
 		specPath = flag.String("spec", "", "path to an .rv specification")
 		propName = flag.String("prop", "", "name of a built-in property (see -list)")
+		guards   = flag.Bool("guards", false, "print the creation-avoidance report instead of the full analysis")
 		list     = flag.Bool("list", false, "list built-in properties")
 	)
 	flag.Parse()
@@ -32,37 +36,57 @@ func main() {
 		return
 	}
 
-	var specs []*spec.Spec
+	specs, err := resolveSpecs(*specPath, *propName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := writeReport(os.Stdout, specs, *guards); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// resolveSpecs loads the properties to analyze: an .rv file, a named
+// built-in, or the Section 3 worked example.
+func resolveSpecs(specPath, propName string) ([]*spec.Spec, error) {
 	switch {
-	case *specPath != "":
-		src, err := os.ReadFile(*specPath)
+	case specPath != "":
+		src, err := os.ReadFile(specPath)
 		if err != nil {
-			fatalf("%v", err)
+			return nil, err
 		}
-		parsed, err := spec.Parse(string(src))
+		return spec.Parse(string(src))
+	case propName != "":
+		s, err := spec.Builtin(propName)
 		if err != nil {
-			fatalf("%v", err)
+			return nil, err
 		}
-		specs = parsed
-	case *propName != "":
-		s, err := spec.Builtin(*propName)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		specs = append(specs, s)
+		return []*spec.Spec{s}, nil
 	default:
 		s, err := spec.Builtin("UnsafeIter")
 		if err != nil {
-			fatalf("%v", err)
+			return nil, err
 		}
-		specs = append(specs, s)
+		return []*spec.Spec{s}, nil
 	}
+}
 
+// writeReport prints each property's analysis — the full Section 3 report
+// or, with guards set, the creation-avoidance summary alone.
+func writeReport(w io.Writer, specs []*spec.Spec, guards bool) error {
 	for _, s := range specs {
-		if err := s.WriteAnalysis(os.Stdout); err != nil {
-			fatalf("%v", err)
+		if guards {
+			r, err := s.Avoidance(nil)
+			if err != nil {
+				return err
+			}
+			r.Write(w)
+			continue
+		}
+		if err := s.WriteAnalysis(w); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 func fatalf(format string, args ...any) {

@@ -8,7 +8,8 @@
 //
 //	rvquery -trace run.rvt [-prop UnsafeIter | -spec prop.rv]
 //	        [-gc coenable|alldead|none] [-backend seq|shard] [-shards 4]
-//	        [-parallel 0] [-pivots 1,2,3] [-verdicts] [-json]
+//	        [-parallel 0] [-pivots 1,2,3] [-avoid off|audit|enforce]
+//	        [-profile] [-verdicts] [-json]
 //
 // The query property need not be the recorded one: events are matched by
 // name (unknown ones skip), so a trace recorded while monitoring one
@@ -18,6 +19,15 @@
 // and -pivots restricts the replay to the given slices, skipping segments
 // the pivot index proves irrelevant. A trace with a torn tail (crashed
 // recorder) is truncated to its last intact segment and reported.
+//
+// -avoid replays with the creation-avoidance guards on (audit counts
+// would-be-suppressed creations, enforce suppresses them; see DESIGN.md
+// "Static creation avoidance"). -profile collects per-creation-site
+// statistics — monitors created, re-stepped, ever reaching a goal — over
+// a sequential replay and prints the property's avoidance report: the
+// static creation guards side by side with what the recorded trace shows
+// each site actually did. The profile is the input to profile-guided
+// creation avoidance (rvgo.WithProfileGuards, rvbench -avoid).
 package main
 
 import (
@@ -29,7 +39,9 @@ import (
 	"strings"
 	"time"
 
+	"rvgo"
 	"rvgo/internal/cliutil"
+	"rvgo/spec"
 )
 
 func main() {
@@ -42,6 +54,8 @@ func main() {
 		shards    = flag.Int("shards", 1, "worker count for -backend shard")
 		parallel  = flag.Int("parallel", 0, "parallel replay workers (overrides -backend/-shards)")
 		pivots    = flag.String("pivots", "", "comma-separated pivot object IDs to restrict the query to")
+		avoidFl   = flag.String("avoid", "off", "creation-guard mode for the replay: off, audit, enforce")
+		profileFl = flag.Bool("profile", false, "collect per-creation-site statistics and print the avoidance report (sequential replay only)")
 		verdicts  = flag.Bool("verdicts", false, "print each goal verdict")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
 	)
@@ -52,6 +66,10 @@ func main() {
 	gc, err := cliutil.ParseGC(*gcMode)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	avoid, err := cliutil.ParseAvoid(*avoidFl)
+	if err != nil {
+		fatalf("-avoid: %v", err)
 	}
 	bk, err := cliutil.ParseBackend(*backend, *shards, "", nil)
 	if err != nil {
@@ -67,9 +85,24 @@ func main() {
 	if *parallel > 0 {
 		workers = *parallel
 	}
+	// With -profile the property is resolved through the public spec
+	// package, whose compiled form drives the replay: the per-site profile
+	// and the avoidance report must describe the same specification.
+	var fs *spec.Spec
+	var profile *rvgo.CreationProfile
 	sp, err := cliutil.LoadQuerySpec(*prop, *specFile)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *profileFl {
+		if workers > 1 {
+			fatalf("-profile: per-site profiling requires sequential replay (drop -parallel/-backend shard)")
+		}
+		if fs, err = loadFacadeSpec(*prop, *specFile); err != nil {
+			fatalf("%v", err)
+		}
+		sp = fs.Compiled()
+		profile = rvgo.NewCreationProfile(fs)
 	}
 	ids, err := parsePivots(*pivots)
 	if err != nil {
@@ -78,6 +111,8 @@ func main() {
 
 	q := cliutil.RetroQuery{
 		GC:      gc,
+		Avoid:   avoid,
+		Profile: profile,
 		Workers: workers,
 		Pivots:  ids,
 		OnVerdict: cliutil.VerdictLines(sp, func(line string) {
@@ -102,9 +137,17 @@ func main() {
 			"created": res.Stats.Created, "flagged": res.Stats.Flagged,
 			"collected": res.Stats.Collected, "goal_verdicts": res.Stats.GoalVerdicts,
 			"steps": res.Stats.Steps, "live": res.Stats.Live,
+			"avoid": avoid.String(), "avoided": res.Stats.Avoided,
 			"frees": res.Replay.Frees, "broadcast": res.Replay.Broadcast,
 			"events_skipped": res.Replay.EventsSkipped, "segments_skimmed": res.Replay.SegmentsSkimmed,
 			"unknown_skipped": res.Replay.UnknownSkipped,
+		}
+		if profile != nil {
+			rep, err := fs.Avoidance(profile)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			report["avoidance"] = rep
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -113,16 +156,49 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("rvquery: %s over %s (gc=%s workers=%d)\n", sp.Name, *tracePath, *gcMode, workers)
+	fmt.Printf("rvquery: %s over %s (gc=%s workers=%d avoid=%s)\n", sp.Name, *tracePath, *gcMode, workers, avoid)
 	fmt.Printf("  %d segments%s, %d events replayed in %.3fs = %.0f events/s\n",
 		res.Segments, truncNote(res.Truncated), res.Stats.Events, wall.Seconds(), rate)
-	fmt.Printf("  monitors: created=%d flagged=%d collected=%d live=%d verdicts=%d steps=%d\n",
+	fmt.Printf("  monitors: created=%d flagged=%d collected=%d live=%d verdicts=%d steps=%d avoided=%d\n",
 		res.Stats.Created, res.Stats.Flagged, res.Stats.Collected, res.Stats.Live,
-		res.Stats.GoalVerdicts, res.Stats.Steps)
+		res.Stats.GoalVerdicts, res.Stats.Steps, res.Stats.Avoided)
 	if res.Replay.EventsSkipped > 0 || res.Replay.SegmentsSkimmed > 0 || res.Replay.UnknownSkipped > 0 {
 		fmt.Printf("  skipped: %d events (pivot filter), %d segments skimmed by index, %d unknown events\n",
 			res.Replay.EventsSkipped, res.Replay.SegmentsSkimmed, res.Replay.UnknownSkipped)
 	}
+	if profile != nil {
+		rep, err := fs.Avoidance(profile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rep.Write(os.Stdout)
+	}
+}
+
+// loadFacadeSpec resolves the -profile property through the public spec
+// package (mirroring cliutil.LoadQuerySpec's flag semantics), so the
+// avoidance report and the replayed engine share one compiled spec.
+func loadFacadeSpec(prop, specFile string) (*spec.Spec, error) {
+	switch {
+	case prop != "" && specFile != "":
+		return nil, fmt.Errorf("-prop and -spec are mutually exclusive")
+	case prop != "":
+		return spec.Builtin(prop)
+	case specFile != "":
+		src, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, err
+		}
+		specs, err := spec.Parse(string(src))
+		if err != nil {
+			return nil, err
+		}
+		if len(specs) != 1 {
+			return nil, fmt.Errorf("%s defines %d properties; -profile analyzes exactly one", specFile, len(specs))
+		}
+		return specs[0], nil
+	}
+	return nil, fmt.Errorf("need -prop or -spec")
 }
 
 func parsePivots(s string) ([]uint64, error) {

@@ -30,6 +30,12 @@ func ParseGC(s string) (monitor.GCPolicy, error) {
 	return 0, fmt.Errorf("unknown -gc %q (want coenable, alldead or none)", s)
 }
 
+// ParseAvoid maps a tool's creation-guard flag to an avoidance mode,
+// sharing monitor.ParseAvoidMode's vocabulary (off, audit, enforce).
+func ParseAvoid(s string) (monitor.AvoidMode, error) {
+	return monitor.ParseAvoidMode(s)
+}
+
 // ValidateShards rejects shard counts no backend accepts. 1 selects the
 // sequential engine; >1 the sharded runtime.
 func ValidateShards(n int) error {

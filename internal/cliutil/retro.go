@@ -61,6 +61,20 @@ func LoadQuerySpec(prop, specFile string) (*monitor.Spec, error) {
 type RetroQuery struct {
 	// GC is the monitor GC policy of the replay engines.
 	GC monitor.GCPolicy
+	// Creation selects the creation strategy (zero value CreateEnable).
+	Creation monitor.CreationStrategy
+	// Avoid is the creation-avoidance guard mode of the replay engines
+	// (off, audit, enforce). Enforce with the full strategy requires
+	// GCNone, as everywhere.
+	Avoid monitor.AvoidMode
+	// ProfileGuards, when non-nil, supplies per-symbol profile-guided
+	// creation guards (from CreationProfile.Guards) to the replay
+	// engines. The vector is read-only, so parallel replay is fine.
+	ProfileGuards []bool
+	// Profile, when non-nil, collects per-creation-site statistics
+	// during the replay. Profiles are engine-local and unsynchronized:
+	// Workers must be <= 1.
+	Profile *monitor.CreationProfile
 	// Workers is the parallel fan-out; <= 1 replays sequentially.
 	Workers int
 	// Pivots, when non-empty, restricts the replay to these pivot
@@ -101,10 +115,21 @@ func RunRetroQuery(path string, spec *monitor.Spec, q RetroQuery) (*RetroResult,
 		return nil, err
 	}
 	res := &RetroResult{Segments: r.Segments(), Truncated: r.Truncated()}
+	mopts := monitor.Options{
+		GC:            q.GC,
+		Creation:      q.Creation,
+		Avoid:         q.Avoid,
+		ProfileGuards: q.ProfileGuards,
+		Profile:       q.Profile,
+		OnVerdict:     q.OnVerdict,
+	}
 	if q.Workers > 1 {
+		if q.Profile != nil {
+			return nil, fmt.Errorf("cliutil: creation profiling requires sequential replay (the profile counters are engine-local)")
+		}
 		pr, err := r.ReplayParallel(spec, trace.ParallelConfig{
 			Workers: q.Workers,
-			Monitor: monitor.Options{GC: q.GC, Creation: monitor.CreateEnable, OnVerdict: q.OnVerdict},
+			Monitor: mopts,
 			Pivots:  q.Pivots,
 		})
 		if err != nil {
@@ -113,7 +138,7 @@ func RunRetroQuery(path string, spec *monitor.Spec, q RetroQuery) (*RetroResult,
 		res.Stats, res.Replay = pr.Stats, pr.Replay
 		return res, nil
 	}
-	eng, err := monitor.New(spec, monitor.Options{GC: q.GC, Creation: monitor.CreateEnable, OnVerdict: q.OnVerdict})
+	eng, err := monitor.New(spec, mopts)
 	if err != nil {
 		return nil, err
 	}

@@ -32,6 +32,9 @@ type Options struct {
 	// Creation is the monitor creation strategy. Clustering requires
 	// CreateEnable (the pivot-binding guarantee comes from it).
 	Creation monitor.CreationStrategy
+	// Avoid is the creation-avoidance mode for every slot session's
+	// engine. Static guards only: profiles do not cross the wire.
+	Avoid monitor.AvoidMode
 	// Nodes are the rvserve addresses forming the initial membership.
 	Nodes []string
 	// Seed perturbs the pivot→slot and slot→node hashes. Sessions that
@@ -86,6 +89,7 @@ func Open(opts Options) (*Client, error) {
 		ref:       ref,
 		gc:        opts.GC,
 		creation:  opts.Creation,
+		avoid:     opts.Avoid,
 		nodes:     opts.Nodes,
 		seed:      opts.Seed,
 		slots:     opts.Slots,

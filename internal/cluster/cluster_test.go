@@ -91,6 +91,29 @@ func TestClusterOracle(t *testing.T) {
 	})
 }
 
+// TestClusterAvoidanceOracle replays the avrora trace through a stable
+// 4-node cluster under every GC policy × avoidance mode (the mode travels
+// in every slot session's Hello) and holds verdicts and settled counters
+// against the unguarded sequential reference.
+func TestClusterAvoidanceOracle(t *testing.T) {
+	conformance.RunAvoidanceOracle(t, func(t *testing.T, prop string, gc monitor.GCPolicy, avoid monitor.AvoidMode, onVerdict func(monitor.Verdict)) monitor.Runtime {
+		_, dial := startNodes(t, "n1", "n2", "n3", "n4")
+		c, err := cluster.Open(cluster.Options{
+			Prop:      prop,
+			GC:        gc,
+			Creation:  monitor.CreateEnable,
+			Avoid:     avoid,
+			Nodes:     []string{"n1", "n2", "n3", "n4"},
+			Dial:      dial,
+			OnVerdict: onVerdict,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	})
+}
+
 // TestRouterOracle runs the same bar through the full deployment shape: an
 // ordinary remote.Client speaking the plain wire protocol to a Router,
 // which fans out to the nodes. The fifth node is down at session open

@@ -51,6 +51,7 @@ type fanoutConfig struct {
 	ref      string // the property name / .rv source to send downstream
 	gc       monitor.GCPolicy
 	creation monitor.CreationStrategy
+	avoid    monitor.AvoidMode
 	nodes    []string
 	seed     uint64
 	slots    int
@@ -180,6 +181,7 @@ func newFanout(spec *monitor.Spec, cfg fanoutConfig) (*fanout, error) {
 			Spec:     cfg.ref,
 			GC:       byte(cfg.gc),
 			Creation: byte(cfg.creation),
+			Avoid:    byte(cfg.avoid),
 			Shards:   1, // slot sessions must be sequential: handoff Skip counts rely on a deterministic verdict order
 			Window:   uint64(cfg.window),
 		},
@@ -839,6 +841,7 @@ func addWireStats(agg *monitor.Stats, st wire.Stats) {
 	agg.Collected += st.Collected
 	agg.GoalVerdicts += st.GoalVerdicts
 	agg.Steps += st.Steps
+	agg.Avoided += st.Avoided
 	agg.Live += st.Live
 	agg.PeakLive += st.PeakLive
 }

@@ -1,0 +1,83 @@
+// avoid.go: the static creation-avoidance analysis (Reger's "story of
+// parametric trace slicing, garbage and static analysis" direction): where
+// the coenable GC reclaims a doomed monitor after it exists, this pass
+// proves at specification-compile time that certain creations can never
+// reach a goal category at all, so the engine can decline to materialize
+// them. The products are per-state doom (CanReachGoal negated) and a
+// per-event-symbol guard summary the engine and the introspection tools
+// share.
+package coenable
+
+import "rvgo/internal/logic"
+
+// Doomed returns the per-state cannot-reach-goal predicate: doomed[s] is
+// true when no goal category is reachable from s in zero or more steps. A
+// goal state itself is never doomed (reachable in zero steps), so a
+// creation whose first transition lands on a verdict is never guarded
+// away. Doom is a trap: every successor of a doomed state is doomed, which
+// is what makes suppressing a doomed creation's whole descendant tree
+// sound (see internal/monitor's avoidance guard and DESIGN.md).
+func Doomed(g *logic.Graph, goal Goal) []bool {
+	reach := canReachGoal(g, goal)
+	doomed := make([]bool, len(reach))
+	for s, ok := range reach {
+		doomed[s] = !ok
+	}
+	return doomed
+}
+
+// GuardInfo is the static creation-guard summary for one event symbol.
+type GuardInfo struct {
+	// Sym is the event symbol the guard describes.
+	Sym int
+	// Creation reports ∅ ∈ ENABLE(e): the event can begin a goal trace,
+	// so the enable-set strategy creates monitors from ⊥ for it.
+	Creation bool
+	// DoomedStart reports that the event's transition out of the initial
+	// state lands in a doomed state: a monitor created from ⊥ at the
+	// start of the trace could never reach a goal. For explorable graphs
+	// with enable sets pruned through goal-reachability this is the
+	// complement of Creation; it is reported separately because the
+	// engine's from-⊥ progenitor state can drift off the initial state on
+	// propositional events, where the guard re-evaluates dynamically.
+	DoomedStart bool
+	// NoViablePrefix reports that ENABLE(e) is empty: no goal trace
+	// contains the event at all, so no prefix of parameter bindings can
+	// ever satisfy its enable condition — every creation the event could
+	// ever contribute to is provably wasted.
+	NoViablePrefix bool
+}
+
+// Guards computes the per-symbol static creation-guard summary from an
+// explored property graph and its (goal-reachability-pruned) enable sets.
+func Guards(g *logic.Graph, goal Goal, enable Sets) []GuardInfo {
+	doomed := Doomed(g, goal)
+	out := make([]GuardInfo, len(g.Alphabet))
+	for sym := range g.Alphabet {
+		gi := GuardInfo{
+			Sym:            sym,
+			DoomedStart:    doomed[g.Next[0][sym]],
+			NoViablePrefix: len(enable[sym]) == 0,
+		}
+		for _, es := range enable[sym] {
+			if es == 0 {
+				gi.Creation = true
+				break
+			}
+		}
+		out[sym] = gi
+	}
+	return out
+}
+
+// DoomedCount returns how many of the graph's states are doomed — the
+// size of the region the creation guard fences off (introspection).
+func DoomedCount(doomed []bool) int {
+	n := 0
+	for _, d := range doomed {
+		if d {
+			n++
+		}
+	}
+	return n
+}

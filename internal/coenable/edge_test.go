@@ -1,0 +1,198 @@
+package coenable_test
+
+import (
+	"testing"
+
+	"rvgo/internal/coenable"
+	"rvgo/internal/fsm"
+	"rvgo/internal/logic"
+)
+
+// buildGraph explores a small FSM given as (states, transitions); the
+// first state is initial and undefined transitions go to the implicit
+// fail sink fsm.Freeze adds.
+func buildGraph(t *testing.T, alphabet, states []string, trans [][3]string) *logic.Graph {
+	t.Helper()
+	m := fsm.New(alphabet)
+	for _, st := range states {
+		if err := m.AddState(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tr := range trans {
+		if err := m.AddTransition(tr[0], tr[1], tr[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.Explore(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestCanReachGoalGoalFree: with a goal category no state carries, nothing
+// can reach the goal — every state is doomed, every enable family empty,
+// and no event is a creation event.
+func TestCanReachGoalGoalFree(t *testing.T) {
+	g := buildGraph(t, []string{"a", "b"}, []string{"s0", "s1"}, [][3]string{
+		{"s0", "a", "s1"},
+		{"s1", "b", "s0"},
+	})
+	goal := coenable.GoalOf("no-such-category")
+	reach := coenable.CanReachGoal(g, goal)
+	for s, ok := range reach {
+		if ok {
+			t.Errorf("state %d can reach a goal that no state carries", s)
+		}
+	}
+	doomed := coenable.Doomed(g, goal)
+	if coenable.DoomedCount(doomed) != len(doomed) {
+		t.Errorf("DoomedCount = %d, want all %d states doomed", coenable.DoomedCount(doomed), len(doomed))
+	}
+	enable := coenable.EnableFromGraph(g, goal)
+	for a, fam := range enable {
+		if len(fam) != 0 {
+			t.Errorf("ENABLE(%s) = %v, want empty for a goal-free property", g.Alphabet[a], fam)
+		}
+	}
+	guards := coenable.Guards(g, goal, enable)
+	for _, gi := range guards {
+		if gi.Creation {
+			t.Errorf("event %s marked creation in a goal-free property", g.Alphabet[gi.Sym])
+		}
+		if !gi.DoomedStart || !gi.NoViablePrefix {
+			t.Errorf("event %s: DoomedStart=%v NoViablePrefix=%v, want both true", g.Alphabet[gi.Sym], gi.DoomedStart, gi.NoViablePrefix)
+		}
+	}
+}
+
+// TestCanReachGoalUnreachableGoal: a goal state exists but no transition
+// leads to it, so only the goal state itself reaches the goal (in zero
+// steps) and every trace-reachable state is doomed.
+func TestCanReachGoalUnreachableGoal(t *testing.T) {
+	// "island" carries the goal category but has no inbound transitions.
+	g := buildGraph(t, []string{"a"}, []string{"s0", "island"}, [][3]string{
+		{"s0", "a", "s0"},
+		{"island", "a", "island"},
+	})
+	goal := coenable.GoalOf("island")
+	reach := coenable.CanReachGoal(g, goal)
+	doomed := coenable.Doomed(g, goal)
+	for s := range reach {
+		isIsland := goal(g.Cat[s])
+		if reach[s] != isIsland {
+			t.Errorf("state %d (%s): CanReachGoal = %v, want %v", s, g.Cat[s], reach[s], isIsland)
+		}
+		if doomed[s] == isIsland {
+			t.Errorf("state %d (%s): doomed = %v, want %v", s, g.Cat[s], doomed[s], !isIsland)
+		}
+	}
+	// The initial state cannot reach the island, so no goal trace exists:
+	// no creation events, empty enable families.
+	enable := coenable.EnableFromGraph(g, goal)
+	for a, fam := range enable {
+		if len(fam) != 0 {
+			t.Errorf("ENABLE(%s) = %v, want empty when the goal is unreachable from the start", g.Alphabet[a], fam)
+		}
+	}
+}
+
+// TestSingleStateSelfLoop: a one-state automaton whose only state is the
+// goal and self-loops on the whole alphabet. Every event both starts and
+// extends goal traces, so ∅ and every subset closed under occurrence
+// appear in each enable family, nothing is doomed, and the coenable
+// analysis terminates (the self-loop must not diverge).
+func TestSingleStateSelfLoop(t *testing.T) {
+	g := buildGraph(t, []string{"a", "b"}, []string{"only"}, [][3]string{
+		{"only", "a", "only"},
+		{"only", "b", "only"},
+	})
+	goal := coenable.GoalOf("only")
+	reach := coenable.CanReachGoal(g, goal)
+	doomed := coenable.Doomed(g, goal)
+	// Freeze adds a fail sink, but it is unreachable from the loop state.
+	if !reach[0] || doomed[0] {
+		t.Errorf("loop state: CanReachGoal=%v doomed=%v, want reachable and not doomed", reach[0], doomed[0])
+	}
+	enable := coenable.EnableFromGraph(g, goal)
+	guards := coenable.Guards(g, goal, enable)
+	for a := range g.Alphabet {
+		found := false
+		for _, es := range enable[a] {
+			if es == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("ENABLE(%s) lacks ∅: every event can begin a goal trace here", g.Alphabet[a])
+		}
+		if !guards[a].Creation || guards[a].DoomedStart || guards[a].NoViablePrefix {
+			t.Errorf("GUARD(%s) = %+v, want creation, not guarded", g.Alphabet[a], guards[a])
+		}
+	}
+}
+
+// TestEnableFromGraphDeadSinkRegression pins the dead-sink fix: a fail
+// sink self-looping on the whole alphabet (every FSM's implicit reject
+// state) must not close its prefix family under all events — before the
+// fix, EnableFromGraph enumerated all 2^|E| subsets through the sink and
+// polluted every family; the enable sets must stay exactly the goal-trace
+// prefixes. The automaton accepts only the sequence a·b (goal "done"):
+// any other order falls into the sink.
+func TestEnableFromGraphDeadSinkRegression(t *testing.T) {
+	g := buildGraph(t, []string{"a", "b", "c"}, []string{"s0", "s1", "done"}, [][3]string{
+		{"s0", "a", "s1"},
+		{"s1", "b", "done"},
+	})
+	goal := coenable.GoalOf("done")
+	enable := coenable.EnableFromGraph(g, goal)
+
+	alphabet := g.Alphabet
+	want := map[string][]coenable.EventSet{
+		// a begins the only goal trace.
+		"a": {0},
+		// b is preceded by exactly {a}.
+		"b": {toSet(alphabet, "a")},
+		// c occurs in no goal trace at all.
+		"c": nil,
+	}
+	for a, name := range alphabet {
+		got := enable[a]
+		w := want[name]
+		if len(got) != len(w) {
+			t.Errorf("ENABLE(%s) = %v, want %v", name, got, w)
+			continue
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Errorf("ENABLE(%s)[%d] = %v, want %v", name, i, got[i], w[i])
+			}
+		}
+	}
+
+	guards := coenable.Guards(g, goal, enable)
+	for a, name := range alphabet {
+		gi := guards[a]
+		switch name {
+		case "a":
+			if !gi.Creation || gi.NoViablePrefix {
+				t.Errorf("GUARD(a) = %+v, want creation event", gi)
+			}
+		case "b":
+			if gi.Creation || gi.NoViablePrefix {
+				t.Errorf("GUARD(b) = %+v, want viable non-creation", gi)
+			}
+			if !gi.DoomedStart {
+				t.Errorf("GUARD(b) = %+v, want doomed start (b first falls into the sink)", gi)
+			}
+		case "c":
+			if !gi.NoViablePrefix || gi.Creation {
+				t.Errorf("GUARD(c) = %+v, want no viable prefix", gi)
+			}
+		}
+	}
+}

@@ -19,18 +19,14 @@ func loadBaseline(t *testing.T, path string) *Results {
 	return &res
 }
 
-// TestBaselineCountersStable pins the arena migration's oracle at the
-// archive level: the committed pre-arena baseline (BENCH_PR4.json) and the
-// arena-store baseline (BENCH_PR8.json) ran the identical grid config, so
-// every shared Figure 10 counter must be bit-identical — the slab store
-// changed where monitors live, not what the engine computes. Micro timing
-// and the PR8-only telemetry fields are outside the comparison by
-// construction (Compare zeroes quantiles and skips sections absent from
-// the older run).
-func TestBaselineCountersStable(t *testing.T) {
-	pre := loadBaseline(t, "../../BENCH_PR4.json")
-	cur := loadBaseline(t, "../../BENCH_PR8.json")
-
+// requireCountersEqual pins two committed archives of the identical grid
+// config to bit-identical Figure 10 counters, cell by cell. Micro timing
+// and sections absent from the older run are outside the comparison by
+// construction. Stats.Avoided predates some archives: JSON decoding
+// zero-fills it, and it is zero in every unguarded grid, so the struct
+// comparison stays exact.
+func requireCountersEqual(t *testing.T, pre, cur *Results, preName, curName string) {
+	t.Helper()
 	if pre.Config.Scale != cur.Config.Scale || pre.Config.Shards != cur.Config.Shards {
 		t.Fatalf("baseline configs differ: %+v vs %+v", pre.Config, cur.Config)
 	}
@@ -41,32 +37,85 @@ func TestBaselineCountersStable(t *testing.T) {
 				b, okB := lookup(pre, bench, prop, sys)
 				c, okC := lookup(cur, bench, prop, sys)
 				if !okB || !okC {
-					t.Errorf("%s/%s/%s: cell missing (pre %v, cur %v)", bench, prop, sys, okB, okC)
+					t.Errorf("%s/%s/%s: cell missing (%s %v, %s %v)", bench, prop, sys, preName, okB, curName, okC)
 					continue
 				}
 				cells++
 				if b.Stats != c.Stats {
-					t.Errorf("%s/%s/%s: counters diverged across the arena migration:\n  pre-arena %+v\n  arena     %+v",
-						bench, prop, sys, b.Stats, c.Stats)
+					t.Errorf("%s/%s/%s: counters diverged:\n  %s %+v\n  %s %+v",
+						bench, prop, sys, preName, b.Stats, curName, c.Stats)
 				}
 				if b.TMStats != c.TMStats {
-					t.Errorf("%s/%s/%s: tracematch counters diverged:\n  pre-arena %+v\n  arena     %+v",
-						bench, prop, sys, b.TMStats, c.TMStats)
+					t.Errorf("%s/%s/%s: tracematch counters diverged:\n  %s %+v\n  %s %+v",
+						bench, prop, sys, preName, b.TMStats, curName, c.TMStats)
 				}
 			}
 		}
 		b, okB := pre.All[bench]
 		c, okC := cur.All[bench]
 		if okB && okC && b.Stats != c.Stats {
-			t.Errorf("%s/ALL/RV: counters diverged:\n  pre-arena %+v\n  arena     %+v", bench, b.Stats, c.Stats)
+			t.Errorf("%s/ALL/RV: counters diverged:\n  %s %+v\n  %s %+v", bench, preName, b.Stats, curName, c.Stats)
 		}
 	}
 	if cells == 0 {
 		t.Fatal("no shared cells compared")
 	}
+}
 
-	// The arena baseline must carry the occupancy columns CI now gates on.
-	if cur.Metrics == nil || cur.Metrics.ArenaCap == 0 || cur.Metrics.ArenaSlabs == 0 {
-		t.Errorf("BENCH_PR8.json telemetry section lacks arena occupancy: %+v", cur.Metrics)
+// TestBaselineCountersStable pins the migration oracles at the archive
+// level: BENCH_PR4.json (pre-arena), BENCH_PR8.json (arena store) and
+// BENCH_PR10.json (creation-avoidance engine, guards off in the grid) all
+// ran the identical grid config, so every shared Figure 10 counter must be
+// bit-identical — the slab store changed where monitors live and the guard
+// hooks added a consulted-but-off branch to creation, neither may change
+// what the engine computes.
+func TestBaselineCountersStable(t *testing.T) {
+	pr4 := loadBaseline(t, "../../BENCH_PR4.json")
+	pr8 := loadBaseline(t, "../../BENCH_PR8.json")
+	pr10 := loadBaseline(t, "../../BENCH_PR10.json")
+
+	requireCountersEqual(t, pr4, pr8, "pre-arena", "arena")
+	requireCountersEqual(t, pr8, pr10, "arena", "avoidance")
+
+	// The arena baselines must carry the occupancy columns CI gates on.
+	for name, res := range map[string]*Results{"BENCH_PR8.json": pr8, "BENCH_PR10.json": pr10} {
+		if res.Metrics == nil || res.Metrics.ArenaCap == 0 || res.Metrics.ArenaSlabs == 0 {
+			t.Errorf("%s telemetry section lacks arena occupancy: %+v", name, res.Metrics)
+		}
+	}
+}
+
+// TestBaselinePR10Avoid pins the shape of the committed avoid section CI
+// replays: every leg settled identical to its unguarded reference, the
+// full-strategy enforce leg actually avoided creations, and the grid cells
+// are self-describing about their creation strategy and guard mode.
+func TestBaselinePR10Avoid(t *testing.T) {
+	res := loadBaseline(t, "../../BENCH_PR10.json")
+	ar := res.Avoid
+	if ar == nil {
+		t.Fatal("BENCH_PR10.json has no Avoid section")
+	}
+	if bad := ar.Verify(); len(bad) != 0 {
+		t.Fatalf("committed avoid section fails its own contract: %v", bad)
+	}
+	if len(ar.Runs) != 7 {
+		t.Errorf("avoid section has %d runs, want the 7-leg grid", len(ar.Runs))
+	}
+	if fe, ok := findAvoidRun(ar.Runs, "full/enforce"); !ok || fe.Stats.Avoided == 0 {
+		t.Errorf("full/enforce leg missing or avoided nothing: %+v", fe)
+	}
+	if ar.Scale <= 0 {
+		t.Errorf("avoid section does not record its scale (compare reruns need it): %v", ar.Scale)
+	}
+	for _, bench := range res.Config.Benchmarks {
+		for _, prop := range res.Config.Properties {
+			c, ok := lookup(res, bench, prop, SysRV)
+			if !ok {
+				continue
+			}
+			if c.Creation != "enable" || c.Avoid != "off" {
+				t.Errorf("%s/%s/RV cell not self-describing: Creation=%q Avoid=%q", bench, prop, c.Creation, c.Avoid)
+			}
+		}
 	}
 }

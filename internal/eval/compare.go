@@ -93,6 +93,33 @@ func Compare(base, cur *Results, tol float64) []string {
 		}
 	}
 
+	// The avoidance gate, when the baseline carries the section: the
+	// recorded workload is seeded and every replay is deterministic, so the
+	// settled counters of each guard configuration — including Avoided, the
+	// suppression count — must match the baseline exactly, and no leg may
+	// lose its identity verdict. Run times are never gated here (the cell
+	// timing check above covers the grid). Baselines archived before the
+	// section existed are not gated.
+	if ba, ca := base.Avoid, cur.Avoid; ba != nil {
+		if ca == nil {
+			bad = append(bad, "avoid: section missing from current run")
+		} else {
+			for _, br := range ba.Runs {
+				cr, ok := findAvoidRun(ca.Runs, br.Label)
+				if !ok {
+					bad = append(bad, fmt.Sprintf("avoid/%s: run missing from current run", br.Label))
+					continue
+				}
+				if br.Stats != cr.Stats {
+					bad = append(bad, fmt.Sprintf("avoid/%s: counters diverge:\n    baseline %+v\n    current  %+v", br.Label, br.Stats, cr.Stats))
+				}
+				if br.Identical && !cr.Identical {
+					bad = append(bad, fmt.Sprintf("avoid/%s: replay no longer identical to its unguarded reference", br.Label))
+				}
+			}
+		}
+	}
+
 	// The telemetry gate, when the baseline carries the section: the churn
 	// workload is fixed and the registry counters settle exactly, so any
 	// divergence is a semantic change in the engine's reclamation or in the
@@ -115,6 +142,15 @@ func Compare(base, cur *Results, tol float64) []string {
 		}
 	}
 	return bad
+}
+
+func findAvoidRun(runs []AvoidRun, label string) (AvoidRun, bool) {
+	for _, r := range runs {
+		if r.Label == label {
+			return r, true
+		}
+	}
+	return AvoidRun{}, false
 }
 
 func findMicro(ms []MicroResult, name string) (MicroResult, bool) {

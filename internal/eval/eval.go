@@ -53,6 +53,13 @@ type Config struct {
 	// backend). Mutually exclusive with Remote; Shards must stay 0 or 1 —
 	// the cluster's per-node sessions are sequential.
 	Nodes []string `json:",omitempty"`
+	// Avoid applies the static creation-avoidance guards to every RV/MOP
+	// cell (off by default): audit counts would-be-suppressed creations in
+	// Stats.Avoided, enforce suppresses them. Supported on every backend
+	// (the guards derive from the spec, so they cross the wire as a mode
+	// byte); the profile-guided guards do not — those live in the -avoid
+	// tier (RunAvoid), which replays a recorded trace sequentially.
+	Avoid monitor.AvoidMode `json:",omitempty"`
 }
 
 // DefaultConfig returns the full Figure 9/10 grid at a CI-friendly scale.
@@ -66,12 +73,17 @@ func DefaultConfig() Config {
 	}
 }
 
-// Cell is one measurement.
+// Cell is one measurement. Creation and Avoid record the active creation
+// strategy and guard mode of the RV/MOP backend that produced the cell,
+// so archived grids are self-describing (a baseline from a guarded run
+// cannot be mistaken for an unguarded one).
 type Cell struct {
 	TimedOut    bool
 	RunSec      float64
 	OverheadPct float64
 	PeakMemMB   float64
+	Creation    string        `json:",omitempty"` // creation strategy ("enable"; the grid never runs "full")
+	Avoid       string        `json:",omitempty"` // creation-guard mode: off, audit, enforce
 	Stats       monitor.Stats // RV/MOP counters (Figure 10)
 	TMStats     tracematches.Stats
 }
@@ -110,6 +122,11 @@ type Results struct {
 	// pivot-hashed multi-node cluster session, verified to settle
 	// identically (see RunCluster; rvbench -cluster produces it).
 	Cluster *ClusterReport `json:",omitempty"`
+	// Avoid, when present, is the creation-avoidance tier: one recorded
+	// workload replayed under every guard configuration, with per-site
+	// profile statistics and the suppression invariants verified against
+	// the unguarded replay (see RunAvoid; rvbench -avoid produces it).
+	Avoid *AvoidReport `json:",omitempty"`
 }
 
 // memSampler tracks peak heap usage on a fixed cadence.
@@ -208,6 +225,7 @@ func newEngine(spec *monitor.Spec, prop string, gc monitor.GCPolicy, cfg Config)
 			Prop:     prop,
 			GC:       gc,
 			Creation: monitor.CreateEnable,
+			Avoid:    cfg.Avoid,
 			Nodes:    cfg.Nodes,
 		})
 	}
@@ -216,10 +234,11 @@ func newEngine(spec *monitor.Spec, prop string, gc monitor.GCPolicy, cfg Config)
 			Prop:     prop,
 			GC:       gc,
 			Creation: monitor.CreateEnable,
+			Avoid:    cfg.Avoid,
 			Shards:   shards,
 		})
 	}
-	opts := monitor.Options{GC: gc, Creation: monitor.CreateEnable}
+	opts := monitor.Options{GC: gc, Creation: monitor.CreateEnable, Avoid: cfg.Avoid}
 	return cliutil.NewRuntime(spec, opts, shards)
 }
 
@@ -273,6 +292,7 @@ func RunCell(bench, prop string, sys System, base Baseline, cfg Config) (Cell, e
 			if err != nil {
 				return err
 			}
+			cell.Creation, cell.Avoid = "enable", cfg.Avoid.String()
 			sink, err := dacapo.Adapt(prop, eng)
 			if err != nil {
 				return err
@@ -362,6 +382,7 @@ func RunAllProps(bench string, base Baseline, cfg Config) (Cell, error) {
 	cell.RunSec = sec
 	cell.PeakMemMB = mem
 	cell.TimedOut = timedOut
+	cell.Creation, cell.Avoid = "enable", cfg.Avoid.String()
 	if base.RunSec > 0 {
 		cell.OverheadPct = (sec - base.RunSec) / base.RunSec * 100
 	}
@@ -373,6 +394,7 @@ func RunAllProps(bench string, base Baseline, cfg Config) (Cell, error) {
 		cell.Stats.Flagged += st.Flagged
 		cell.Stats.Collected += st.Collected
 		cell.Stats.GoalVerdicts += st.GoalVerdicts
+		cell.Stats.Avoided += st.Avoided
 		cell.Stats.Live += st.Live
 		cell.Stats.PeakLive += st.PeakLive
 		eng.Close()

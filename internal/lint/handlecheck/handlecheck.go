@@ -1,0 +1,229 @@
+// Package handlecheck enforces the arena-handle discipline of the slab
+// monitor store (DESIGN.md "The arena store"): *monitor.Mon values are
+// transient views resolved from uint32 arena handles, valid only for the
+// duration of one engine operation, and may not be retained. A *Mon
+// stored in a struct field, a package-level variable, a named type or a
+// container element type outside internal/monitor would dangle the
+// moment the arena recycles the slot (generation-tagged handles exist
+// precisely so stale references are caught — but only handles carry
+// generations, raw pointers do not).
+//
+// The linter is a syntactic pass over the repository's Go sources using
+// only the standard library (go/parser + go/ast): for every file outside
+// internal/monitor it resolves the file's import alias of
+// rvgo/internal/monitor and flags the type monitor.Mon (or *monitor.Mon,
+// or any container over it) appearing in
+//
+//   - a struct field type,
+//   - a package-level var declaration,
+//   - a named type declaration (type X map[K]*monitor.Mon),
+//
+// all of which are stores. Function parameters, results and local
+// variables are not flagged: passing a view down a call stack within one
+// operation is exactly what the transient contract permits. Types inside
+// func types are likewise exempt (a closure type mentions Mon without
+// storing one).
+package handlecheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// monitorPath is the package whose Mon records the discipline protects.
+const monitorPath = "rvgo/internal/monitor"
+
+// Finding is one discipline violation.
+type Finding struct {
+	Pos  token.Position
+	What string // which store retained the handle
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.What)
+}
+
+// CheckDir walks root recursively and checks every Go file outside
+// internal/monitor. Directories named testdata, vendor or starting with
+// "." or "_" are skipped (fixtures are checked by CheckFile directly).
+func CheckDir(root string) ([]Finding, error) {
+	var findings []Finding
+	monDir := filepath.Join(root, "internal", "monitor")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if path == monDir {
+				// The store's own package may hold its records however it
+				// needs to — the discipline governs everyone else.
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fs, err := CheckFile(path)
+		if err != nil {
+			return err
+		}
+		findings = append(findings, fs...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return findings, nil
+}
+
+// CheckFile parses one Go file and returns its violations.
+func CheckFile(path string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	return checkAST(fset, f), nil
+}
+
+// monitorName returns the identifier the file refers to the monitor
+// package by ("" if the file does not import it). A dot- or blank-import
+// yields "" too: dot imports would need type information to resolve, and
+// the repository style forbids them anyway.
+func monitorName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != monitorPath {
+			continue
+		}
+		if imp.Name != nil {
+			if n := imp.Name.Name; n != "." && n != "_" {
+				return n
+			}
+			return ""
+		}
+		return "monitor"
+	}
+	return ""
+}
+
+func checkAST(fset *token.FileSet, f *ast.File) []Finding {
+	mon := monitorName(f)
+	if mon == "" {
+		return nil
+	}
+	var findings []Finding
+	report := func(pos token.Pos, what string) {
+		findings = append(findings, Finding{Pos: fset.Position(pos), What: what})
+	}
+
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			// Function bodies may contain local struct/var declarations;
+			// struct types declared anywhere are stores, package-level
+			// vars are handled below, locals are transient.
+			if fd, isFn := decl.(*ast.FuncDecl); isFn && fd.Body != nil {
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if st, ok := n.(*ast.StructType); ok {
+						checkStruct(mon, st, report)
+					}
+					return true
+				})
+			}
+			continue
+		}
+		switch gd.Tok {
+		case token.VAR:
+			for _, s := range gd.Specs {
+				vs := s.(*ast.ValueSpec)
+				if vs.Type != nil && holdsMon(mon, vs.Type) {
+					report(vs.Pos(), fmt.Sprintf("package-level var retains *%s.Mon — store the uint32 arena handle instead", mon))
+				}
+			}
+		case token.TYPE:
+			for _, s := range gd.Specs {
+				ts := s.(*ast.TypeSpec)
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					checkStruct(mon, st, report)
+					continue
+				}
+				if holdsMon(mon, ts.Type) {
+					report(ts.Pos(), fmt.Sprintf("named type retains *%s.Mon — store the uint32 arena handle instead", mon))
+				}
+			}
+		}
+	}
+	return findings
+}
+
+func checkStruct(mon string, st *ast.StructType, report func(token.Pos, string)) {
+	for _, field := range st.Fields.List {
+		if holdsMon(mon, field.Type) {
+			report(field.Pos(), fmt.Sprintf("struct field retains *%s.Mon — store the uint32 arena handle instead", mon))
+		}
+		// Nested anonymous structs are their own stores.
+		if inner, ok := deref(field.Type).(*ast.StructType); ok {
+			checkStruct(mon, inner, report)
+		}
+	}
+}
+
+func deref(t ast.Expr) ast.Expr {
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		default:
+			return t
+		}
+	}
+}
+
+// holdsMon reports whether storing a value of type t retains a
+// monitor.Mon: the selector itself, a pointer to it, or any array,
+// slice, map or channel over such a type. Function types are not stores
+// (their values capture nothing by type alone), and nested struct types
+// are handled by checkStruct so each field gets its own finding.
+func holdsMon(mon string, t ast.Expr) bool {
+	switch x := t.(type) {
+	case *ast.SelectorExpr:
+		id, ok := x.X.(*ast.Ident)
+		return ok && id.Name == mon && x.Sel.Name == "Mon"
+	case *ast.StarExpr:
+		return holdsMon(mon, x.X)
+	case *ast.ParenExpr:
+		return holdsMon(mon, x.X)
+	case *ast.ArrayType:
+		return holdsMon(mon, x.Elt)
+	case *ast.MapType:
+		return holdsMon(mon, x.Key) || holdsMon(mon, x.Value)
+	case *ast.ChanType:
+		return holdsMon(mon, x.Value)
+	case *ast.Ellipsis:
+		return holdsMon(mon, x.Elt)
+	}
+	return false
+}

@@ -1,0 +1,83 @@
+package handlecheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCatchesPlantedEscapes parses the planted-escape fixture and
+// requires every store form to be found: struct field, package var,
+// named container type, channel element, local struct.
+func TestCatchesPlantedEscapes(t *testing.T) {
+	findings, err := CheckFile("testdata/bad.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type want struct {
+		line   int
+		substr string
+	}
+	expected := []want{
+		{10, "struct field"},
+		{15, "package-level var"},
+		{18, "named type"},
+		{22, "struct field"},
+		{28, "struct field"},
+	}
+	if len(findings) != len(expected) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(findings), len(expected), render(findings))
+	}
+	for i, w := range expected {
+		f := findings[i]
+		if f.Pos.Line != w.line || !strings.Contains(f.What, w.substr) {
+			t.Errorf("finding %d = %s, want line %d containing %q", i, f, w.line, w.substr)
+		}
+	}
+}
+
+// TestCatchesAliasedImport: the escape hides behind an import alias.
+func TestCatchesAliasedImport(t *testing.T) {
+	findings, err := CheckFile("testdata/bad_alias.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1:\n%s", len(findings), render(findings))
+	}
+	if !strings.Contains(findings[0].What, "struct field retains *store.Mon") {
+		t.Errorf("finding = %s, want the aliased package name in the message", findings[0])
+	}
+}
+
+// TestPermitsTransientUses: parameters, results, locals, func-typed
+// fields and unrelated Mon selectors produce no findings.
+func TestPermitsTransientUses(t *testing.T) {
+	findings, err := CheckFile("testdata/good.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("got %d findings on the permitted-use fixture:\n%s", len(findings), render(findings))
+	}
+}
+
+// TestRepositoryClean runs the linter over the whole repository: no
+// package outside internal/monitor may retain a *monitor.Mon. CI runs
+// this in the lint job.
+func TestRepositoryClean(t *testing.T) {
+	findings, err := CheckDir("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("arena-handle discipline violation: %s", f)
+	}
+}
+
+func render(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	return b.String()
+}

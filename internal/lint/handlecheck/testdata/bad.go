@@ -1,0 +1,31 @@
+// Planted arena-discipline escapes: every store form the linter must
+// catch. This file lives under testdata so the go tool (and CheckDir)
+// ignore it; the tests parse it directly with CheckFile.
+package bad
+
+import "rvgo/internal/monitor"
+
+// Struct field retaining a view pointer.
+type cache struct {
+	last *monitor.Mon
+	name string
+}
+
+// Package-level var retaining views through a map.
+var registry map[uint64]*monitor.Mon
+
+// Named container type over views.
+type ring []*monitor.Mon
+
+// Channel element retention inside a struct.
+type mailbox struct {
+	inbox chan *monitor.Mon
+}
+
+// Local struct types are stores too.
+func escape(m *monitor.Mon) {
+	type holder struct {
+		kept *monitor.Mon
+	}
+	_ = holder{kept: m}
+}

@@ -1,0 +1,9 @@
+// The escape behind an import alias: the linter must resolve the file's
+// own name for the monitor package, not match the literal "monitor".
+package bad
+
+import store "rvgo/internal/monitor"
+
+type aliased struct {
+	view *store.Mon
+}

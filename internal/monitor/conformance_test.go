@@ -51,3 +51,33 @@ func TestEngineFreeConformance(t *testing.T) {
 func TestEngineArenaOracle(t *testing.T) {
 	conformance.RunArenaOracle(t, enginePolicyFactory)
 }
+
+// TestEngineAvoidanceOracle replays the avrora trace under every GC policy
+// × avoidance mode and holds verdicts and settled counters against the
+// unguarded engine (bit-identical in audit mode; verdict-identical with
+// the Created + Avoided invariant in enforce mode).
+func TestEngineAvoidanceOracle(t *testing.T) {
+	conformance.RunAvoidanceOracle(t, func(t *testing.T, prop string, gc monitor.GCPolicy, avoid monitor.AvoidMode, onVerdict func(monitor.Verdict)) monitor.Runtime {
+		spec, err := props.Build(prop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := monitor.New(spec, monitor.Options{
+			GC:        gc,
+			Creation:  monitor.CreateEnable,
+			Avoid:     avoid,
+			OnVerdict: onVerdict,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	})
+}
+
+// TestEngineAvoidanceEnforcement proves the guard-firing enforcement
+// paths — full-strategy static guards and profile-guided guards — on the
+// sequential engine, the only backend where those configurations exist.
+func TestEngineAvoidanceEnforcement(t *testing.T) {
+	conformance.RunAvoidanceEnforcement(t)
+}

@@ -81,6 +81,21 @@ type Options struct {
 	// SweepInterval is the number of events between tombstone sweeps
 	// (0 = default).
 	SweepInterval int
+	// Avoid selects the creation-avoidance mode: off (default), audit
+	// (count guard hits in Stats.Avoided, create anyway), or enforce
+	// (suppress guarded creations; per-slice verdicts stay bit-identical
+	// to the unguarded engine — see avoid.go for the soundness boundary).
+	Avoid AvoidMode
+	// ProfileGuards, when non-nil, is a per-symbol guard vector (usually
+	// CreationProfile.Guards from a recorded-trace replay) consulted by
+	// the avoidance guard in addition to the static doomed analysis. It
+	// has effect only when Avoid is not AvoidOff, and enforcement is
+	// restricted to maximal-domain creations.
+	ProfileGuards []bool
+	// Profile, when non-nil, accumulates per-creation-site statistics
+	// (see CreationProfile). Engine-local and unsynchronized: sequential
+	// engines only; read it after Flush/Close.
+	Profile *CreationProfile
 	// Metrics, when non-nil, receives the engine's telemetry. The engine
 	// keeps its exact non-atomic Stats and publishes *deltas* into the
 	// shared atomic series at amortized points — every publishInterval
@@ -104,6 +119,7 @@ type Stats struct {
 	Collected    uint64 // CM: dropped from every container
 	GoalVerdicts uint64 // handler invocations
 	Steps        uint64 // base-monitor transitions taken
+	Avoided      uint64 // creations suppressed (or, in audit mode, only counted) by the avoidance guards
 	Live         int64  // currently live (uncollected) monitors
 	PeakLive     int64  // maximum of Live
 }
@@ -116,6 +132,12 @@ const (
 	monFlagged uint8 = 1 << iota
 	monCollected
 	monInExact
+	// monStepped marks the birth step as taken; monRestepped and
+	// monGoaled dedupe the creation-profile counters (set only when a
+	// CreationProfile is attached).
+	monStepped
+	monRestepped
+	monGoaled
 )
 
 // Mon is one monitor-instance record: a handle to its parameter instance θ
@@ -132,6 +154,7 @@ type Mon struct {
 	lastSym    int32
 	refs       int32 // container refcount (reachability stand-in)
 	paramsSeen param.Set
+	birthSym   int16 // creating event symbol (creation-site identity)
 	flags      uint8
 }
 
@@ -198,6 +221,15 @@ type Engine struct {
 	domBit    []uint16    // per symbol, bit for its domain in seenRec.doms
 	sinceSwep int
 
+	// allParams is the maximal instance domain (the union of every event's
+	// parameter set — by union closure the unique maximal element of
+	// domains); avoided holds the enforce-mode tombstones for suppressed
+	// creations; profGuards/prof are Options.ProfileGuards/Profile.
+	allParams  param.Set
+	avoided    map[*param.Instance]struct{}
+	profGuards []bool
+	prof       *CreationProfile
+
 	stats Stats
 
 	// met is Options.Metrics; pub/pubRecycled/pubReused/pubArena are the
@@ -251,19 +283,39 @@ func New(spec *Spec, opts Options) (*Engine, error) {
 	if opts.SweepInterval <= 0 {
 		opts.SweepInterval = 1 << 14
 	}
+	if opts.Avoid < AvoidOff || opts.Avoid > AvoidEnforce {
+		return nil, fmt.Errorf("monitor: unknown avoidance mode %d", opts.Avoid)
+	}
+	if opts.Avoid == AvoidEnforce && opts.Creation == CreateFull && opts.GC != GCNone {
+		return nil, fmt.Errorf("monitor: enforced creation avoidance under the full strategy requires the none GC policy (a tombstone cannot mirror the flag timing that ends a real doomed monitor's Figure-5 progenitor role); use audit mode")
+	}
+	if opts.ProfileGuards != nil && len(opts.ProfileGuards) != len(spec.Events) {
+		return nil, fmt.Errorf("monitor: profile guards cover %d events, spec %q has %d", len(opts.ProfileGuards), spec.Name, len(spec.Events))
+	}
+	if opts.Profile != nil {
+		if err := opts.Profile.bind(spec); err != nil {
+			return nil, err
+		}
+	}
 	e := &Engine{
-		spec:      spec,
-		an:        an,
-		opts:      opts,
-		bp:        spec.RuntimeBlueprint(),
-		intern:    param.NewInterner(),
-		trees:     map[param.Set]*index.Tree{},
-		exact:     map[*param.Instance]arena.Handle{},
-		regs:      map[param.Set]*domainReg{},
-		seen:      map[uint64]seenRec{},
-		seenInst:  map[param.Key]param.Instance{},
-		processed: map[*param.Instance]bool{},
-		met:       opts.Metrics,
+		spec:       spec,
+		an:         an,
+		opts:       opts,
+		bp:         spec.RuntimeBlueprint(),
+		intern:     param.NewInterner(),
+		trees:      map[param.Set]*index.Tree{},
+		exact:      map[*param.Instance]arena.Handle{},
+		regs:       map[param.Set]*domainReg{},
+		seen:       map[uint64]seenRec{},
+		seenInst:   map[param.Key]param.Instance{},
+		processed:  map[*param.Instance]bool{},
+		met:        opts.Metrics,
+		avoided:    map[*param.Instance]struct{}{},
+		profGuards: opts.ProfileGuards,
+		prof:       opts.Profile,
+	}
+	for _, ev := range spec.Events {
+		e.allParams = e.allParams.Union(ev.Params)
 	}
 	if gb, ok := e.bp.(logic.GraphBlueprint); ok {
 		e.g = gb.G
@@ -496,8 +548,34 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 			}
 		}
 		e.sortByInformativeness(cands)
-		for _, h := range cands {
-			e.tryCreate(sym, tp, h)
+		if len(e.avoided) == 0 {
+			for _, h := range cands {
+				e.tryCreate(sym, tp, h)
+			}
+		} else {
+			// Enforced avoidance: tombstoned instances take part in the
+			// scan as ghost progenitors, claiming (and re-tombstoning)
+			// exactly the lubs their suppressed monitors would have, in
+			// the same informativeness order first-claim-wins relies on.
+			var ghosts []*param.Instance
+			for p := range e.avoided {
+				if !e.processed[p] && p.Compatible(*tp) {
+					ghosts = append(ghosts, p)
+				}
+			}
+			sort.Slice(ghosts, func(i, j int) bool { return moreInformative(ghosts[i], ghosts[j]) })
+			gi := 0
+			for _, h := range cands {
+				hp := e.instOf(e.mons.At(h))
+				for gi < len(ghosts) && moreInformative(ghosts[gi], hp) {
+					e.tryAvoidLub(tp, ghosts[gi])
+					gi++
+				}
+				e.tryCreate(sym, tp, h)
+			}
+			for ; gi < len(ghosts); gi++ {
+				e.tryAvoidLub(tp, ghosts[gi])
+			}
 		}
 		e.monBuf = cands[:0]
 	case CreateEnable:
@@ -517,14 +595,18 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 		}
 	}
 
-	// 3. θ itself, from ⊥, if nothing else materialized it.
+	// 3. θ itself, from ⊥, if nothing else materialized it. A tombstoned
+	// instance blocks re-creation the same way its real monitor's Δ entry
+	// would (the suppressed slice is not the fresh-from-⊥ slice).
 	if !e.processed[tp] {
 		if _, exists := e.exact[tp]; !exists {
-			switch {
-			case e.opts.Creation == CreateFull:
-				e.createFromBot(sym, tp)
-			case e.an.Creation[sym] && e.priorEventsOK(tp, 0):
-				e.createFromBot(sym, tp)
+			if _, av := e.avoided[tp]; !av {
+				switch {
+				case e.opts.Creation == CreateFull:
+					e.createFromBot(sym, tp)
+				case e.an.Creation[sym] && e.priorEventsOK(tp, 0):
+					e.createFromBot(sym, tp)
+				}
 			}
 		}
 	}
@@ -554,8 +636,16 @@ func (e *Engine) Dispatch(sym int, theta param.Instance) {
 	}
 }
 
-// createFromBot materializes θ from the empty-domain progenitor ⊥.
+// createFromBot materializes θ from the empty-domain progenitor ⊥, unless
+// the creation-avoidance guard fires first.
 func (e *Engine) createFromBot(sym int, tp *param.Instance) {
+	if e.opts.Avoid != AvoidOff && e.guardHit(sym, tp.Mask(), e.botWord) {
+		e.stats.Avoided++
+		if e.opts.Avoid == AvoidEnforce {
+			e.recordAvoided(tp)
+			return
+		}
+	}
 	// Re-intern for the handle: the instance is already canonical, so this
 	// is one map read.
 	_, th := e.intern.Intern(*tp)
@@ -719,6 +809,12 @@ func (e *Engine) tryCreate(sym int, theta *param.Instance, progH arena.Handle) {
 			e.processed[lp] = true
 			return
 		}
+		if _, av := e.avoided[lp]; av {
+			// Suppressed earlier: its tombstone blocks a rebuild exactly
+			// as the real monitor's Δ entry would have.
+			e.processed[lp] = true
+			return
+		}
 	}
 	if e.opts.Creation == CreateEnable {
 		// Enable check: the progenitor's slice (the candidate's prefix)
@@ -727,6 +823,16 @@ func (e *Engine) tryCreate(sym int, theta *param.Instance, progH arena.Handle) {
 			return
 		}
 		if !e.priorEventsOK(&lub, progInst.Mask()) {
+			return
+		}
+	}
+	if e.opts.Avoid != AvoidOff && e.guardHit(sym, lub.Mask(), prog.state) {
+		e.stats.Avoided++
+		if e.opts.Avoid == AvoidEnforce {
+			if !known {
+				lp, _ = e.intern.Intern(lub)
+			}
+			e.recordAvoided(lp)
 			return
 		}
 	}
@@ -787,8 +893,12 @@ func (e *Engine) create(sym int, inst *param.Instance, instH arena.Handle, baseW
 	m.instH = instH
 	m.state = baseWord
 	m.paramsSeen = seen
+	m.birthSym = int16(sym)
 	if e.g == nil {
 		e.setBox(h.Index(), baseBox)
+	}
+	if e.prof != nil {
+		e.prof.Created[sym]++
 	}
 	e.stats.Created++
 	e.stats.Live++
@@ -848,8 +958,23 @@ func (e *Engine) step(h arena.Handle, m *Mon, sym int) {
 	m.lastSym = int32(sym)
 	m.paramsSeen = m.paramsSeen.Union(e.spec.Events[sym].Params)
 	e.stats.Steps++
+	if e.prof != nil {
+		// Creation-site profiling: the first step is the birth step; any
+		// later one marks the site's monitors as participating in slices
+		// longer than their creation event.
+		if m.flags&monStepped == 0 {
+			m.flags |= monStepped
+		} else if m.flags&monRestepped == 0 {
+			m.flags |= monRestepped
+			e.prof.Restepped[m.birthSym]++
+		}
+	}
 	if e.spec.goalSet[cat] {
 		e.stats.GoalVerdicts++
+		if e.prof != nil && m.flags&monGoaled == 0 {
+			m.flags |= monGoaled
+			e.prof.ReachedGoal[m.birthSym]++
+		}
 		if e.opts.OnVerdict != nil {
 			e.opts.OnVerdict(Verdict{Spec: e.spec, Sym: sym, Cat: cat, Inst: *e.instOf(m)})
 		}
@@ -967,6 +1092,26 @@ func (e *Engine) sweep() {
 			}
 		}
 	}
+	// Avoided-creation tombstones mirror their would-be monitors' exit
+	// from Δ, so enforce-mode blocking stays in lockstep with the
+	// unguarded engine: under coenable a doomed monitor is flagged at its
+	// birth step, so its Δ entry goes at the first sweep after any bound
+	// object dies; under alldead it is flagged (and its entry goes) once
+	// every object is dead; under none Δ entries never leave. Dropped or
+	// kept, the instance cannot be wrongly rebuilt — a recurrence needs
+	// every object alive — so this only mirrors bookkeeping lifetime.
+	for p := range e.avoided {
+		var drop bool
+		switch e.opts.GC {
+		case GCCoenable:
+			drop = !p.AllAlive()
+		case GCAllDead:
+			drop = p.AliveMask().Empty()
+		}
+		if drop {
+			delete(e.avoided, p)
+		}
+	}
 	for id, rec := range e.seen {
 		if !rec.ref.Alive() {
 			delete(e.seen, id)
@@ -987,7 +1132,10 @@ func (e *Engine) sweep() {
 // canonical pointers are monitor identities and must survive until the
 // monitor leaves Δ.
 func (e *Engine) internRetain(p *param.Instance) bool {
-	_, ok := e.exact[p]
+	if _, ok := e.exact[p]; ok {
+		return true
+	}
+	_, ok := e.avoided[p]
 	return ok
 }
 

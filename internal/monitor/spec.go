@@ -61,6 +61,14 @@ type Analysis struct {
 	// CFG properties whose goal is not {match}; such monitors fall back to
 	// all-parameters-dead collection).
 	HasCoenable bool
+	// Doomed is the per-state cannot-reach-goal predicate over the explored
+	// graph (nil for non-graph blueprints): the engine's static creation
+	// guard consults it before materializing a monitor. See
+	// coenable.Doomed.
+	Doomed []bool
+	// Guards is the per-symbol static creation-guard summary (nil for
+	// non-graph blueprints), for introspection and the avoidance report.
+	Guards []coenable.GuardInfo
 	// dead reports that a state can never (again) trigger a goal handler.
 	dead func(logic.State) bool
 }
@@ -186,6 +194,8 @@ func (s *Spec) Analyze() error {
 		g.Box()
 		s.runBP = logic.GraphBlueprint{G: g}
 		a.dead = deadFromGraph(g, goal)
+		a.Doomed = coenable.Doomed(g, goal)
+		a.Guards = coenable.Guards(g, goal, a.EnableEvents)
 	case cfgBlueprint:
 		s.runBP = bp
 		if len(s.Goal) == 1 && s.Goal[0] == logic.Match {

@@ -52,6 +52,10 @@ type Options struct {
 	// Creation is the monitor creation strategy (CreateEnable unless the
 	// session is a single-shard semantic oracle).
 	Creation monitor.CreationStrategy
+	// Avoid is the creation-avoidance mode for the session's engine(s).
+	// Static guards only: profiles are engine-local and do not cross the
+	// wire.
+	Avoid monitor.AvoidMode
 	// Shards selects the server-side backend: 1 = sequential engine,
 	// >1 = sharded runtime, 0 = server default.
 	Shards int
@@ -133,6 +137,7 @@ func NewSession(conn net.Conn, opts Options) (*Client, error) {
 		Spec:     ref,
 		GC:       byte(opts.GC),
 		Creation: byte(opts.Creation),
+		Avoid:    byte(opts.Avoid),
 		Shards:   uint64(opts.Shards),
 		Window:   uint64(opts.Window),
 	}
@@ -556,6 +561,7 @@ func fromWireStats(s wire.Stats) monitor.Stats {
 		Collected:    s.Collected,
 		GoalVerdicts: s.GoalVerdicts,
 		Steps:        s.Steps,
+		Avoided:      s.Avoided,
 		Live:         s.Live,
 		PeakLive:     s.PeakLive,
 	}

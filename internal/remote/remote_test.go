@@ -113,6 +113,32 @@ func TestClientArenaOracle(t *testing.T) {
 	}
 }
 
+// TestClientAvoidanceOracle replays the avrora trace over the network
+// under every GC policy × avoidance mode (the mode travels in the Hello)
+// and holds verdicts and settled counters against the unguarded
+// sequential reference.
+func TestClientAvoidanceOracle(t *testing.T) {
+	addr := startServer(t, server.Options{})
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			conformance.RunAvoidanceOracle(t, func(t *testing.T, prop string, gc monitor.GCPolicy, avoid monitor.AvoidMode, onVerdict func(monitor.Verdict)) monitor.Runtime {
+				cl, err := remote.Dial(addr, remote.Options{
+					Prop:      prop,
+					GC:        gc,
+					Creation:  monitor.CreateEnable,
+					Avoid:     avoid,
+					Shards:    shards,
+					OnVerdict: onVerdict,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return cl
+			})
+		})
+	}
+}
+
 // gstep is one step of a backend-independent random trace: an event over
 // object ordinals, or (sym == -1) the death of objs[0].
 type gstep struct {

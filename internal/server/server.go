@@ -441,6 +441,10 @@ func (s *session) handshake(h wire.Hello) error {
 	if creation != monitor.CreateEnable && creation != monitor.CreateFull {
 		return fmt.Errorf("unknown creation strategy %d", h.Creation)
 	}
+	avoid := monitor.AvoidMode(h.Avoid)
+	if avoid < monitor.AvoidOff || avoid > monitor.AvoidEnforce {
+		return fmt.Errorf("unknown avoidance mode %d", h.Avoid)
+	}
 	shards := int(h.Shards)
 	if shards == 0 {
 		shards = s.srv.opts.DefaultShards
@@ -454,7 +458,7 @@ func (s *session) handshake(h wire.Hello) error {
 	}
 
 	opts := monitor.Options{
-		GC: gc, Creation: creation, OnVerdict: s.onVerdict,
+		GC: gc, Creation: creation, Avoid: avoid, OnVerdict: s.onVerdict,
 		Metrics: metrics.NewEngineSeries(s.srv.reg, compiled.Name, gc.String()),
 	}
 	if shards > 1 {
@@ -770,6 +774,7 @@ func toWireStats(token uint64, st monitor.Stats) wire.Stats {
 		Collected:    st.Collected,
 		GoalVerdicts: st.GoalVerdicts,
 		Steps:        st.Steps,
+		Avoided:      st.Avoided,
 		Live:         st.Live,
 		PeakLive:     st.PeakLive,
 	}

@@ -53,3 +53,28 @@ func TestShardFreeConformance(t *testing.T) {
 func TestShardArenaOracle(t *testing.T) {
 	conformance.RunArenaOracle(t, shardPolicyFactory)
 }
+
+// TestShardAvoidanceOracle replays the avrora trace through the 4-shard
+// runtime under every GC policy × avoidance mode, against the unguarded
+// sequential reference.
+func TestShardAvoidanceOracle(t *testing.T) {
+	conformance.RunAvoidanceOracle(t, func(t *testing.T, prop string, gc monitor.GCPolicy, avoid monitor.AvoidMode, onVerdict func(monitor.Verdict)) monitor.Runtime {
+		spec, err := props.Build(prop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := shard.New(spec, shard.Options{
+			Options: monitor.Options{
+				GC:        gc,
+				Creation:  monitor.CreateEnable,
+				Avoid:     avoid,
+				OnVerdict: onVerdict,
+			},
+			Shards: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	})
+}

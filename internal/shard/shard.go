@@ -110,6 +110,9 @@ func New(spec *monitor.Spec, opts Options) (*Runtime, error) {
 	if opts.Creation != monitor.CreateEnable && opts.Shards > 1 {
 		return nil, fmt.Errorf("shard: creation strategy %d requires a single shard", opts.Creation)
 	}
+	if opts.Profile != nil && opts.Shards > 1 {
+		return nil, fmt.Errorf("shard: creation profiling requires a single shard (the profile is engine-local and unsynchronized)")
+	}
 	router, err := NewRouter(spec, opts.Shards)
 	if err != nil {
 		return nil, err
@@ -359,6 +362,7 @@ func (rt *Runtime) Stats() monitor.Stats {
 		s.Collected += st.Collected
 		s.GoalVerdicts += st.GoalVerdicts
 		s.Steps += st.Steps
+		s.Avoided += st.Avoided
 		s.Live += st.Live
 		s.PeakLive += st.PeakLive
 	}

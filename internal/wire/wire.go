@@ -82,8 +82,8 @@ import (
 )
 
 // Version is the protocol version. A server refuses a Hello whose version
-// it does not speak.
-const Version = 1
+// it does not speak. Version 2 added Hello.Avoid and Stats.Avoided.
+const Version = 2
 
 // MaxFrame bounds a frame payload; a peer announcing a larger frame is
 // corrupt or hostile and the connection is dropped.
@@ -132,10 +132,11 @@ type Hello struct {
 	SpecKind byte
 	// Spec is a property name (SpecProp) or .rv source (SpecSource).
 	Spec string
-	// GC and Creation use monitor.GCPolicy / monitor.CreationStrategy
-	// values.
+	// GC, Creation and Avoid use monitor.GCPolicy /
+	// monitor.CreationStrategy / monitor.AvoidMode values.
 	GC       byte
 	Creation byte
+	Avoid    byte
 	// Shards selects the session backend: 1 = sequential engine, >1 = the
 	// sharded runtime with that many workers. 0 lets the server choose.
 	Shards uint64
@@ -189,6 +190,7 @@ type Stats struct {
 	Collected    uint64
 	GoalVerdicts uint64
 	Steps        uint64
+	Avoided      uint64
 	Live         int64
 	PeakLive     int64
 }
@@ -284,6 +286,7 @@ func (w *Writer) WriteHello(h Hello) error {
 	w.s(h.Spec)
 	w.b(h.GC)
 	w.b(h.Creation)
+	w.b(h.Avoid)
 	w.u(h.Shards)
 	w.u(h.Window)
 	return w.emit()
@@ -357,6 +360,7 @@ func (w *Writer) writeStatsBody(s Stats) {
 	w.u(s.Collected)
 	w.u(s.GoalVerdicts)
 	w.u(s.Steps)
+	w.u(s.Avoided)
 	w.i(s.Live)
 	w.i(s.PeakLive)
 }
@@ -666,6 +670,9 @@ func (r *Reader) decodeHello(h *Hello) error {
 	if h.Creation, err = r.rb(); err != nil {
 		return err
 	}
+	if h.Avoid, err = r.rb(); err != nil {
+		return err
+	}
 	if h.Shards, err = r.ru(); err != nil {
 		return err
 	}
@@ -737,6 +744,9 @@ func (r *Reader) decodeStats(s *Stats) error {
 		return err
 	}
 	if s.Steps, err = r.ru(); err != nil {
+		return err
+	}
+	if s.Avoided, err = r.ru(); err != nil {
 		return err
 	}
 	if s.Live, err = r.ri(); err != nil {

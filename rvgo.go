@@ -43,6 +43,9 @@ type Monitor struct {
 type config struct {
 	gc         GCPolicy
 	creation   CreationStrategy
+	avoid      AvoidMode
+	profGuards []bool
+	profile    *CreationProfile
 	shards     int
 	sweep      int
 	batch      int
@@ -88,6 +91,59 @@ func WithCreation(s CreationStrategy) Option {
 			return nil
 		}
 		return fmt.Errorf("rvgo: unknown creation strategy %d (want CreateEnable or CreateFull)", int(s))
+	}
+}
+
+// WithAvoidance selects the creation-avoidance mode (default AvoidOff):
+// the static doomed-monitor analysis (and any profile guards, see
+// WithProfileGuards) consulted before a monitor is materialized. AvoidAudit
+// counts guard hits in Stats.Avoided without changing behavior; AvoidEnforce
+// suppresses guarded creations while keeping per-slice verdicts
+// bit-identical to the unguarded engine. Enforcement under CreateFull
+// additionally requires GCNone (see the engine's soundness boundary).
+// Works on every backend; the mode travels in the session handshake for
+// remote and cluster Monitors.
+func WithAvoidance(mode AvoidMode) Option {
+	return func(c *config) error {
+		switch mode {
+		case AvoidOff, AvoidAudit, AvoidEnforce:
+			c.avoid = mode
+			return nil
+		}
+		return fmt.Errorf("rvgo: unknown avoidance mode %d (want AvoidOff, AvoidAudit or AvoidEnforce)", int(mode))
+	}
+}
+
+// WithProfileGuards installs a per-symbol profile-guard vector — usually
+// CreationProfile.Guards from a recorded-trace replay — consulted by the
+// avoidance guard alongside the static analysis. Effective only with
+// WithAvoidance(AvoidAudit or AvoidEnforce); enforcement is restricted to
+// maximal-domain creations, so suppression can never starve a monitor the
+// property still needs. Local backends only: the vector does not cross the
+// wire.
+func WithProfileGuards(guards []bool) Option {
+	return func(c *config) error {
+		if len(guards) == 0 {
+			return errors.New("rvgo: WithProfileGuards: empty guard vector")
+		}
+		c.profGuards = guards
+		return nil
+	}
+}
+
+// WithCreationProfile attaches a per-creation-site statistics accumulator
+// (see NewCreationProfile): for each event symbol, how many monitors were
+// born at it, re-stepped after birth, and ever reached a goal. Read the
+// profile after Flush or Close; feed its Guards() back through
+// WithProfileGuards on a later run. Sequential backend only — the counters
+// are engine-local and unsynchronized.
+func WithCreationProfile(p *CreationProfile) Option {
+	return func(c *config) error {
+		if p == nil {
+			return errors.New("rvgo: WithCreationProfile: nil profile")
+		}
+		c.profile = p
+		return nil
 	}
 }
 
@@ -341,6 +397,12 @@ func New(s *spec.Spec, opts ...Option) (*Monitor, error) {
 	if cfg.sweep != 0 && networked {
 		return fail(errors.New("rvgo: WithSweepInterval is not supported for remote or cluster sessions"))
 	}
+	if cfg.profGuards != nil && networked {
+		return fail(errors.New("rvgo: WithProfileGuards requires a local backend (the guard vector does not cross the wire)"))
+	}
+	if cfg.profile != nil && (networked || cfg.shards > 1) {
+		return fail(errors.New("rvgo: WithCreationProfile requires the sequential backend (the profile counters are engine-local)"))
+	}
 
 	m := &Monitor{sp: s}
 	handler := cfg.handler
@@ -407,6 +469,8 @@ func New(s *spec.Spec, opts ...Option) (*Monitor, error) {
 			Options: monitor.Options{
 				GC:            cfg.gc,
 				Creation:      cfg.creation,
+				Avoid:         cfg.avoid,
+				ProfileGuards: cfg.profGuards,
 				OnVerdict:     handler,
 				SweepInterval: cfg.sweep,
 			},
@@ -430,6 +494,9 @@ func New(s *spec.Spec, opts ...Option) (*Monitor, error) {
 		mo := monitor.Options{
 			GC:            cfg.gc,
 			Creation:      cfg.creation,
+			Avoid:         cfg.avoid,
+			ProfileGuards: cfg.profGuards,
+			Profile:       cfg.profile,
 			OnVerdict:     handler,
 			SweepInterval: cfg.sweep,
 		}
@@ -466,6 +533,12 @@ func New(s *spec.Spec, opts ...Option) (*Monitor, error) {
 	return m, nil
 }
 
+// NewCreationProfile returns an empty creation profile sized for the
+// property, ready for WithCreationProfile.
+func NewCreationProfile(s *spec.Spec) *CreationProfile {
+	return monitor.NewCreationProfile(s.Compiled())
+}
+
 func (m *Monitor) dialRemote(cfg config, handler func(Verdict)) (*remote.Client, error) {
 	kind, ref, ok := m.sp.Source()
 	if !ok {
@@ -474,6 +547,7 @@ func (m *Monitor) dialRemote(cfg config, handler func(Verdict)) (*remote.Client,
 	ropts := remote.Options{
 		GC:        cfg.gc,
 		Creation:  cfg.creation,
+		Avoid:     cfg.avoid,
 		Shards:    cfg.shards,
 		Window:    cfg.window,
 		OnVerdict: handler,
@@ -500,6 +574,7 @@ func (m *Monitor) dialCluster(cfg config, handler func(Verdict)) (*cluster.Clien
 	copts := cluster.Options{
 		GC:        cfg.gc,
 		Creation:  cfg.creation,
+		Avoid:     cfg.avoid,
 		Nodes:     cfg.nodes,
 		Seed:      cfg.hashSeed,
 		Window:    cfg.window,

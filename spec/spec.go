@@ -210,8 +210,171 @@ func (s *Spec) WriteAnalysis(w io.Writer) error {
 		fmt.Fprintf(w, "    ENABLE(%s)%s= %s%s\n", e.Name, pad(e.Name),
 			coenable.FormatEventSets(an.EnableEvents[sym], alphabet), marker)
 	}
+	if an.Doomed != nil {
+		fmt.Fprintf(w, "  creation guards (doomed-monitor analysis: %d/%d automaton states cannot reach the goal):\n",
+			coenable.DoomedCount(an.Doomed), len(an.Doomed))
+		for sym, e := range s.ms.Events {
+			g := an.Guards[sym]
+			var notes []string
+			if g.Creation {
+				notes = append(notes, "creation event")
+			}
+			if g.DoomedStart {
+				notes = append(notes, "doomed start ⇒ guarded")
+			}
+			if g.NoViablePrefix {
+				notes = append(notes, "no viable prefix ⇒ guarded")
+			}
+			if len(notes) == 0 {
+				notes = append(notes, "unguarded")
+			}
+			fmt.Fprintf(w, "    GUARD(%s)%s= %s\n", e.Name, pad(e.Name), strings.Join(notes, ", "))
+		}
+	}
 	fmt.Fprintln(w)
 	return nil
+}
+
+// CreationGuard is the static creation-guard summary for one event: the
+// products of the doomed-monitor analysis (see DESIGN.md "Static creation
+// avoidance") at specification granularity.
+type CreationGuard struct {
+	// Event is the event name.
+	Event string
+	// Creation reports ∅ ∈ ENABLE(e): the event can begin a goal trace, so
+	// the enable-set strategy creates monitors from ⊥ for it.
+	Creation bool
+	// DoomedStart reports that the event's transition out of the initial
+	// state lands in a state from which no goal category is reachable: a
+	// monitor created at the start of the trace by this event is provably
+	// wasted, and the engine's static guard declines to materialize it.
+	DoomedStart bool
+	// NoViablePrefix reports that ENABLE(e) is empty: no goal trace
+	// contains the event at all.
+	NoViablePrefix bool
+}
+
+// CreationGuards returns the per-event static creation-guard summary, or
+// nil when the property's formalism is not graph-backed (CFG properties,
+// whose state space the doomed analysis cannot enumerate).
+func (s *Spec) CreationGuards() ([]CreationGuard, error) {
+	an, err := s.ms.Analysis()
+	if err != nil {
+		return nil, err
+	}
+	if an.Guards == nil {
+		return nil, nil
+	}
+	out := make([]CreationGuard, len(an.Guards))
+	for i, g := range an.Guards {
+		out[i] = CreationGuard{
+			Event:          s.ms.Events[i].Name,
+			Creation:       g.Creation,
+			DoomedStart:    g.DoomedStart,
+			NoViablePrefix: g.NoViablePrefix,
+		}
+	}
+	return out, nil
+}
+
+// AvoidanceSite is one event symbol's row in an AvoidanceReport: the
+// static guard verdicts plus, when a creation profile was supplied, the
+// profiled per-creation-site statistics.
+type AvoidanceSite struct {
+	CreationGuard
+	// Created, Restepped and ReachedGoal are the profiled counts: monitors
+	// born at the event, of those stepped again after their birth step, and
+	// of those ever reaching a goal category. Zero without a profile.
+	Created     uint64
+	Restepped   uint64
+	ReachedGoal uint64
+	// ProfileGuarded reports that the profile recommends guarding the
+	// event: it created monitors and none ever reached a goal.
+	ProfileGuarded bool
+}
+
+// AvoidanceReport is the creation-avoidance summary for a property:
+// per-event static guards, the doomed fraction of the automaton, and —
+// when built from a recorded-trace replay profile — the empirical
+// per-creation-site statistics feeding profile-guided guards.
+type AvoidanceReport struct {
+	Property     string
+	DoomedStates int // automaton states from which no goal is reachable
+	TotalStates  int
+	Profiled     bool
+	Sites        []AvoidanceSite
+}
+
+// Avoidance builds the property's creation-avoidance report. The profile
+// is optional (nil gives the static half only); supply a
+// rvgo.CreationProfile filled by a replay run to get the profile-guided
+// half. The profile must be sized for this property's event list.
+func (s *Spec) Avoidance(profile *monitor.CreationProfile) (*AvoidanceReport, error) {
+	an, err := s.ms.Analysis()
+	if err != nil {
+		return nil, err
+	}
+	guards, err := s.CreationGuards()
+	if err != nil {
+		return nil, err
+	}
+	r := &AvoidanceReport{Property: s.ms.Name, TotalStates: len(an.Doomed)}
+	r.DoomedStates = coenable.DoomedCount(an.Doomed)
+	var profGuards []bool
+	if profile != nil {
+		if len(profile.Created) != len(s.ms.Events) {
+			return nil, fmt.Errorf("spec: creation profile sized for %d events, property %q has %d",
+				len(profile.Created), s.ms.Name, len(s.ms.Events))
+		}
+		r.Profiled = true
+		profGuards = profile.Guards()
+	}
+	for sym, e := range s.ms.Events {
+		site := AvoidanceSite{CreationGuard: CreationGuard{Event: e.Name}}
+		if guards != nil {
+			site.CreationGuard = guards[sym]
+		}
+		if profile != nil {
+			site.Created = profile.Created[sym]
+			site.Restepped = profile.Restepped[sym]
+			site.ReachedGoal = profile.ReachedGoal[sym]
+			site.ProfileGuarded = profGuards[sym]
+		}
+		r.Sites = append(r.Sites, site)
+	}
+	return r, nil
+}
+
+// Write formats the report, one site per line.
+func (r *AvoidanceReport) Write(w io.Writer) {
+	fmt.Fprintf(w, "creation avoidance for %s", r.Property)
+	if r.TotalStates > 0 {
+		fmt.Fprintf(w, " (%d/%d automaton states doomed)", r.DoomedStates, r.TotalStates)
+	}
+	fmt.Fprintln(w, ":")
+	for _, site := range r.Sites {
+		var notes []string
+		if site.Creation {
+			notes = append(notes, "creation event")
+		}
+		if site.DoomedStart {
+			notes = append(notes, "static guard: doomed start")
+		}
+		if site.NoViablePrefix {
+			notes = append(notes, "static guard: no viable prefix")
+		}
+		if r.Profiled {
+			notes = append(notes, fmt.Sprintf("created %d, restepped %d, reached goal %d",
+				site.Created, site.Restepped, site.ReachedGoal))
+			if site.ProfileGuarded {
+				notes = append(notes, "profile guard: never reaches goal")
+			}
+		}
+		if len(notes) == 0 {
+			notes = append(notes, "unguarded")
+		}
+		fmt.Fprintf(w, "  %-12s %s\n", site.Event, strings.Join(notes, "; "))
+	}
 }
 
 // Compiled returns the internal compiled form. It exists for the rvgo
